@@ -1,0 +1,41 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Each ``test_fig*``/``test_table*`` module regenerates one figure or
+table of the paper (see DESIGN.md §3 for the index).  Wall-clock
+benchmarks measure the Python/NumPy backend on this machine; GPU/FPGA
+results come from the machine models (DESIGN.md §1) and are attached to
+the benchmark records as ``extra_info['modeled_ms']``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+A results summary usable for EXPERIMENTS.md is printed per module.
+"""
+
+import numpy as np
+import pytest
+
+
+def run_once(benchmark, fn, *args, rounds=1, **kwargs):
+    """Benchmark with minimal repetitions (kernels are deterministic and
+    the suite covers 30+ kernels x several roles)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=rounds,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def results_table():
+    """Session-scoped accumulator: modules append (figure, kernel, role,
+    seconds) rows; the final fixture teardown prints them."""
+    rows = []
+    yield rows
+    if rows:
+        print("\n=== reproduction results (paper figure, kernel, role, time[s]) ===")
+        for fig, kernel, role, secs in rows:
+            print(f"{fig:12s} {kernel:16s} {role:22s} {secs:12.6f}")
+
+
+def geomean(values):
+    values = np.asarray(list(values), dtype=float)
+    return float(np.exp(np.log(values).mean()))

@@ -1,0 +1,66 @@
+"""Case Study II (paper §6.3): breadth-first search as stateful dataflow.
+
+Builds the Fig. 16 data-driven push BFS — data-dependent map ranges over
+the frontier, CSR-row indirection, stream pushes of discovered vertices,
+and a Sum-WCR frontier counter — applies the LocalStream optimization
+step, and compares against the framework-role baselines on the three
+graph regimes of Table 5.
+
+Run:  python examples/graph_analytics_bfs.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.library.graphs import (
+    bfs_direction_optimizing,
+    bfs_level_sync,
+    bfs_reference,
+    kronecker_graph,
+    road_network,
+    social_network,
+)
+from repro.workloads.bfs import build_bfs_sdfg
+
+
+def main():
+    graphs = {
+        "road (USA-like)": road_network(36, keep=0.7, seed=1),
+        "social (LiveJournal-like)": social_network(1000, 12, seed=2),
+        "kronecker (kron-like)": kronecker_graph(9, 8, seed=3),
+    }
+
+    sdfg = build_bfs_sdfg(optimized=True)
+    print("BFS SDFG transformation history:", sdfg.transformation_history)
+    comp = sdfg.compile()
+
+    print(f"\n{'graph':28s} {'V':>7s} {'E':>8s} {'sdfg':>9s} "
+          f"{'gluon-role':>11s} {'galois-role':>12s}")
+    for name, g in graphs.items():
+        ref = bfs_reference(g, 0)
+        depth = np.zeros(g.num_vertices, np.int32)
+
+        t0 = time.perf_counter()
+        comp(G_row=g.indptr, G_col=g.indices, depth=depth, src=0,
+             V=g.num_vertices, E=g.num_edges)
+        t_sdfg = time.perf_counter() - t0
+        assert np.array_equal(depth, ref)
+
+        t0 = time.perf_counter()
+        bfs_level_sync(g, 0)
+        t_sync = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bfs_direction_optimizing(g, 0)
+        t_opt = time.perf_counter() - t0
+
+        print(f"{name:28s} {g.num_vertices:7d} {g.num_edges:8d} "
+              f"{t_sdfg * 1e3:8.2f}ms {t_sync * 1e3:10.2f}ms {t_opt * 1e3:11.2f}ms")
+
+    print("\nAll SDFG depths verified against the textbook BFS.")
+    print("(Paper shape: frameworks shine on social graphs; the SDFG's "
+          "fine-grained scheduling is relatively strongest on road maps.)")
+
+
+if __name__ == "__main__":
+    main()

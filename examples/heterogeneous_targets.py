@@ -1,0 +1,74 @@
+"""Performance portability: one program, three targets (paper's thesis).
+
+The same jacobi-2d program is (a) executed on the CPU backend,
+(b) offloaded with GPUTransform and inspected as CUDA + simulated on the
+P100 model, (c) offloaded with FPGATransform and inspected as HLS +
+simulated on the VCU1525 model — without modifying the original code.
+
+Run:  python examples/heterogeneous_targets.py
+"""
+
+import numpy as np
+
+import repro as rp
+from repro.runtime.perfmodel import simulate
+from repro.transformations import FPGATransform, GPUTransform, apply_transformations
+from repro.sdfg import SDFG
+
+N = rp.symbol("N")
+
+
+@rp.program
+def jacobi(A: rp.float64[N, N], B: rp.float64[N, N], T: rp.int64):
+    for t in range(T):
+        for i, j in rp.map[1 : N - 1, 1 : N - 1]:
+            B[i, j] = 0.2 * (A[i, j] + A[i - 1, j] + A[i + 1, j]
+                             + A[i, j - 1] + A[i, j + 1])
+        for i, j in rp.map[1 : N - 1, 1 : N - 1]:
+            A[i, j] = B[i, j]
+
+
+def main():
+    base = jacobi.to_sdfg()
+    syms = {"N": 2048, "T": 100}
+
+    # --- CPU: measured execution -----------------------------------------
+    a = np.random.rand(128, 128)
+    b = np.zeros_like(a)
+    jacobi(a, b, 4)
+    print("CPU backend executed jacobi(N=128, T=4).")
+    cpu = simulate(base, "cpu", syms)
+    print(f"CPU model   @ N=2048, T=100: {cpu.time * 1e3:10.2f} ms")
+
+    # --- GPU: transform, inspect CUDA, simulate ---------------------------
+    gpu_sdfg = SDFG.from_json(base.to_json())
+    apply_transformations(gpu_sdfg, GPUTransform)
+    cuda = gpu_sdfg.generate_code("cuda")
+    kernel_lines = [ln for ln in cuda.splitlines() if "__global__" in ln]
+    print(f"\nGPU: {len(kernel_lines)} CUDA kernels generated; "
+          "copies sized from propagated memlets:")
+    for ln in cuda.splitlines():
+        if "cudaMemcpyAsync" in ln:
+            print("   ", ln.strip())
+            break
+    gpu = simulate(gpu_sdfg, "gpu", syms)
+    print(f"P100 model  @ N=2048, T=100: {gpu.time * 1e3:10.2f} ms "
+          f"(incl. {gpu.transfer_bytes / 1e6:.0f} MB PCIe)")
+
+    # --- FPGA: transform, inspect HLS, simulate ---------------------------
+    fpga_sdfg = SDFG.from_json(base.to_json())
+    apply_transformations(fpga_sdfg, FPGATransform)
+    hls = fpga_sdfg.generate_code("fpga")
+    pragmas = [ln.strip() for ln in hls.splitlines() if "#pragma HLS" in ln]
+    print(f"\nFPGA: {len(pragmas)} HLS pragmas; e.g. {pragmas[0]}")
+    fpga = simulate(fpga_sdfg, "fpga", syms)
+    naive = simulate(fpga_sdfg, "fpga", syms, naive_fpga=True)
+    print(f"VCU1525 model @ N=2048, T=100: {fpga.time * 1e3:10.2f} ms pipelined, "
+          f"{naive.time * 1e3:.0f} ms naive HLS "
+          f"({naive.time / fpga.time:.0f}x gap — the paper's §6.1 story)")
+
+    print("\nSame source program; three targets; zero source changes.")
+
+
+if __name__ == "__main__":
+    main()

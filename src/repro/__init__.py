@@ -1,0 +1,112 @@
+"""repro — a from-scratch reproduction of Stateful Dataflow Multigraphs
+(Ben-Nun et al., SC'19): data-centric parallel programming with a
+graph-transformation-based optimization workflow.
+
+Typical usage::
+
+    import numpy as np
+    import repro as rp
+
+    N = rp.symbol("N")
+
+    @rp.program
+    def vadd(A: rp.float64[N], B: rp.float64[N], C: rp.float64[N]):
+        for i in rp.map[0:N]:
+            with rp.tasklet:
+                a << A[i]
+                b << B[i]
+                c >> C[i]
+                c = a + b
+
+    a, b, c = (np.random.rand(1024) for _ in range(3))
+    vadd(a, b, c)
+
+See DESIGN.md for the full system inventory and the per-experiment
+reproduction index.
+"""
+
+from repro.sdfg import (
+    SDFG,
+    InterstateEdge,
+    InvalidSDFGError,
+    Language,
+    Memlet,
+    ReductionType,
+    ScheduleType,
+    SDFGState,
+    StorageType,
+)
+from repro.sdfg.dtypes import (
+    bool_,
+    complex64,
+    complex128,
+    float32,
+    float64,
+    int8,
+    int16,
+    int32,
+    int64,
+    typeclass,
+    uint8,
+    uint16,
+    uint32,
+    uint64,
+)
+from repro.frontend import (
+    DaceProgram,
+    dyn,
+    map,  # noqa: A004
+    program,
+    replaces,
+    symbol,
+    tasklet,
+)
+from repro.symbolic import Range, Subset, Symbol
+
+__version__ = "1.0.0"
+
+#: WCR aliases usable in memlet declarations: ``out >> b(1, rp.sum)[i]``.
+sum = "sum"  # noqa: A001
+product = "product"
+min = "min"  # noqa: A001
+max = "max"  # noqa: A001
+
+__all__ = [
+    "DaceProgram",
+    "InterstateEdge",
+    "InvalidSDFGError",
+    "Language",
+    "Memlet",
+    "Range",
+    "ReductionType",
+    "SDFG",
+    "SDFGState",
+    "ScheduleType",
+    "StorageType",
+    "Subset",
+    "Symbol",
+    "bool_",
+    "complex64",
+    "complex128",
+    "dyn",
+    "float32",
+    "float64",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "map",
+    "max",
+    "min",
+    "product",
+    "program",
+    "replaces",
+    "sum",
+    "symbol",
+    "tasklet",
+    "typeclass",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+]

@@ -1,0 +1,21 @@
+"""Code generation: lowering SDFGs to executable/compilable code.
+
+The compilation pipeline (paper §4.3) is: ❶ validation + memlet
+propagation, ❷ hierarchical code generation through per-target
+*dispatchers* keyed on storage/schedule types, ❸ compiler invocation.
+
+Backends:
+
+* ``python`` — generates executable Python/NumPy (the primary backend in
+  this reproduction; maps lower to vectorized NumPy or loops),
+* ``cpp`` — C++17/OpenMP translation unit (compiled and executed via
+  gcc + ctypes in integration tests when a compiler is present),
+* ``cuda`` — CUDA dialect (structure-verified text; executed via the
+  GPU machine model),
+* ``fpga`` — HLS dialect with systolic-array generation from Map+Stream
+  (structure-verified text; executed via the FPGA pipeline model).
+"""
+
+from repro.codegen.compiler import CompiledSDFG, compile_sdfg, generate_code
+
+__all__ = ["CompiledSDFG", "compile_sdfg", "generate_code"]

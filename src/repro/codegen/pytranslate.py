@@ -1,0 +1,267 @@
+"""Tasklet Python-code analysis and NumPy vectorization translation.
+
+Loop-mode code generation inlines tasklet code verbatim (it already is
+Python).  Vector-mode lowering, used when an entire Map iteration domain
+is evaluated at once, rewrites the tasklet AST so every operation is
+elementwise over NumPy arrays: ``min`` becomes ``np.minimum``, ``x if c
+else y`` becomes ``np.where(c, x, y)``, boolean operators become logical
+ufuncs, and ``math.*`` calls become their ``np.*`` equivalents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.codegen.common import CodegenError
+
+_NP_FUNCS = {
+    "min": "np.minimum",
+    "max": "np.maximum",
+    "abs": "np.abs",
+    "sqrt": "np.sqrt",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tan": "np.tan",
+    "pow": "np.power",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+    "fabs": "np.abs",
+    "conj": "np.conj",
+}
+
+
+def parse_tasklet(code: str) -> ast.Module:
+    try:
+        return ast.parse(code)
+    except SyntaxError as err:
+        raise CodegenError(f"cannot parse tasklet code: {err}") from err
+
+
+def assigned_names(tree: ast.Module) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            out.add(node.id)
+    return out
+
+
+def loaded_names(tree: ast.Module) -> Set[str]:
+    out: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            out.add(node.id)
+    return out
+
+
+def is_vectorizable_tasklet(code: str) -> bool:
+    """True when every statement is a plain assignment of an elementwise
+    expression (the vector-mode contract)."""
+    try:
+        tree = parse_tasklet(code)
+    except CodegenError:
+        return False
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                return False
+            if not _expr_vectorizable(stmt.value):
+                return False
+        elif isinstance(stmt, ast.AugAssign):
+            if not isinstance(stmt.target, ast.Name):
+                return False
+            if not _expr_vectorizable(stmt.value):
+                return False
+        elif isinstance(stmt, (ast.Pass, ast.Expr)) and (
+            isinstance(stmt, ast.Pass) or isinstance(stmt.value, ast.Constant)
+        ):
+            continue
+        else:
+            return False
+    return True
+
+
+def _expr_vectorizable(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, complex, bool))
+    if isinstance(node, ast.Name):
+        return True
+    if isinstance(node, ast.BinOp):
+        ok_ops = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow)
+        return (
+            isinstance(node.op, ok_ops)
+            and _expr_vectorizable(node.left)
+            and _expr_vectorizable(node.right)
+        )
+    if isinstance(node, ast.UnaryOp):
+        return isinstance(node.op, (ast.USub, ast.UAdd, ast.Not)) and _expr_vectorizable(
+            node.operand
+        )
+    if isinstance(node, ast.Compare):
+        return all(_expr_vectorizable(c) for c in [node.left] + node.comparators)
+    if isinstance(node, ast.BoolOp):
+        return all(_expr_vectorizable(v) for v in node.values)
+    if isinstance(node, ast.IfExp):
+        return all(
+            _expr_vectorizable(x) for x in (node.test, node.body, node.orelse)
+        )
+    if isinstance(node, ast.Call):
+        fname = _call_name(node)
+        if fname is None or fname not in _NP_FUNCS:
+            return False
+        return all(_expr_vectorizable(a) for a in node.args)
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute) and isinstance(node.func.value, ast.Name):
+        if node.func.value.id in ("math", "np", "numpy"):
+            return node.func.attr
+    return None
+
+
+class _Vectorize(ast.NodeTransformer):
+    """Rewrite a tasklet expression tree into elementwise NumPy form."""
+
+    def __init__(self, rename: Dict[str, str]):
+        self.rename = rename
+
+    def visit_Name(self, node: ast.Name):
+        new = self.rename.get(node.id)
+        if new is not None:
+            return ast.copy_location(
+                ast.parse(new, mode="eval").body, node
+            )
+        return node
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        fname = _call_name(node)
+        if fname is None or fname not in _NP_FUNCS:
+            raise CodegenError(f"call {ast.dump(node.func)} not vectorizable")
+        target = _NP_FUNCS[fname]
+        # N-ary min/max fold into nested binary ufunc calls.
+        if fname in ("min", "max") and len(node.args) > 2:
+            out = node.args[0]
+            for a in node.args[1:]:
+                out = ast.Call(
+                    func=ast.parse(target, mode="eval").body, args=[out, a], keywords=[]
+                )
+            return ast.copy_location(ast.fix_missing_locations(out), node)
+        return ast.copy_location(
+            ast.Call(
+                func=ast.parse(target, mode="eval").body,
+                args=node.args,
+                keywords=[],
+            ),
+            node,
+        )
+
+    def visit_IfExp(self, node: ast.IfExp):
+        self.generic_visit(node)
+        return ast.copy_location(
+            ast.Call(
+                func=ast.parse("np.where", mode="eval").body,
+                args=[node.test, node.body, node.orelse],
+                keywords=[],
+            ),
+            node,
+        )
+
+    def visit_BoolOp(self, node: ast.BoolOp):
+        self.generic_visit(node)
+        fn = "np.logical_and" if isinstance(node.op, ast.And) else "np.logical_or"
+        out = node.values[0]
+        for v in node.values[1:]:
+            out = ast.Call(
+                func=ast.parse(fn, mode="eval").body, args=[out, v], keywords=[]
+            )
+        return ast.copy_location(ast.fix_missing_locations(out), node)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp):
+        self.generic_visit(node)
+        if isinstance(node.op, ast.Not):
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.parse("np.logical_not", mode="eval").body,
+                    args=[node.operand],
+                    keywords=[],
+                ),
+                node,
+            )
+        return node
+
+
+def vectorize_tasklet(
+    code: str, rename: Dict[str, str]
+) -> List[Tuple[str, str]]:
+    """Translate tasklet code to vector form.
+
+    ``rename`` maps connector/parameter names to replacement expressions
+    (array loads, broadcast index arrays).  Returns ``(target, expr)``
+    source pairs in statement order.
+    """
+    tree = parse_tasklet(code)
+    out: List[Tuple[str, str]] = []
+    locals_seen: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring
+        if isinstance(stmt, ast.Assign):
+            target = stmt.targets[0].id  # type: ignore[attr-defined]
+            value = stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            target = stmt.target.id  # type: ignore[attr-defined]
+            value = ast.BinOp(left=ast.Name(id=target, ctx=ast.Load()), op=stmt.op,
+                              right=stmt.value)
+            ast.fix_missing_locations(value)
+        else:
+            raise CodegenError(f"statement not vectorizable: {ast.dump(stmt)}")
+        # Locals defined by earlier statements shadow renames.
+        local_rename = {k: v for k, v in rename.items() if k not in locals_seen}
+        new_value = _Vectorize(local_rename).visit(value)
+        ast.fix_missing_locations(new_value)
+        expr_src = ast.unparse(new_value)
+        tgt = rename.get(target)
+        if tgt is not None and target not in locals_seen:
+            out.append((tgt, expr_src))
+        else:
+            locals_seen.add(target)
+            out.append((target, expr_src))
+    return out
+
+
+def detect_pure_product(code: str, inputs: Sequence[str], output: str) -> bool:
+    """True when the tasklet computes ``output = prod(inputs)`` exactly —
+    the pattern that admits einsum-based contraction lowering."""
+    try:
+        tree = parse_tasklet(code)
+    except CodegenError:
+        return False
+    stmts = [s for s in tree.body if not isinstance(s, ast.Pass)]
+    if len(stmts) != 1 or not isinstance(stmts[0], ast.Assign):
+        return False
+    stmt = stmts[0]
+    if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+        return False
+    if stmt.targets[0].id != output:
+        return False
+    factors: List[str] = []
+
+    def collect(node: ast.expr) -> bool:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            return collect(node.left) and collect(node.right)
+        if isinstance(node, ast.Name):
+            factors.append(node.id)
+            return True
+        return False
+
+    if not collect(stmt.value):
+        return False
+    return sorted(factors) == sorted(inputs)

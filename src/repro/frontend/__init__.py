@@ -1,0 +1,47 @@
+"""Language frontends: restricted Python → SDFG (paper §2.1).
+
+The decorator-based Python interface is the primary frontend::
+
+    import repro as rp
+
+    @rp.program
+    def laplace(A: rp.float64[2, N], T: rp.int64):
+        for t in range(T):
+            for i in rp.map[1:N-1]:
+                with rp.tasklet:
+                    w << A[t % 2, i-1:i+2]
+                    out >> A[(t+1) % 2, i]
+                    out = w[0] - 2*w[1] + w[2]
+
+Programs are strongly-typed decorated functions; ``rp.map`` ranges
+become Map scopes, ``with rp.tasklet`` blocks become Tasklets with
+explicit memlets (``<<`` in, ``>>`` out, Fig. 3 anatomy), plain loops
+and branches become the state machine, and a NumPy operator subset
+(``@``, ``+``, ``-``, ``*``, ``/``) expands into library dataflow.
+
+The low-level builder API for DSL authors is the SDFG/SDFGState method
+surface itself (see :mod:`repro.sdfg.state`); :mod:`repro.frontend.npops`
+hosts the ``@replaces`` extension registry for new operators.
+"""
+
+from repro.frontend.decorators import (
+    DaceProgram,
+    MapRange,
+    dyn,
+    map,  # noqa: A001  (intentional: rp.map mirrors dace.map)
+    program,
+    symbol,
+    tasklet,
+)
+from repro.frontend.npops import replaces
+
+__all__ = [
+    "DaceProgram",
+    "MapRange",
+    "dyn",
+    "map",
+    "program",
+    "replaces",
+    "symbol",
+    "tasklet",
+]

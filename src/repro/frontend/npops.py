@@ -1,0 +1,214 @@
+"""NumPy-operator expansion and the ``@replaces`` extension registry.
+
+The frontend "implements an extensible subset of operators from numpy on
+[multi-dimensional] arrays to ease the use of linear algebra operators"
+(paper §2.1).  ``A @ B`` expands into the map-reduce matrix-multiply
+dataflow of Fig. 9b; elementwise operators expand into maps; reductions
+into Reduce nodes.  Users extend the set with ``@replaces("numpy.xxx")``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sdfg import Memlet, dtypes
+from repro.symbolic import Expr, sympify
+
+#: Registered dataflow implementations for function calls, keyed by the
+#: fully-qualified name used at the call site.
+_REPLACEMENTS: Dict[str, Callable] = {}
+
+
+def replaces(*names: str):
+    """Register a dataflow implementation for an unimplemented function.
+
+    The decorated builder receives ``(ctx, state, result, *args)`` where
+    ``ctx`` is the active parser, ``result`` is the output container name
+    (or None to let the builder allocate one), and ``args`` are container
+    names or constants.  It returns the output container name.
+    """
+
+    def deco(fn: Callable):
+        for n in names:
+            _REPLACEMENTS[n] = fn
+        return fn
+
+    return deco
+
+
+def lookup(name: str) -> Optional[Callable]:
+    return _REPLACEMENTS.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Built-in expansions
+# ---------------------------------------------------------------------------
+
+
+def expand_matmul(ctx, state, a: str, b: str, out: Optional[str]) -> str:
+    """``A @ B`` → the Fig. 9b dataflow: a parallel multiplication map
+    into a transient 3-D tensor, reduced over the contraction axis.
+
+    Deliberately the *naive* form — the paper's Case Study I starts here
+    and MapReduceFusion + tiling chains optimize it.
+    """
+    sdfg = ctx.sdfg
+    adesc, bdesc = sdfg.arrays[a], sdfg.arrays[b]
+    if adesc.dims != 2 or bdesc.dims != 2:
+        raise NotImplementedError("matmul expansion requires 2-D operands")
+    M, K = adesc.shape
+    K2, N = bdesc.shape
+    dtype = adesc.dtype
+    if out is None:
+        out, _ = sdfg.add_transient("_mm_out", (M, N), dtype)
+    tmp, _ = sdfg.add_transient("_mm_tmp", (M, N, K), dtype)
+    t, me, mx = state.add_mapped_tasklet(
+        "_MatMult_",
+        {"__i": f"0:{M}", "__j": f"0:{N}", "__k": f"0:{K}"},
+        inputs={
+            "__a": Memlet.simple(a, "__i, __k"),
+            "__b": Memlet.simple(b, "__k, __j"),
+        },
+        code="__o = __a * __b",
+        outputs={"__o": Memlet.simple(tmp, "__i, __j, __k")},
+        input_nodes={a: ctx.read_node(state, a), b: ctx.read_node(state, b)},
+    )
+    tmp_node = state.out_edges(mx)[0].dst
+    red = state.add_reduce("sum", axes=(2,), label="_MMReduce_")
+    state.add_edge(
+        tmp_node, red, Memlet.simple(tmp, f"0:{M}, 0:{N}, 0:{K}"), None, "IN_1"
+    )
+    out_node = ctx.write_node(state, out)
+    state.add_edge(red, out_node, Memlet.simple(out, f"0:{M}, 0:{N}"), "OUT_1", None)
+    return out
+
+
+_BINOP_CODE = {
+    "+": "__o = __a + __b",
+    "-": "__o = __a - __b",
+    "*": "__o = __a * __b",
+    "/": "__o = __a / __b",
+    "**": "__o = __a ** __b",
+}
+
+
+def expand_elementwise_binop(ctx, state, op: str, a: str, b, out: Optional[str]) -> str:
+    """Elementwise array-(array|scalar) arithmetic as a Map."""
+    sdfg = ctx.sdfg
+    adesc = sdfg.arrays[a]
+    shape = adesc.shape
+    params = {f"__i{d}": f"0:{s}" for d, s in enumerate(shape)}
+    idx = ", ".join(params.keys())
+    inputs = {"__a": Memlet.simple(a, idx)}
+    input_nodes = {a: ctx.read_node(state, a)}
+    if isinstance(b, str) and b in sdfg.arrays:
+        bdesc = sdfg.arrays[b]
+        if tuple(bdesc.shape) == tuple(shape):
+            inputs["__b"] = Memlet.simple(b, idx)
+        elif bdesc.total_size() == sympify(1):
+            inputs["__b"] = Memlet.simple(b, ", ".join("0" for _ in bdesc.shape))
+        else:
+            raise NotImplementedError(
+                "broadcasting beyond same-shape/scalar is not supported"
+            )
+        input_nodes[b] = ctx.read_node(state, b)
+        code = _BINOP_CODE[op]
+    else:
+        code = _BINOP_CODE[op].replace("__b", repr(b))
+    if out is None:
+        out, _ = sdfg.add_transient("_ew_out", shape, adesc.dtype)
+    state.add_mapped_tasklet(
+        f"_ew_{_OPNAMES[op]}_",
+        params,
+        inputs=inputs,
+        code=code,
+        outputs={"__o": Memlet.simple(out, idx)},
+        input_nodes=input_nodes,
+        output_nodes={out: ctx.write_node(state, out)},
+    )
+    return out
+
+
+_OPNAMES = {"+": "add", "-": "sub", "*": "mul", "/": "div", "**": "pow"}
+
+_UNARY_CODE = {
+    "exp": "__o = math.exp(__a)",
+    "sqrt": "__o = math.sqrt(__a)",
+    "log": "__o = math.log(__a)",
+    "sin": "__o = math.sin(__a)",
+    "cos": "__o = math.cos(__a)",
+    "abs": "__o = abs(__a)",
+    "neg": "__o = -__a",
+    "conj": "__o = np.conj(__a)",
+}
+
+
+def expand_elementwise_unary(ctx, state, fn: str, a: str, out: Optional[str]) -> str:
+    sdfg = ctx.sdfg
+    adesc = sdfg.arrays[a]
+    params = {f"__i{d}": f"0:{s}" for d, s in enumerate(adesc.shape)}
+    idx = ", ".join(params.keys())
+    if out is None:
+        out, _ = sdfg.add_transient(f"_u{fn}_out", adesc.shape, adesc.dtype)
+    state.add_mapped_tasklet(
+        f"_u_{fn}_",
+        params,
+        inputs={"__a": Memlet.simple(a, idx)},
+        code=_UNARY_CODE[fn],
+        outputs={"__o": Memlet.simple(out, idx)},
+        input_nodes={a: ctx.read_node(state, a)},
+        output_nodes={out: ctx.write_node(state, out)},
+    )
+    return out
+
+
+def expand_reduce(
+    ctx, state, wcr_alias: str, a: str, axis: Optional[int], out: Optional[str]
+) -> str:
+    """np.sum/min/max/prod → a Reduce library node."""
+    sdfg = ctx.sdfg
+    adesc = sdfg.arrays[a]
+    if axis is None:
+        axes = tuple(range(adesc.dims))
+        out_shape = (1,)
+    else:
+        axes = (axis,)
+        out_shape = tuple(
+            s for d, s in enumerate(adesc.shape) if d != axis
+        ) or (1,)
+    if out is None:
+        out, _ = sdfg.add_transient("_red_out", out_shape, adesc.dtype)
+    red = state.add_reduce(wcr_alias, axes=axes)
+    in_node = ctx.read_node(state, a)
+    full = ", ".join(f"0:{s}" for s in adesc.shape)
+    state.add_edge(in_node, red, Memlet.simple(a, full), None, "IN_1")
+    out_node = ctx.write_node(state, out)
+    out_full = ", ".join(f"0:{s}" for s in sdfg.arrays[out].shape)
+    state.add_edge(red, out_node, Memlet.simple(out, out_full), "OUT_1", None)
+    return out
+
+
+# Default registrations for the supported numpy call forms.
+@replaces("numpy.sum", "np.sum")
+def _np_sum(ctx, state, result, a, axis=None):
+    return expand_reduce(ctx, state, "sum", a, axis, result)
+
+
+@replaces("numpy.min", "np.min", "numpy.amin")
+def _np_min(ctx, state, result, a, axis=None):
+    return expand_reduce(ctx, state, "min", a, axis, result)
+
+
+@replaces("numpy.max", "np.max", "numpy.amax")
+def _np_max(ctx, state, result, a, axis=None):
+    return expand_reduce(ctx, state, "max", a, axis, result)
+
+
+@replaces("numpy.exp", "np.exp", "math.exp")
+def _np_exp(ctx, state, result, a):
+    return expand_elementwise_unary(ctx, state, "exp", a, result)
+
+
+@replaces("numpy.sqrt", "np.sqrt", "math.sqrt")
+def _np_sqrt(ctx, state, result, a):
+    return expand_elementwise_unary(ctx, state, "sqrt", a, result)

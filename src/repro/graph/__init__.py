@@ -1,0 +1,42 @@
+"""Directed-multigraph substrate used by both levels of the SDFG.
+
+An SDFG is "a directed graph of directed acyclic multigraphs" (paper §3):
+the top level is a state machine whose edges carry interstate conditions,
+and each state is an acyclic dataflow multigraph whose edges carry
+memlets.  Both levels are instances of
+:class:`~repro.graph.multigraph.OrderedMultiDiGraph`, which preserves
+insertion order everywhere — a hard requirement for deterministic code
+generation and reproducible pattern matching.
+
+The package also provides the graph algorithms the IR and the
+transformation engine need: traversals, topological sort, dominators and
+post-dominators (scope detection), weakly-connected components (each
+component of a state executes concurrently, §3.3), and a VF2-style
+subgraph matcher (§4.1 uses VF2 to locate transformation patterns).
+"""
+
+from repro.graph.multigraph import Edge, GraphError, OrderedMultiDiGraph
+from repro.graph.algorithms import (
+    CycleError,
+    bfs_order,
+    dfs_preorder,
+    dominators,
+    postdominators,
+    topological_sort,
+    weakly_connected_components,
+)
+from repro.graph.matching import subgraph_monomorphisms
+
+__all__ = [
+    "CycleError",
+    "Edge",
+    "GraphError",
+    "OrderedMultiDiGraph",
+    "bfs_order",
+    "dfs_preorder",
+    "dominators",
+    "postdominators",
+    "subgraph_monomorphisms",
+    "topological_sort",
+    "weakly_connected_components",
+]

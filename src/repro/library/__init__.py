@@ -1,0 +1,18 @@
+"""Vendor-library stand-ins and shared application substrates.
+
+The paper's evaluation compares against Intel MKL, NVIDIA CUBLAS /
+CUSPARSE / CUB, and the Galois/Gluon graph frameworks.  On this testbed
+those roles are played by (DESIGN.md §1):
+
+* :mod:`repro.library.blas` — BLAS-backed dense kernels (``gemm``,
+  batched/strided variants, and the SBSMM specialized small-batch
+  multiply of Table 3),
+* :mod:`repro.library.sparse` — CSR structures and SpMV,
+* :mod:`repro.library.graphs` — CSR graphs, synthetic generators
+  matching the Table 5 dataset characteristics, and baseline BFS
+  implementations standing in for Galois and Gluon.
+"""
+
+from repro.library import blas, graphs, sparse
+
+__all__ = ["blas", "graphs", "sparse"]

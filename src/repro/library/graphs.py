@@ -1,0 +1,220 @@
+"""Graph substrate: CSR graphs, synthetic dataset generators, and
+baseline BFS implementations (the Galois/Gluon roles of §6.3).
+
+The paper's five datasets (Table 5) are unavailable offline; the
+generators below reproduce their *characteristics*, which drive the
+Fig. 17 result shape:
+
+==============  =========================  ==========================
+paper dataset   property                   generator
+==============  =========================  ==========================
+usa / osm-eur   road map: avg deg ~2.4,    :func:`road_network` — 2-D
+                tiny max degree, huge       lattice with thinned edges
+                diameter                    (high diameter, degree<=4)
+soc-lj /        social: heavy-tailed        :func:`social_network` —
+twitter         degrees, small diameter     preferential attachment
+kron21          synthetic Kronecker,        :func:`kronecker_graph` —
+                extreme skew                RMAT-style edge dropping
+==============  =========================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+UNVISITED = np.iinfo(np.int32).max
+
+
+@dataclass
+class CSRGraph:
+    """Directed graph in CSR form (``G_row``/``G_col`` of Fig. 16)."""
+
+    num_vertices: int
+    indptr: np.ndarray  # uint32, len V+1
+    indices: np.ndarray  # uint32, len E
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.num_edges / max(self.num_vertices, 1)
+
+    @property
+    def max_degree(self) -> int:
+        return int(np.max(np.diff(self.indptr))) if self.num_vertices else 0
+
+    @staticmethod
+    def from_edges(num_vertices: int, src: np.ndarray, dst: np.ndarray) -> "CSRGraph":
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.uint32)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(num_vertices, indptr, dst.astype(np.uint32))
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+
+def _dedup(num_vertices: int, src, dst) -> Tuple[np.ndarray, np.ndarray]:
+    key = src.astype(np.int64) * num_vertices + dst
+    key = np.unique(key[src != dst])
+    return (key // num_vertices).astype(np.int64), (key % num_vertices).astype(np.int64)
+
+
+def road_network(side: int, keep: float = 0.7, seed: int = 1) -> CSRGraph:
+    """Road-map-like graph: a 2-D lattice with a fraction of edges kept.
+
+    Average degree lands near the USA road network's ~2.4 with
+    ``keep=0.6-0.7``; diameter is O(side) — the high-diameter regime
+    where the paper's SDFG BFS outruns Galois by up to 2x.
+    """
+    rng = np.random.RandomState(seed)
+    n = side * side
+    idx = np.arange(n).reshape(side, side)
+    right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    edges = np.concatenate([right, down], axis=1)
+    mask = rng.rand(edges.shape[1]) < keep
+    edges = edges[:, mask]
+    # Undirected: add both directions.
+    src = np.concatenate([edges[0], edges[1]])
+    dst = np.concatenate([edges[1], edges[0]])
+    src, dst = _dedup(n, src, dst)
+    return CSRGraph.from_edges(n, src, dst)
+
+
+def social_network(
+    num_vertices: int, edges_per_vertex: int = 14, seed: int = 2
+) -> CSRGraph:
+    """Social-network-like graph via preferential attachment: heavy-tailed
+    degree distribution and small diameter (LiveJournal/Twitter regime)."""
+    rng = np.random.RandomState(seed)
+    m = edges_per_vertex
+    targets: List[int] = []
+    sources: List[int] = []
+    # Repeated-nodes list drives preferential attachment cheaply.
+    repeated = list(range(min(m, num_vertices)))
+    for v in range(m, num_vertices):
+        picks = rng.choice(len(repeated), size=min(m, len(repeated)), replace=False)
+        chosen = {repeated[p] for p in picks}
+        for u in chosen:
+            sources.append(v)
+            targets.append(u)
+            repeated.append(u)
+        repeated.extend([v] * len(chosen))
+    src = np.array(sources + targets, dtype=np.int64)
+    dst = np.array(targets + sources, dtype=np.int64)
+    src, dst = _dedup(num_vertices, src, dst)
+    return CSRGraph.from_edges(num_vertices, src, dst)
+
+
+def kronecker_graph(scale: int, edge_factor: int = 16, seed: int = 3) -> CSRGraph:
+    """Graph500-style RMAT/Kronecker generator (kron21.sym role)."""
+    rng = np.random.RandomState(seed)
+    n = 1 << scale
+    num_edges = n * edge_factor
+    a, b, c = 0.57, 0.19, 0.19
+    src = np.zeros(num_edges, dtype=np.int64)
+    dst = np.zeros(num_edges, dtype=np.int64)
+    for bit in range(scale):
+        r1 = rng.rand(num_edges)
+        r2 = rng.rand(num_edges)
+        src_bit = r1 > (a + b)
+        dst_bit = (r2 > (a + c)) & ~src_bit | (r2 > (b + c)) & src_bit
+        src |= src_bit.astype(np.int64) << bit
+        dst |= dst_bit.astype(np.int64) << bit
+    # Symmetrize, drop duplicates/self-loops.
+    s = np.concatenate([src, dst])
+    d = np.concatenate([dst, src])
+    s, d = _dedup(n, s, d)
+    return CSRGraph.from_edges(n, s, d)
+
+
+# ---------------------------------------------------------------------------
+# Baseline BFS implementations (framework stand-ins)
+# ---------------------------------------------------------------------------
+
+
+def bfs_level_sync(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Bulk-synchronous push BFS over NumPy frontiers (the Gluon
+    bfs_push role: simple level-synchronous processing)."""
+    depth = np.full(graph.num_vertices, UNVISITED, dtype=np.int32)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = graph.indptr[frontier].astype(np.int64)
+        ends = graph.indptr[frontier + 1].astype(np.int64)
+        total = int((ends - starts).sum())
+        if total == 0:
+            break
+        out = np.empty(total, dtype=np.int64)
+        pos = 0
+        for s, e in zip(starts, ends):
+            out[pos : pos + (e - s)] = graph.indices[s:e]
+            pos += e - s
+        cand = out[depth[out] == UNVISITED]
+        if cand.size == 0:
+            break
+        cand = np.unique(cand)
+        depth[cand] = level
+        frontier = cand
+    return depth
+
+
+def bfs_direction_optimizing(
+    graph: CSRGraph, source: int = 0, alpha: float = 4.0
+) -> np.ndarray:
+    """Direction-optimizing BFS (the Galois SyncTile role): switches from
+    push to bottom-up pull when the frontier grows large — the trick that
+    makes frameworks fast on low-diameter social networks."""
+    depth = np.full(graph.num_vertices, UNVISITED, dtype=np.int32)
+    depth[source] = 0
+    frontier = np.zeros(graph.num_vertices, dtype=bool)
+    frontier[source] = True
+    level = 0
+    degrees = np.diff(graph.indptr).astype(np.int64)
+    while frontier.any():
+        level += 1
+        frontier_edges = int(degrees[frontier].sum())
+        unvisited = depth == UNVISITED
+        if frontier_edges * alpha > int(degrees[unvisited].sum()):
+            # Bottom-up: every unvisited vertex scans its neighbors.
+            new_frontier = np.zeros_like(frontier)
+            for v in np.nonzero(unvisited)[0]:
+                nbrs = graph.neighbors(v)
+                if frontier[nbrs].any():
+                    depth[v] = level
+                    new_frontier[v] = True
+        else:
+            new_frontier = np.zeros_like(frontier)
+            for v in np.nonzero(frontier)[0]:
+                for u in graph.neighbors(v):
+                    if depth[u] == UNVISITED:
+                        depth[u] = level
+                        new_frontier[u] = True
+        frontier = new_frontier
+    return depth
+
+
+def bfs_reference(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Textbook queue BFS (ground truth for tests)."""
+    from collections import deque
+
+    depth = np.full(graph.num_vertices, UNVISITED, dtype=np.int32)
+    depth[source] = 0
+    q = deque([source])
+    while q:
+        v = q.popleft()
+        for u in graph.neighbors(v):
+            if depth[u] == UNVISITED:
+                depth[u] = depth[v] + 1
+                q.append(int(u))
+    return depth

@@ -1,0 +1,71 @@
+"""Sparse-matrix substrate: CSR containers and reference kernels
+(MKL sparse / CUSPARSE stand-ins)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CSRMatrix:
+    """Compressed-sparse-row matrix with the paper's SpMV layout
+    (Fig. 4: ``A_row``, ``A_col``, ``A_val``)."""
+
+    rows: int
+    cols: int
+    indptr: np.ndarray  # uint32, len rows+1
+    indices: np.ndarray  # uint32, len nnz
+    data: np.ndarray  # float32/64, len nnz
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @staticmethod
+    def random(
+        rows: int,
+        cols: int,
+        nnz_per_row: int,
+        dtype=np.float32,
+        seed: int = 42,
+    ) -> "CSRMatrix":
+        """Uniform random CSR with a fixed number of nonzeros per row
+        (the paper's 8192^2 matrix with 2^25 nnz is this shape)."""
+        rng = np.random.RandomState(seed)
+        nnz_per_row = min(nnz_per_row, cols)
+        indptr = np.arange(0, (rows + 1) * nnz_per_row, nnz_per_row, dtype=np.uint32)
+        indices = np.empty(rows * nnz_per_row, dtype=np.uint32)
+        for r in range(rows):
+            indices[r * nnz_per_row : (r + 1) * nnz_per_row] = np.sort(
+                rng.choice(cols, size=nnz_per_row, replace=False)
+            )
+        data = rng.rand(rows * nnz_per_row).astype(dtype)
+        return CSRMatrix(rows, cols, indptr, indices, data)
+
+    def to_scipy(self):
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=(self.rows, self.cols)
+        )
+
+    def spmv(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Vendor-library SpMV (SciPy's native CSR kernel plays MKL)."""
+        result = self.to_scipy() @ x
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+
+def spmv_reference_loops(csr: CSRMatrix, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain-loop SpMV (the naive-compiler baseline role)."""
+    for i in range(csr.rows):
+        acc = 0.0
+        for j in range(int(csr.indptr[i]), int(csr.indptr[i + 1])):
+            acc += csr.data[j] * x[csr.indices[j]]
+        b[i] = acc
+    return b

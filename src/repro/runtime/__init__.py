@@ -1,0 +1,21 @@
+"""Runtime infrastructure: argument handling, reference interpreter,
+machine models, and the analytic performance model.
+
+The paper's "thin runtime infrastructure" (Fig. 1) corresponds to the
+pieces here that support executing compiled SDFGs; additionally this
+package hosts the *reference interpreter*, a direct implementation of
+the operational semantics of Appendix A used to cross-validate the code
+generators, and the machine/performance models that stand in for the
+GPU and FPGA hardware of the paper's evaluation (see DESIGN.md §1).
+"""
+
+from repro.runtime.arguments import infer_symbols, validate_arguments
+from repro.runtime.interpreter import SDFGInterpreter
+from repro.runtime.streams import StreamQueue
+
+__all__ = [
+    "SDFGInterpreter",
+    "StreamQueue",
+    "infer_symbols",
+    "validate_arguments",
+]

@@ -1,0 +1,124 @@
+"""Invocation-argument handling: symbol inference and validation.
+
+DaCe programs are called with arrays whose concrete shapes determine the
+symbolic sizes (``Laplace(A=a, T=500)`` binds ``N = 2033`` from ``A``'s
+shape).  ``infer_symbols`` solves the symbolic shape expressions against
+the provided arrays; ``validate_arguments`` checks dtypes and
+consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.sdfg.data import Scalar, Stream
+from repro.symbolic import Expr, Integer, Symbol
+from repro.symbolic.sets import linear_coefficient
+
+
+class ArgumentError(TypeError):
+    """Raised on missing/inconsistent invocation arguments."""
+
+
+def infer_symbols(sdfg, arrays: Mapping[str, np.ndarray], symbols: Mapping[str, int]) -> Dict[str, int]:
+    """Infer free symbol values from concrete array shapes.
+
+    Handles the two shapes that occur in practice: a bare symbol dimension
+    (``N``) and an affine single-symbol dimension (``N + 1``, ``2*N``).
+    Explicitly passed ``symbols`` take precedence; inconsistencies raise.
+    """
+    bound: Dict[str, int] = dict(symbols)
+    for name, desc in sdfg.arrays.items():
+        if name not in arrays or isinstance(desc, Stream):
+            continue
+        arr = arrays[name]
+        shape = getattr(arr, "shape", None)
+        if shape is None:
+            continue
+        if isinstance(desc, Scalar):
+            continue
+        if len(shape) != len(desc.shape):
+            raise ArgumentError(
+                f"argument {name!r} has rank {len(shape)}, "
+                f"expected {len(desc.shape)}"
+            )
+        for concrete, symbolic in zip(shape, desc.shape):
+            _unify(symbolic, int(concrete), bound, name)
+    return bound
+
+
+def _unify(expr: Expr, value: int, bound: Dict[str, int], argname: str) -> None:
+    free = [s for s in expr.free_symbols if s.name not in bound]
+    if not free:
+        expected = expr.evaluate(bound)
+        if int(expected) != value:
+            raise ArgumentError(
+                f"argument {argname!r}: dimension {expr} = {expected} "
+                f"does not match provided size {value}"
+            )
+        return
+    if len(free) > 1:
+        return  # cannot solve multi-symbol dims; later args may bind them
+    sym = free[0]
+    coeff = linear_coefficient(expr, sym)
+    if coeff is None or not coeff.is_constant():
+        return
+    c = coeff.as_int()
+    d = expr.subs({sym: 0}).evaluate(bound)
+    if c == 0:
+        return
+    num = value - int(d)
+    if num % c != 0:
+        raise ArgumentError(
+            f"argument {argname!r}: cannot solve {expr} == {value} for {sym}"
+        )
+    bound[sym.name] = num // c
+
+
+def validate_arguments(sdfg, arrays: Mapping[str, Any], symbols: Mapping[str, int]) -> None:
+    """Check that every externally-visible container and free symbol is
+    provided and type-consistent."""
+    for name, desc in sdfg.arglist().items():
+        if isinstance(desc, Stream):
+            continue
+        if name not in arrays:
+            raise ArgumentError(f"missing argument {name!r}")
+        arr = arrays[name]
+        if isinstance(desc, Scalar):
+            continue
+        if not isinstance(arr, np.ndarray):
+            raise ArgumentError(f"argument {name!r} must be a numpy array")
+        if arr.dtype != desc.dtype.as_numpy():
+            raise ArgumentError(
+                f"argument {name!r} has dtype {arr.dtype}, "
+                f"expected {desc.dtype.name}"
+            )
+    for sym in sorted(sdfg.free_symbols()):
+        if sym not in symbols:
+            raise ArgumentError(f"unbound symbol {sym!r}; pass it as a keyword")
+
+
+def split_arguments(sdfg, kwargs: Mapping[str, Any]):
+    """Split keyword arguments into (arrays, symbols), inferring symbols."""
+    arrays: Dict[str, Any] = {}
+    symbols: Dict[str, int] = {}
+    for k, v in kwargs.items():
+        if k in sdfg.arrays:
+            arrays[k] = v
+        elif isinstance(v, (int, np.integer)):
+            symbols[k] = int(v)
+        elif isinstance(v, float) and v == int(v):
+            symbols[k] = int(v)
+        else:
+            raise ArgumentError(f"unexpected argument {k!r}")
+    symbols = infer_symbols(sdfg, arrays, symbols)
+    # Scalars may be passed as plain numbers; normalize to 0-d arrays here.
+    for name, desc in sdfg.arrays.items():
+        if isinstance(desc, Scalar) and name in arrays:
+            val = arrays[name]
+            if not isinstance(val, np.ndarray):
+                arrays[name] = np.full((1,), val, dtype=desc.dtype.as_numpy())
+    validate_arguments(sdfg, arrays, symbols)
+    return arrays, symbols

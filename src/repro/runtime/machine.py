@@ -1,0 +1,152 @@
+"""Machine models of the paper's experimental platforms (§6 setup).
+
+These descriptions parameterize the analytic performance model that
+stands in for the GPU and FPGA hardware of the paper's testbed (see
+DESIGN.md §1): an Intel Xeon E5-2650 v4 host, an NVIDIA Tesla P100 (and
+the V100 of Table 3), and a Xilinx VCU1525 board with an XCVU9P FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Roofline-style description of one execution platform."""
+
+    name: str
+    #: Peak double-precision floating-point rate [flop/s].
+    peak_flops_dp: float
+    #: Peak single-precision rate [flop/s].
+    peak_flops_sp: float
+    #: Main-memory bandwidth [byte/s].
+    mem_bandwidth: float
+    #: Sustained fraction of peak compute a tuned kernel reaches.
+    compute_efficiency: float = 0.85
+    #: Sustained fraction of peak bandwidth for streaming access.
+    bandwidth_efficiency: float = 0.80
+    #: Fraction of bandwidth retained under irregular (gather) access.
+    random_access_factor: float = 0.15
+    #: Host link (PCIe) bandwidth [byte/s]; None for the host itself.
+    pcie_bandwidth: Optional[float] = None
+    #: Fixed cost of launching one kernel / one parallel region [s].
+    launch_latency: float = 0.0
+    #: Number of independent compute units (cores / SMs / SLRs).
+    compute_units: int = 1
+    #: Last-level cache capacity [bytes] (locality credit for tiling).
+    llc_bytes: int = 0
+
+    def time_compute(self, flops: float, single_precision: bool = False) -> float:
+        peak = self.peak_flops_sp if single_precision else self.peak_flops_dp
+        return flops / (peak * self.compute_efficiency) if flops else 0.0
+
+    def time_memory(self, bytes_moved: float, random_access: bool = False) -> float:
+        bw = self.mem_bandwidth * self.bandwidth_efficiency
+        if random_access:
+            bw *= self.random_access_factor
+        return bytes_moved / bw if bytes_moved else 0.0
+
+    def time_transfer(self, bytes_moved: float) -> float:
+        if self.pcie_bandwidth is None or not bytes_moved:
+            return 0.0
+        return bytes_moved / self.pcie_bandwidth
+
+
+@dataclass(frozen=True)
+class FPGAModel:
+    """Pipeline model of a reconfigurable device (paper §3.3/§6: Maps
+    synthesize processing elements; Streams synthesize FIFOs)."""
+
+    name: str
+    clock_hz: float
+    #: DSP slices (bounds the number of parallel floating-point PEs).
+    dsp_slices: int
+    #: DSPs consumed by one double-precision multiply-add PE.
+    dsp_per_dp_op: int = 8
+    #: On-chip memory [bytes] (BRAM+URAM), bounds local buffers.
+    onchip_bytes: int = 43_000_000
+    #: Off-chip DDR bandwidth [byte/s] across all banks.
+    ddr_bandwidth: float = 76.8e9
+    #: Initiation interval of a naively-scheduled (unpipelined) operation
+    #: [cycles]: sequential HLS issues one op every II_naive cycles.
+    ii_naive: int = 40
+    #: Pipelined initiation interval [cycles/iteration].
+    ii_pipelined: int = 1
+
+    def time_naive(self, operations: float) -> float:
+        """Unoptimized HLS: fully sequential, one op per II_naive cycles.
+
+        This is the paper's 'naive HLS code' baseline, which SDFGs beat
+        by up to five orders of magnitude (§1, §6.1)."""
+        return operations * self.ii_naive / self.clock_hz
+
+    def time_pipelined(self, iterations: float, num_pes: int = 1) -> float:
+        """Pipelined (II=1) execution over ``num_pes`` parallel PEs."""
+        pes = max(1, min(num_pes, self.max_parallel_pes()))
+        return iterations * self.ii_pipelined / (self.clock_hz * pes)
+
+    def time_memory(self, bytes_moved: float) -> float:
+        return bytes_moved / self.ddr_bandwidth if bytes_moved else 0.0
+
+    def max_parallel_pes(self) -> int:
+        return max(1, self.dsp_slices // self.dsp_per_dp_op)
+
+
+#: Intel Xeon E5-2650 v4: 12 cores @ 2.2 GHz, AVX2 FMA
+#: (12 x 2.2e9 x 16 DP flop/cycle), 4-channel DDR4-2400.
+XEON_E5_2650V4 = MachineModel(
+    name="Intel Xeon E5-2650 v4",
+    peak_flops_dp=422.4e9,
+    peak_flops_sp=844.8e9,
+    mem_bandwidth=76.8e9,
+    compute_efficiency=0.80,
+    bandwidth_efficiency=0.80,
+    launch_latency=5e-6,  # OpenMP parallel region fork/join
+    compute_units=12,
+    llc_bytes=30 * 1024 * 1024,
+)
+
+#: NVIDIA Tesla P100 (16 GB HBM2, PCIe).
+TESLA_P100 = MachineModel(
+    name="NVIDIA Tesla P100",
+    peak_flops_dp=4.7e12,
+    peak_flops_sp=9.3e12,
+    mem_bandwidth=732e9,
+    compute_efficiency=0.80,
+    bandwidth_efficiency=0.75,
+    pcie_bandwidth=12.0e9,
+    launch_latency=6e-6,
+    compute_units=56,
+    llc_bytes=4 * 1024 * 1024,
+)
+
+#: NVIDIA Tesla V100 (Table 3's second platform).
+TESLA_V100 = MachineModel(
+    name="NVIDIA Tesla V100",
+    peak_flops_dp=7.8e12,
+    peak_flops_sp=15.7e12,
+    mem_bandwidth=900e9,
+    compute_efficiency=0.80,
+    bandwidth_efficiency=0.78,
+    pcie_bandwidth=12.0e9,
+    launch_latency=5e-6,
+    compute_units=80,
+    llc_bytes=6 * 1024 * 1024,
+)
+
+#: Xilinx XCVU9P on the VCU1525 board (4x DDR4-2400 banks).
+XCVU9P = FPGAModel(
+    name="Xilinx XCVU9P (VCU1525)",
+    clock_hz=300e6,
+    dsp_slices=6840,
+    ddr_bandwidth=4 * 19.2e9,
+)
+
+MACHINES: Dict[str, object] = {
+    "cpu": XEON_E5_2650V4,
+    "gpu": TESLA_P100,
+    "gpu_v100": TESLA_V100,
+    "fpga": XCVU9P,
+}

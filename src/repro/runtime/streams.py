@@ -1,0 +1,90 @@
+"""Stream container runtime: arrays of concurrent FIFO queues (paper §3.1)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+
+class StreamQueue:
+    """One FIFO queue with optional bounded capacity.
+
+    Tasklet code interacts with streams through this object: ``push``
+    enqueues (the write direction of a stream memlet), ``pop`` dequeues.
+    Assigning to a stream-bound output connector is equivalent to a
+    single ``push``.
+    """
+
+    __slots__ = ("_q", "capacity")
+
+    def __init__(self, capacity: int = 0, items: Optional[Iterable] = None):
+        self._q: Deque = deque(items or ())
+        self.capacity = capacity
+
+    def push(self, *values) -> None:
+        for v in values:
+            if self.capacity and len(self._q) >= self.capacity:
+                raise RuntimeError(
+                    f"stream overflow (capacity {self.capacity}); on FPGA this "
+                    "would deadlock the pipeline"
+                )
+            self._q.append(v)
+
+    # DaCe-compatible aliases
+    append = push
+    write = push
+
+    def pop(self):
+        if not self._q:
+            raise RuntimeError("pop from empty stream")
+        return self._q.popleft()
+
+    read = pop
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    def __iter__(self):
+        return iter(self._q)
+
+    def clear(self) -> None:
+        self._q.clear()
+
+    def __repr__(self) -> str:
+        return f"StreamQueue(len={len(self._q)}, capacity={self.capacity})"
+
+
+class StreamArray:
+    """A multi-dimensional array of :class:`StreamQueue` (flattened)."""
+
+    def __init__(self, shape: Tuple[int, ...], capacity: int = 0):
+        self.shape = shape
+        total = 1
+        for s in shape:
+            total *= int(s)
+        self.queues: List[StreamQueue] = [StreamQueue(capacity) for _ in range(total)]
+
+    def _flat_index(self, idx: Tuple[int, ...]) -> int:
+        if len(idx) != len(self.shape):
+            raise IndexError(f"stream index {idx} does not match shape {self.shape}")
+        flat = 0
+        for i, (x, s) in enumerate(zip(idx, self.shape)):
+            flat = flat * int(s) + int(x)
+        return flat
+
+    def __getitem__(self, idx) -> StreamQueue:
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        return self.queues[self._flat_index(idx)]
+
+    def total_elements(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def any_nonempty(self) -> bool:
+        return any(self.queues)
+
+    def __repr__(self) -> str:
+        return f"StreamArray(shape={self.shape}, total={self.total_elements()})"

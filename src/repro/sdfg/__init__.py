@@ -1,0 +1,70 @@
+"""The Stateful Dataflow Multigraph intermediate representation.
+
+This package implements the IR of the paper's §3 and Appendix A: a
+directed graph of directed acyclic multigraphs.  See
+:class:`~repro.sdfg.sdfg.SDFG` (the state machine),
+:class:`~repro.sdfg.state.SDFGState` (one dataflow multigraph),
+:mod:`~repro.sdfg.nodes` (Table 1's node taxonomy), and
+:class:`~repro.sdfg.memlet.Memlet` (data-movement descriptors).
+"""
+
+from repro.sdfg import dtypes
+from repro.sdfg.data import Array, Data, Scalar, Stream
+from repro.sdfg.dtypes import (
+    Language,
+    ReductionType,
+    ScheduleType,
+    StorageType,
+    typeclass,
+)
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import (
+    AccessNode,
+    Consume,
+    ConsumeEntry,
+    ConsumeExit,
+    EntryNode,
+    ExitNode,
+    Map,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Node,
+    Reduce,
+    Tasklet,
+)
+from repro.sdfg.sdfg import SDFG, InterstateEdge
+from repro.sdfg.state import SDFGState
+from repro.sdfg.validation import InvalidSDFGError, validate_sdfg
+
+__all__ = [
+    "SDFG",
+    "AccessNode",
+    "Array",
+    "Consume",
+    "ConsumeEntry",
+    "ConsumeExit",
+    "Data",
+    "EntryNode",
+    "ExitNode",
+    "InterstateEdge",
+    "InvalidSDFGError",
+    "Language",
+    "Map",
+    "MapEntry",
+    "MapExit",
+    "Memlet",
+    "NestedSDFG",
+    "Node",
+    "Reduce",
+    "ReductionType",
+    "Scalar",
+    "ScheduleType",
+    "SDFGState",
+    "StorageType",
+    "Stream",
+    "Tasklet",
+    "dtypes",
+    "typeclass",
+    "validate_sdfg",
+]

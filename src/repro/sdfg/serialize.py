@@ -1,0 +1,297 @@
+"""JSON (de)serialization of SDFGs.
+
+Serialized SDFGs are what DIODE-style tooling exchanges and what
+"optimization version control" snapshots; the format is a plain
+dictionary so it can be stored, diffed, and inspected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.sdfg import dtypes
+from repro.sdfg.data import Array, Data, Scalar, Stream
+from repro.sdfg.dtypes import Language, ScheduleType, StorageType, dtype_from_name
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import (
+    AccessNode,
+    Consume,
+    ConsumeEntry,
+    ConsumeExit,
+    Map,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Node,
+    Reduce,
+    Tasklet,
+)
+from repro.sdfg.state import SDFGState
+from repro.symbolic import Subset
+
+
+def _subset_to_json(s):
+    return str(s) if s is not None else None
+
+
+def _subset_from_json(s):
+    return Subset.from_string(s) if s is not None else None
+
+
+def memlet_to_json(m: Memlet) -> Dict[str, Any]:
+    return {
+        "data": m.data,
+        "subset": _subset_to_json(m.subset),
+        "other_subset": _subset_to_json(m.other_subset),
+        "volume": str(m._volume) if m._volume is not None else None,
+        "dynamic": m.dynamic,
+        "wcr": m.wcr,
+    }
+
+
+def memlet_from_json(obj: Dict[str, Any]) -> Memlet:
+    return Memlet(
+        data=obj["data"],
+        subset=_subset_from_json(obj["subset"]),
+        other_subset=_subset_from_json(obj["other_subset"]),
+        volume=obj["volume"],
+        dynamic=obj["dynamic"],
+        wcr=obj["wcr"],
+    )
+
+
+def data_to_json(desc: Data) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "type": type(desc).__name__,
+        "dtype": desc.dtype.name,
+        "shape": [str(s) for s in desc.shape],
+        "transient": desc.transient,
+        "storage": desc.storage.name,
+    }
+    if isinstance(desc, Array):
+        out["strides"] = [str(s) for s in desc.strides]
+    if isinstance(desc, Stream):
+        out["buffer_size"] = str(desc.buffer_size)
+    return out
+
+
+def data_from_json(obj: Dict[str, Any]) -> Data:
+    dtype = dtype_from_name(obj["dtype"])
+    storage = StorageType[obj["storage"]]
+    kind = obj["type"]
+    if kind == "Array":
+        return Array(dtype, obj["shape"], obj["transient"], storage, obj.get("strides"))
+    if kind == "Scalar":
+        return Scalar(dtype, obj["transient"], storage)
+    if kind == "Stream":
+        return Stream(
+            dtype, obj["shape"], int(obj.get("buffer_size", "0")), obj["transient"], storage
+        )
+    raise ValueError(f"unknown descriptor type {kind!r}")
+
+
+def node_to_json(node: Node) -> Dict[str, Any]:
+    base = {
+        "in_connectors": sorted(node.in_connectors),
+        "out_connectors": sorted(node.out_connectors),
+    }
+    if isinstance(node, AccessNode):
+        return {"type": "AccessNode", "data": node.data, **base}
+    if isinstance(node, Tasklet):
+        return {
+            "type": "Tasklet",
+            "name": node.name,
+            "code": node.code,
+            "language": node.language.name,
+            "code_global": node.code_global,
+            **base,
+        }
+    if isinstance(node, (MapEntry, MapExit)):
+        return {
+            "type": type(node).__name__,
+            "label": node.map.label,
+            "params": node.map.params,
+            "range": str(node.map.range),
+            "schedule": node.map.schedule.name,
+            "unroll": node.map.unroll,
+            "vectorized": node.map.vectorized,
+            **base,
+        }
+    if isinstance(node, (ConsumeEntry, ConsumeExit)):
+        return {
+            "type": type(node).__name__,
+            "label": node.consume.label,
+            "pe_param": node.consume.pe_param,
+            "num_pes": str(node.consume.num_pes),
+            "condition": node.consume.condition,
+            "schedule": node.consume.schedule.name,
+            **base,
+        }
+    if isinstance(node, Reduce):
+        return {
+            "type": "Reduce",
+            "name": node.name,
+            "wcr": node.wcr,
+            "axes": list(node.axes) if node.axes is not None else None,
+            "identity": node.identity,
+            **base,
+        }
+    if isinstance(node, NestedSDFG):
+        return {
+            "type": "NestedSDFG",
+            "name": node.name,
+            "sdfg": sdfg_to_json(node.sdfg),
+            "symbol_mapping": {k: str(v) for k, v in node.symbol_mapping.items()},
+            **base,
+        }
+    raise ValueError(f"cannot serialize node {node!r}")
+
+
+def _restore_connectors(node: Node, obj: Dict[str, Any]) -> Node:
+    node.in_connectors = set(obj.get("in_connectors", ()))
+    node.out_connectors = set(obj.get("out_connectors", ()))
+    return node
+
+
+def node_from_json(obj: Dict[str, Any], scope_cache: Dict[str, Any]) -> Node:
+    kind = obj["type"]
+    if kind == "AccessNode":
+        return _restore_connectors(AccessNode(obj["data"]), obj)
+    if kind == "Tasklet":
+        return _restore_connectors(
+            Tasklet(
+                obj["name"],
+                code=obj["code"],
+                language=Language[obj["language"]],
+                code_global=obj.get("code_global", ""),
+            ),
+            obj,
+        )
+    if kind in ("MapEntry", "MapExit"):
+        # Entry/exit pairs must share one Map object; key on label+range.
+        key = ("map", obj["label"], obj["range"], tuple(obj["params"]))
+        if key not in scope_cache:
+            scope_cache[key] = Map(
+                obj["label"],
+                obj["params"],
+                obj["range"],
+                ScheduleType[obj["schedule"]],
+                obj.get("unroll", False),
+                obj.get("vectorized", False),
+            )
+        cls = MapEntry if kind == "MapEntry" else MapExit
+        return _restore_connectors(cls(scope_cache[key]), obj)
+    if kind in ("ConsumeEntry", "ConsumeExit"):
+        key = ("consume", obj["label"], obj["num_pes"])
+        if key not in scope_cache:
+            scope_cache[key] = Consume(
+                obj["label"],
+                obj["pe_param"],
+                obj["num_pes"],
+                obj.get("condition"),
+                ScheduleType[obj["schedule"]],
+            )
+        cls = ConsumeEntry if kind == "ConsumeEntry" else ConsumeExit
+        return _restore_connectors(cls(scope_cache[key]), obj)
+    if kind == "Reduce":
+        axes = obj["axes"]
+        return _restore_connectors(
+            Reduce(obj["wcr"], axes, obj.get("identity"), obj["name"]), obj
+        )
+    if kind == "NestedSDFG":
+        inner = sdfg_from_json(obj["sdfg"])
+        node = NestedSDFG(
+            obj["name"],
+            inner,
+            obj.get("in_connectors", ()),
+            obj.get("out_connectors", ()),
+            obj.get("symbol_mapping", {}),
+        )
+        return _restore_connectors(node, obj)
+    raise ValueError(f"unknown node type {kind!r}")
+
+
+def state_to_json(state: SDFGState) -> Dict[str, Any]:
+    nodes = state.nodes()
+    index = {id(n): i for i, n in enumerate(nodes)}
+    return {
+        "name": state.name,
+        "nodes": [node_to_json(n) for n in nodes],
+        "edges": [
+            {
+                "src": index[id(e.src)],
+                "dst": index[id(e.dst)],
+                "src_conn": e.src_conn,
+                "dst_conn": e.dst_conn,
+                "memlet": memlet_to_json(e.data),
+            }
+            for e in state.edges()
+        ],
+    }
+
+
+def state_from_json(obj: Dict[str, Any], sdfg) -> SDFGState:
+    state = SDFGState(obj["name"], sdfg)
+    scope_cache: Dict[str, Any] = {}
+    nodes = [node_from_json(n, scope_cache) for n in obj["nodes"]]
+    for n in nodes:
+        state.add_node(n)
+    for e in obj["edges"]:
+        state.add_edge(
+            nodes[e["src"]],
+            nodes[e["dst"]],
+            memlet_from_json(e["memlet"]),
+            e["src_conn"],
+            e["dst_conn"],
+        )
+    return state
+
+
+def sdfg_to_json(sdfg) -> Dict[str, Any]:
+    states = sdfg.nodes()
+    index = {id(s): i for i, s in enumerate(states)}
+    return {
+        "name": sdfg.name,
+        "arrays": {name: data_to_json(d) for name, d in sdfg.arrays.items()},
+        "symbols": {name: t.name for name, t in sdfg.symbols.items()},
+        "constants": dict(sdfg.constants),
+        "start_state": (
+            index[id(sdfg.start_state)] if sdfg.start_state is not None else None
+        ),
+        "states": [state_to_json(s) for s in states],
+        "transitions": [
+            {
+                "src": index[id(e.src)],
+                "dst": index[id(e.dst)],
+                "condition": str(e.data.condition),
+                "assignments": {k: str(v) for k, v in e.data.assignments.items()},
+            }
+            for e in sdfg.edges()
+        ],
+        "transformation_history": list(sdfg.transformation_history),
+    }
+
+
+def sdfg_from_json(obj: Dict[str, Any]):
+    from repro.sdfg.sdfg import SDFG, InterstateEdge
+
+    sdfg = SDFG(
+        obj["name"],
+        symbols={k: dtype_from_name(v) for k, v in obj["symbols"].items()},
+        constants=obj.get("constants", {}),
+    )
+    for name, dobj in obj["arrays"].items():
+        sdfg.arrays[name] = data_from_json(dobj)
+    states = [state_from_json(s, sdfg) for s in obj["states"]]
+    for s in states:
+        sdfg.add_node(s)
+    if obj["start_state"] is not None:
+        sdfg.start_state = states[obj["start_state"]]
+    for t in obj["transitions"]:
+        sdfg.add_edge(
+            states[t["src"]],
+            states[t["dst"]],
+            InterstateEdge(t["condition"], t["assignments"]),
+        )
+    sdfg.transformation_history = list(obj.get("transformation_history", ()))
+    return sdfg

@@ -1,0 +1,373 @@
+"""SDFG states: named acyclic dataflow multigraphs (paper §3, App. A.1).
+
+A state's nodes are containers and computation; its edges carry memlets.
+Execution order within a state is constrained only by dataflow.  This
+module provides the builder API used by frontends and transformations
+(`add_tasklet`, `add_map`, `add_memlet_path`, `add_mapped_tasklet`, ...)
+and the structural queries the rest of the system relies on
+(`scope_dict`, `memlet_path`, `scope_subgraph`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.graph import Edge, OrderedMultiDiGraph, topological_sort
+from repro.sdfg.dtypes import Language, ScheduleType
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import (
+    AccessNode,
+    Consume,
+    ConsumeEntry,
+    ConsumeExit,
+    EntryNode,
+    ExitNode,
+    Map,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Node,
+    Reduce,
+    Tasklet,
+)
+from repro.symbolic import Subset
+
+
+class SDFGState(OrderedMultiDiGraph[Node, Memlet]):
+    """One state of an SDFG: an acyclic multigraph of dataflow."""
+
+    def __init__(self, name: str, sdfg=None):
+        super().__init__()
+        self.name = name
+        self.sdfg = sdfg
+
+    # ------------------------------------------------------------------ builders
+    def add_access(self, data: str) -> AccessNode:
+        node = AccessNode(data)
+        self.add_node(node)
+        return node
+
+    # Reads and writes are both plain access nodes; separate helpers keep
+    # call sites self-documenting and allow reuse of an existing node.
+    add_read = add_access
+    add_write = add_access
+
+    def add_tasklet(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        code: str,
+        language: Language = Language.Python,
+        code_global: str = "",
+    ) -> Tasklet:
+        t = Tasklet(name, tuple(inputs), tuple(outputs), code, language, code_global)
+        self.add_node(t)
+        return t
+
+    def add_map(
+        self,
+        name: str,
+        ndrange: Union[Mapping[str, Union[str, object]], str],
+        schedule: ScheduleType = ScheduleType.Default,
+        unroll: bool = False,
+    ) -> Tuple[MapEntry, MapExit]:
+        """Create a Map scope.  ``ndrange`` maps parameter names to range
+        strings (``{"i": "0:N", "j": "0:M"}``)."""
+        if isinstance(ndrange, str):
+            raise TypeError("ndrange must be a mapping of param -> range string")
+        params = list(ndrange.keys())
+        rng = Subset.from_string(", ".join(str(v) for v in ndrange.values()))
+        m = Map(name, params, rng, schedule, unroll)
+        entry, exit_ = MapEntry(m), MapExit(m)
+        self.add_node(entry)
+        self.add_node(exit_)
+        return entry, exit_
+
+    def add_consume(
+        self,
+        name: str,
+        pe_tuple: Tuple[str, Union[int, str]],
+        condition: Optional[str] = None,
+        schedule: ScheduleType = ScheduleType.Default,
+    ) -> Tuple[ConsumeEntry, ConsumeExit]:
+        param, num_pes = pe_tuple
+        c = Consume(name, param, num_pes, condition, schedule)
+        entry, exit_ = ConsumeEntry(c), ConsumeExit(c)
+        self.add_node(entry)
+        self.add_node(exit_)
+        return entry, exit_
+
+    def add_reduce(
+        self,
+        wcr: str,
+        axes: Optional[Sequence[int]] = None,
+        identity=None,
+        label: str = "reduce",
+    ) -> Reduce:
+        r = Reduce(wcr, axes, identity, label)
+        self.add_node(r)
+        return r
+
+    def add_nested_sdfg(
+        self,
+        sdfg,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        symbol_mapping: Optional[Mapping] = None,
+        name: Optional[str] = None,
+    ) -> NestedSDFG:
+        node = NestedSDFG(
+            name or sdfg.name, sdfg, tuple(inputs), tuple(outputs), symbol_mapping
+        )
+        sdfg.parent = self
+        self.add_node(node)
+        return node
+
+    def add_memlet_edge(
+        self,
+        src: Node,
+        src_conn: Optional[str],
+        dst: Node,
+        dst_conn: Optional[str],
+        memlet: Memlet,
+    ) -> Edge:
+        """Add a single dataflow edge, registering scope connectors."""
+        if src_conn is not None and isinstance(src, (EntryNode, ExitNode, Reduce)):
+            src.add_out_connector(src_conn)
+        if dst_conn is not None and isinstance(dst, (EntryNode, ExitNode, Reduce)):
+            dst.add_in_connector(dst_conn)
+        return self.add_edge(src, dst, memlet, src_conn, dst_conn)
+
+    def add_nedge(self, src: Node, dst: Node, memlet: Optional[Memlet] = None) -> Edge:
+        """Connector-less edge (e.g. empty-memlet ordering dependencies)."""
+        return self.add_edge(src, dst, memlet or Memlet.empty(), None, None)
+
+    def add_memlet_path(
+        self,
+        *path_nodes: Node,
+        memlet: Memlet,
+        src_conn: Optional[str] = None,
+        dst_conn: Optional[str] = None,
+    ) -> List[Edge]:
+        """Connect ``path_nodes`` with a chain of edges carrying ``memlet``.
+
+        Scope nodes along the path automatically receive fresh paired
+        ``IN_k``/``OUT_k`` connectors so the memlet is relayed across
+        scope boundaries; outer segments are later tightened by memlet
+        propagation.
+        """
+        if len(path_nodes) < 2:
+            raise ValueError("memlet path needs at least two nodes")
+        edges: List[Edge] = []
+        # Connector to leave each intermediate scope node through.
+        pending_out_conn: Optional[str] = None
+        for i in range(len(path_nodes) - 1):
+            s, d = path_nodes[i], path_nodes[i + 1]
+            sc: Optional[str] = None
+            dc: Optional[str] = None
+            if i == 0:
+                sc = src_conn
+            elif isinstance(s, (EntryNode, ExitNode)):
+                sc = pending_out_conn
+                if sc is not None:
+                    s.add_out_connector(sc)
+            if i == len(path_nodes) - 2:
+                dc = dst_conn
+                if isinstance(d, (EntryNode, ExitNode)) and dc is None:
+                    # Terminating at a scope node: allocate a fresh pair so a
+                    # later path segment can continue from OUT_k.
+                    inc = d.next_in_connector()
+                    d.add_in_connector(inc)
+                    dc = inc
+            if isinstance(d, (EntryNode, ExitNode)) and i < len(path_nodes) - 2:
+                inc = d.next_in_connector()
+                d.add_in_connector(inc)
+                dc = inc
+                pending_out_conn = "OUT_" + inc[len("IN_") :]
+            edges.append(self.add_edge(s, d, memlet.clone(), sc, dc))
+        return edges
+
+    def add_mapped_tasklet(
+        self,
+        name: str,
+        map_ranges: Mapping[str, str],
+        inputs: Mapping[str, Memlet],
+        code: str,
+        outputs: Mapping[str, Memlet],
+        schedule: ScheduleType = ScheduleType.Default,
+        external_edges: bool = True,
+        input_nodes: Optional[Mapping[str, AccessNode]] = None,
+        output_nodes: Optional[Mapping[str, AccessNode]] = None,
+        language: Language = Language.Python,
+    ) -> Tuple[Tasklet, MapEntry, MapExit]:
+        """One-call construction of the ubiquitous map-over-tasklet motif."""
+        entry, exit_ = self.add_map(name, map_ranges, schedule)
+        tasklet = self.add_tasklet(name, inputs.keys(), outputs.keys(), code, language)
+        input_nodes = dict(input_nodes or {})
+        output_nodes = dict(output_nodes or {})
+
+        if not inputs:
+            self.add_nedge(entry, tasklet)
+        for conn, mem in inputs.items():
+            if external_edges:
+                src = input_nodes.get(mem.data) or self.add_read(mem.data)
+                input_nodes.setdefault(mem.data, src)
+                self.add_memlet_path(src, entry, tasklet, memlet=mem, dst_conn=conn)
+            else:
+                self.add_memlet_path(entry, tasklet, memlet=mem, dst_conn=conn)
+        if not outputs:
+            self.add_nedge(tasklet, exit_)
+        for conn, mem in outputs.items():
+            if external_edges:
+                dst = output_nodes.get(mem.data) or self.add_write(mem.data)
+                output_nodes.setdefault(mem.data, dst)
+                self.add_memlet_path(tasklet, exit_, dst, memlet=mem, src_conn=conn)
+            else:
+                self.add_memlet_path(tasklet, exit_, memlet=mem, src_conn=conn)
+        return tasklet, entry, exit_
+
+    # ------------------------------------------------------------------- queries
+    def data_nodes(self) -> List[AccessNode]:
+        return [n for n in self.nodes() if isinstance(n, AccessNode)]
+
+    def entry_nodes(self) -> List[EntryNode]:
+        return [n for n in self.nodes() if isinstance(n, EntryNode)]
+
+    def exit_node(self, entry: EntryNode) -> ExitNode:
+        """The unique exit node closing ``entry``'s scope."""
+        key = entry.map if isinstance(entry, MapEntry) else entry.consume
+        for n in self.nodes():
+            if isinstance(n, ExitNode):
+                nkey = n.map if isinstance(n, MapExit) else n.consume
+                if nkey is key:
+                    return n
+        raise KeyError(f"no exit node for {entry!r}")
+
+    def entry_node_of(self, exit_: ExitNode) -> EntryNode:
+        key = exit_.map if isinstance(exit_, MapExit) else exit_.consume
+        for n in self.nodes():
+            if isinstance(n, EntryNode):
+                nkey = n.map if isinstance(n, MapEntry) else n.consume
+                if nkey is key:
+                    return n
+        raise KeyError(f"no entry node for {exit_!r}")
+
+    def scope_dict(self) -> Dict[Node, Optional[EntryNode]]:
+        """Map each node to its innermost enclosing scope entry (or None).
+
+        Scope membership follows the paper's definition: the subgraph
+        dominated by the entry and post-dominated by the exit.  Exit
+        nodes belong to their own scope (scope_dict[exit] = entry).
+        """
+        scope: Dict[Node, Optional[EntryNode]] = {}
+        for node in topological_sort(self):
+            in_edges = self.in_edges(node)
+            if not in_edges:
+                scope.setdefault(node, None)
+                continue
+            parents = set()
+            for e in in_edges:
+                src = e.src
+                if isinstance(src, EntryNode):
+                    if isinstance(node, ExitNode) and self._matching(src, node):
+                        parents.add(scope.get(src))
+                    else:
+                        parents.add(src)
+                elif isinstance(src, ExitNode):
+                    entry = self.entry_node_of(src)
+                    parents.add(scope.get(entry))
+                else:
+                    parents.add(scope.get(src))
+            if len(parents) > 1:
+                raise ValueError(
+                    f"node {node!r} has inconsistent scopes: {parents}"
+                )
+            scope[node] = parents.pop() if parents else None
+        return scope
+
+    @staticmethod
+    def _matching(entry: EntryNode, exit_: ExitNode) -> bool:
+        ek = entry.map if isinstance(entry, MapEntry) else entry.consume
+        xk = exit_.map if isinstance(exit_, MapExit) else exit_.consume
+        return ek is xk
+
+    def scope_children(self) -> Dict[Optional[EntryNode], List[Node]]:
+        """Inverse of :meth:`scope_dict`: entry -> nodes directly inside."""
+        out: Dict[Optional[EntryNode], List[Node]] = {None: []}
+        sd = self.scope_dict()
+        for node in self.nodes():
+            out.setdefault(sd.get(node), []).append(node)
+        for entry in self.entry_nodes():
+            out.setdefault(entry, [])
+        return out
+
+    def scope_subgraph(
+        self, entry: EntryNode, include_scope_nodes: bool = True
+    ) -> List[Node]:
+        """All nodes in ``entry``'s scope, nested scopes included."""
+        sd = self.scope_dict()
+        result: List[Node] = []
+        for node in self.nodes():
+            anc = sd.get(node)
+            while anc is not None:
+                if anc is entry:
+                    result.append(node)
+                    break
+                anc = sd.get(anc)
+        if include_scope_nodes:
+            return [entry] + result
+        exit_ = self.exit_node(entry)
+        return [n for n in result if n is not exit_]
+
+    def memlet_path(self, edge: Edge) -> List[Edge]:
+        """The full relay chain of ``edge`` through scope connectors.
+
+        Walks backward over ``OUT_k -> IN_k`` pairs to the originating
+        node and forward to the final consumer.  Raises on ambiguous
+        fan-out (use the per-branch edges directly in that case).
+        """
+        chain: List[Edge] = [edge]
+        # Backward.
+        cur = edge
+        while isinstance(cur.src, (EntryNode, ExitNode)) and cur.src_conn:
+            if not cur.src_conn.startswith("OUT_"):
+                break
+            in_conn = "IN_" + cur.src_conn[len("OUT_") :]
+            cands = [e for e in self.in_edges(cur.src) if e.dst_conn == in_conn]
+            if not cands:
+                break
+            cur = cands[0]
+            chain.insert(0, cur)
+        # Forward.
+        cur = edge
+        while isinstance(cur.dst, (EntryNode, ExitNode)) and cur.dst_conn:
+            if not cur.dst_conn.startswith("IN_"):
+                break
+            out_conn = "OUT_" + cur.dst_conn[len("IN_") :]
+            cands = [e for e in self.out_edges(cur.dst) if e.src_conn == out_conn]
+            if not cands:
+                break
+            if len(cands) > 1:
+                raise ValueError(
+                    f"memlet path of {edge!r} fans out at {cur.dst!r}; "
+                    "treat branches individually"
+                )
+            cur = cands[0]
+            chain.append(cur)
+        return chain
+
+    def in_edges_by_connector(self, node: Node, conn: str) -> List[Edge]:
+        return [e for e in self.in_edges(node) if e.dst_conn == conn]
+
+    def out_edges_by_connector(self, node: Node, conn: str) -> List[Edge]:
+        return [e for e in self.out_edges(node) if e.src_conn == conn]
+
+    def degree_report(self) -> str:
+        return (
+            f"state {self.name}: {self.number_of_nodes()} nodes, "
+            f"{self.number_of_edges()} edges"
+        )
+
+    def __repr__(self) -> str:
+        return f"SDFGState({self.name!r})"

@@ -1,0 +1,293 @@
+"""SDFG validation (paper §4.3, compilation step ❶'s validation pass).
+
+Checks that scopes are correctly structured, memlets are connected
+properly, and map schedules / data storage locations are feasible
+(failing when, e.g., FPGA-resident data is accessed inside a GPU map).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.graph import CycleError, topological_sort
+from repro.sdfg.data import Stream
+from repro.sdfg.dtypes import STORAGE_ACCESSIBLE_FROM, ScheduleType, StorageType
+from repro.sdfg.nodes import (
+    AccessNode,
+    ConsumeEntry,
+    EntryNode,
+    ExitNode,
+    MapEntry,
+    NestedSDFG,
+    Node,
+    Reduce,
+    Tasklet,
+)
+from repro.sdfg.state import SDFGState
+
+
+class InvalidSDFGError(Exception):
+    """Raised when an SDFG fails validation."""
+
+    def __init__(self, message: str, sdfg=None, state=None, node=None):
+        self.sdfg = sdfg
+        self.state = state
+        self.node = node
+        loc = ""
+        if state is not None:
+            loc += f" [state {state.name}]"
+        if node is not None:
+            loc += f" [node {node!r}]"
+        super().__init__(message + loc)
+
+
+def validate_sdfg(sdfg) -> None:
+    """Validate the full SDFG, recursing into nested SDFGs."""
+    if sdfg.number_of_nodes() == 0:
+        raise InvalidSDFGError("SDFG has no states", sdfg)
+    if sdfg.start_state is None or sdfg.start_state not in sdfg:
+        raise InvalidSDFGError("SDFG has no start state", sdfg)
+
+    names = [s.name for s in sdfg.nodes()]
+    if len(set(names)) != len(names):
+        raise InvalidSDFGError(f"duplicate state names: {names}", sdfg)
+
+    for state in sdfg.nodes():
+        validate_state(sdfg, state)
+
+    # Interstate edges may only assign to symbols, not container names.
+    for e in sdfg.edges():
+        for target in e.data.assignments:
+            if target in sdfg.arrays:
+                raise InvalidSDFGError(
+                    f"interstate assignment to container {target!r}", sdfg
+                )
+
+
+def validate_state(sdfg, state: SDFGState) -> None:
+    # ❶ acyclicity
+    try:
+        topological_sort(state)
+    except CycleError as err:
+        raise InvalidSDFGError("state dataflow graph is cyclic", sdfg, state) from err
+
+    # ❷ node-level checks
+    for node in state.nodes():
+        _validate_node(sdfg, state, node)
+
+    # ❸ edge/memlet checks
+    for e in state.edges():
+        _validate_edge(sdfg, state, e)
+
+    # ❹ scope structure (raises on inconsistency) + schedule/storage feasibility
+    try:
+        sd = state.scope_dict()
+    except (ValueError, KeyError) as err:
+        raise InvalidSDFGError(f"malformed scopes: {err}", sdfg, state) from err
+    _validate_storage(sdfg, state, sd)
+
+    # ❺ every entry has exactly one matching exit
+    for entry in state.entry_nodes():
+        try:
+            state.exit_node(entry)
+        except KeyError as err:
+            raise InvalidSDFGError(
+                "scope entry without matching exit", sdfg, state, entry
+            ) from err
+
+
+def _validate_node(sdfg, state: SDFGState, node: Node) -> None:
+    if isinstance(node, AccessNode):
+        if node.data not in sdfg.arrays:
+            raise InvalidSDFGError(
+                f"access node references undefined container {node.data!r}",
+                sdfg,
+                state,
+                node,
+            )
+        return
+
+    if isinstance(node, Tasklet):
+        # Tasklets may not reference external memory without memlets: all
+        # loaded names must be connectors, scope parameters, or symbols.
+        defined = _symbols_defined_at(sdfg, state, node)
+        for name in node.free_symbols():
+            if name not in defined and name not in sdfg.constants:
+                raise InvalidSDFGError(
+                    f"tasklet accesses name {name!r} without a memlet "
+                    "(undeclared symbol or external memory)",
+                    sdfg,
+                    state,
+                    node,
+                )
+        # Connected edges must target declared connectors.
+        for e in state.in_edges(node):
+            if e.dst_conn is None and not e.data.is_empty():
+                raise InvalidSDFGError(
+                    "dataflow into tasklet without a connector", sdfg, state, node
+                )
+        for e in state.out_edges(node):
+            if e.src_conn is None and not e.data.is_empty():
+                raise InvalidSDFGError(
+                    "dataflow out of tasklet without a connector", sdfg, state, node
+                )
+        if not state.out_edges(node) and node.out_connectors:
+            raise InvalidSDFGError(
+                "tasklet declares outputs but has no outgoing edges",
+                sdfg,
+                state,
+                node,
+            )
+        return
+
+    if isinstance(node, NestedSDFG):
+        # Recurse; nested SDFG must not recurse into itself (paper §3.4).
+        if node.sdfg is sdfg:
+            raise InvalidSDFGError("recursive nested SDFG", sdfg, state, node)
+        validate_sdfg(node.sdfg)
+        outer_names = set(node.in_connectors) | set(node.out_connectors)
+        for conn in outer_names:
+            if conn not in node.sdfg.arrays:
+                raise InvalidSDFGError(
+                    f"nested SDFG connector {conn!r} has no matching container",
+                    sdfg,
+                    state,
+                    node,
+                )
+        return
+
+    if isinstance(node, ConsumeEntry):
+        ins = state.in_edges_by_connector(node, "IN_stream")
+        if len(ins) != 1:
+            raise InvalidSDFGError(
+                "consume entry needs exactly one stream input", sdfg, state, node
+            )
+        src = ins[0].src
+        if not (isinstance(src, AccessNode) and isinstance(src.desc(sdfg), Stream)):
+            raise InvalidSDFGError(
+                "consume entry input must come from a stream", sdfg, state, node
+            )
+
+
+def _validate_edge(sdfg, state: SDFGState, e) -> None:
+    mem = e.data
+    if mem.is_empty():
+        return
+    if mem.data not in sdfg.arrays:
+        raise InvalidSDFGError(
+            f"memlet references undefined container {mem.data!r}", sdfg, state
+        )
+    desc = sdfg.arrays[mem.data]
+    if mem.subset is not None and mem.subset.dims != desc.dims:
+        raise InvalidSDFGError(
+            f"memlet subset [{mem.subset}] rank {mem.subset.dims} does not "
+            f"match container {mem.data!r} rank {desc.dims}",
+            sdfg,
+            state,
+        )
+    if mem.other_subset is not None:
+        # other_subset reindexes the opposite endpoint's container.
+        other = e.dst if isinstance(e.dst, AccessNode) else e.src
+        if isinstance(other, AccessNode):
+            odesc = sdfg.arrays[other.data]
+            if mem.other_subset.dims != odesc.dims:
+                raise InvalidSDFGError(
+                    f"memlet other_subset rank mismatch on {other.data!r}",
+                    sdfg,
+                    state,
+                )
+    # Connector existence on endpoints with explicit connector sets.
+    if e.src_conn is not None and e.src_conn not in e.src.out_connectors:
+        raise InvalidSDFGError(
+            f"edge uses undeclared source connector {e.src_conn!r}",
+            sdfg,
+            state,
+            e.src,
+        )
+    if e.dst_conn is not None and e.dst_conn not in e.dst.in_connectors:
+        raise InvalidSDFGError(
+            f"edge uses undeclared destination connector {e.dst_conn!r}",
+            sdfg,
+            state,
+            e.dst,
+        )
+    # Subset must fit in the container — checked only when every free
+    # symbol is a global size symbol (map parameters and loop variables
+    # have data-dependent domains the positive-symbol model cannot bound).
+    if mem.subset is not None:
+        from repro.symbolic.sets import decide_nonnegative
+
+        subset_syms = {s.name for s in mem.subset.free_symbols}
+        if not subset_syms <= (set(sdfg.symbols) | set(sdfg.constants)):
+            return
+        for r, dim in zip(mem.subset.ranges, desc.shape):
+            # max_element is inclusive: OOB iff max >= dim.
+            over = decide_nonnegative(r.max_element() - dim)
+            under = decide_nonnegative(-r.min_element() - 1)
+            if over is True or under is True:
+                raise InvalidSDFGError(
+                    f"memlet {mem!r} is out of bounds for container "
+                    f"{mem.data!r} (shape {desc.shape})",
+                    sdfg,
+                    state,
+                )
+
+
+def _validate_storage(sdfg, state: SDFGState, scope_dict) -> None:
+    """Schedules may only touch storage they can reach (paper §3.1:
+    'memlets between containers either generate appropriate memory copy
+    operations or fail with illegal accesses')."""
+    for node in state.nodes():
+        if not isinstance(node, AccessNode):
+            continue
+        storage = node.desc(sdfg).storage
+        if storage == StorageType.Default:
+            continue
+        entry = scope_dict.get(node)
+        schedule = _innermost_schedule(entry, scope_dict)
+        if schedule is None:
+            continue
+        allowed = STORAGE_ACCESSIBLE_FROM[schedule]
+        if storage not in allowed:
+            raise InvalidSDFGError(
+                f"container {node.data!r} with storage {storage.name} is not "
+                f"accessible from schedule {schedule.name}",
+                sdfg,
+                state,
+                node,
+            )
+
+
+def _innermost_schedule(entry, scope_dict=None) -> Optional[ScheduleType]:
+    """Innermost *effective* schedule: Default/Sequential scopes inherit
+    the surrounding device schedule (a sequential loop inside a GPU
+    kernel still executes on the device)."""
+    while entry is not None:
+        sched = entry.map.schedule if isinstance(entry, MapEntry) else entry.consume.schedule
+        if sched not in (ScheduleType.Default, ScheduleType.Sequential):
+            return sched
+        if scope_dict is None:
+            return sched
+        entry = scope_dict.get(entry)
+    return None
+
+
+def _symbols_defined_at(sdfg, state: SDFGState, node: Node) -> Set[str]:
+    """Symbols visible to a node: SDFG symbols + enclosing scope params."""
+    defined = set(sdfg.symbols)
+    # Interstate assignments introduce symbols as well.
+    for e in sdfg.edges():
+        defined.update(e.data.assignments.keys())
+    sd = state.scope_dict()
+    entry = sd.get(node)
+    while entry is not None:
+        if isinstance(entry, MapEntry):
+            defined.update(entry.map.params)
+            # Data-dependent range inputs arrive via extra connectors.
+            defined.update(
+                c for c in entry.in_connectors if not c.startswith("IN_")
+            )
+        else:
+            defined.add(entry.consume.pe_param)
+        entry = sd.get(entry)
+    return defined

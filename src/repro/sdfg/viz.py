@@ -1,0 +1,117 @@
+"""Visualization: GraphViz export and textual summaries.
+
+The paper's DIODE IDE renders SDFGs interactively; in this reproduction
+the same inspection needs — seeing containers, scopes, memlet volumes,
+and state machines — are served by ``sdfg.to_dot()`` (render with any
+GraphViz) and ``sdfg.summary()`` (plain text, used in tests and docs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sdfg.nodes import (
+    AccessNode,
+    ConsumeEntry,
+    ConsumeExit,
+    MapEntry,
+    MapExit,
+    NestedSDFG,
+    Reduce,
+    Tasklet,
+)
+
+
+def _dot_escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"')
+
+
+_NODE_STYLE = {
+    AccessNode: ("ellipse", "lightyellow"),
+    Tasklet: ("octagon", "white"),
+    MapEntry: ("trapezium", "lightblue"),
+    MapExit: ("invtrapezium", "lightblue"),
+    ConsumeEntry: ("trapezium", "lightpink"),
+    ConsumeExit: ("invtrapezium", "lightpink"),
+    Reduce: ("invtriangle", "lightgreen"),
+    NestedSDFG: ("doubleoctagon", "lightgrey"),
+}
+
+
+def sdfg_to_dot(sdfg) -> str:
+    """Render the SDFG as a GraphViz digraph with one cluster per state."""
+    lines: List[str] = [f'digraph "{_dot_escape(sdfg.name)}" {{', "  compound=true;"]
+    state_anchor: Dict[int, str] = {}
+    for si, state in enumerate(sdfg.nodes()):
+        lines.append(f"  subgraph cluster_{si} {{")
+        lines.append(f'    label="{_dot_escape(state.name)}";')
+        ids = {id(n): f"s{si}_n{i}" for i, n in enumerate(state.nodes())}
+        for n in state.nodes():
+            shape, fill = "box", "white"
+            for cls, (sh, fl) in _NODE_STYLE.items():
+                if isinstance(n, cls):
+                    shape, fill = sh, fl
+                    break
+            trans = ""
+            if isinstance(n, AccessNode) and n.data in sdfg.arrays:
+                if sdfg.arrays[n.data].transient:
+                    trans = ' style="dashed,filled"'
+                else:
+                    trans = ' style="filled"'
+            else:
+                trans = ' style="filled"'
+            lines.append(
+                f'    {ids[id(n)]} [label="{_dot_escape(n.label)}" '
+                f'shape={shape} fillcolor={fill}{trans}];'
+            )
+        if not state.nodes():
+            anchor = f"s{si}_empty"
+            lines.append(f'    {anchor} [label="" shape=point];')
+            state_anchor[id(state)] = anchor
+        else:
+            state_anchor[id(state)] = ids[id(state.nodes()[0])]
+        for e in state.edges():
+            label = "" if e.data.is_empty() else str(e.data)[len("Memlet(") : -1]
+            style = ' style="dashed"' if e.data.wcr else ""
+            lines.append(
+                f'    {ids[id(e.src)]} -> {ids[id(e.dst)]} '
+                f'[label="{_dot_escape(label)}"{style}];'
+            )
+        lines.append("  }")
+    states = sdfg.nodes()
+    sidx = {id(s): i for i, s in enumerate(states)}
+    for e in sdfg.edges():
+        label = repr(e.data)[len("InterstateEdge(") : -1]
+        lines.append(
+            f"  {state_anchor[id(e.src)]} -> {state_anchor[id(e.dst)]} "
+            f'[label="{_dot_escape(label)}" ltail=cluster_{sidx[id(e.src)]} '
+            f"lhead=cluster_{sidx[id(e.dst)]} penwidth=2];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def sdfg_summary(sdfg) -> str:
+    """Human-readable structural summary of an SDFG."""
+    lines: List[str] = [f"SDFG {sdfg.name}"]
+    if sdfg.symbols:
+        lines.append("  symbols: " + ", ".join(sorted(sdfg.symbols)))
+    for name, desc in sdfg.arrays.items():
+        lines.append(f"  {name}: {desc!r}")
+    for state in sdfg.nodes():
+        star = "*" if state is sdfg.start_state else " "
+        lines.append(
+            f" {star}state {state.name} "
+            f"({state.number_of_nodes()} nodes, {state.number_of_edges()} edges)"
+        )
+        sd = state.scope_dict()
+        for node in state.nodes():
+            depth = 0
+            anc = sd.get(node)
+            while anc is not None:
+                depth += 1
+                anc = sd.get(anc)
+            lines.append("    " + "  " * depth + node.label)
+    for e in sdfg.edges():
+        lines.append(f"  {e.src.name} -> {e.dst.name}: {e.data!r}")
+    return "\n".join(lines)

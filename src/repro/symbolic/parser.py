@@ -1,0 +1,146 @@
+"""Parse Python-syntax expression strings into symbolic expression trees.
+
+Memlet subsets, map ranges, and interstate-edge conditions are written as
+strings (``"i + 1"``, ``"0:N:2"``, ``"fsz > 0 and d < T"``).  This module
+turns them into :class:`repro.symbolic.expr.Expr` objects using the
+standard :mod:`ast` parser, supporting exactly the operator subset the IR
+defines — anything else raises :class:`SymbolicSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from repro.symbolic import expr as E
+
+
+class SymbolicSyntaxError(ValueError):
+    """Raised for expression syntax outside the supported subset."""
+
+
+_FUNCS = {
+    "min": E.Min.make,
+    "max": E.Max.make,
+    "abs": E.Abs.make,
+    "ceil": E.CeilDiv.make,
+    "ceiling": E.CeilDiv.make,
+    "int_ceil": E.CeilDiv.make,
+    "int_floor": E.FloorDiv.make,
+}
+
+
+def parse_expr(text: str, local_symbols: Mapping[str, E.Expr] | None = None) -> E.Expr:
+    """Parse ``text`` into an expression.
+
+    ``local_symbols`` optionally maps names to pre-existing expressions
+    (e.g. map parameters); unknown names become fresh :class:`Symbol`.
+    """
+    if not isinstance(text, str):
+        raise TypeError(f"expected str, got {type(text).__name__}")
+    try:
+        tree = ast.parse(text.strip(), mode="eval")
+    except SyntaxError as err:
+        raise SymbolicSyntaxError(f"cannot parse expression {text!r}: {err}") from err
+    return _convert(tree.body, dict(local_symbols or {}))
+
+
+def _convert(node: ast.AST, env: Mapping[str, E.Expr]) -> E.Expr:
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool):
+            return E.TRUE if node.value else E.FALSE
+        if isinstance(node.value, int):
+            return E.Integer(node.value)
+        if isinstance(node.value, float):
+            return E.sympify(node.value)
+        raise SymbolicSyntaxError(f"unsupported literal {node.value!r}")
+
+    if isinstance(node, ast.Name):
+        if node.id in env:
+            return env[node.id]
+        return E.Symbol(node.id)
+
+    if isinstance(node, ast.UnaryOp):
+        val = _convert(node.operand, env)
+        if isinstance(node.op, ast.USub):
+            return -val
+        if isinstance(node.op, ast.UAdd):
+            return val
+        if isinstance(node.op, ast.Not):
+            return E.Not.make(val)  # type: ignore[arg-type]
+        raise SymbolicSyntaxError(f"unsupported unary operator {ast.dump(node.op)}")
+
+    if isinstance(node, ast.BinOp):
+        a = _convert(node.left, env)
+        b = _convert(node.right, env)
+        if isinstance(node.op, ast.Add):
+            return a + b
+        if isinstance(node.op, ast.Sub):
+            return a - b
+        if isinstance(node.op, ast.Mult):
+            return a * b
+        if isinstance(node.op, ast.Div):
+            return a / b
+        if isinstance(node.op, ast.FloorDiv):
+            return a // b
+        if isinstance(node.op, ast.Mod):
+            return a % b
+        if isinstance(node.op, ast.Pow):
+            return a**b
+        raise SymbolicSyntaxError(f"unsupported binary operator {ast.dump(node.op)}")
+
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1:
+            # Chained comparisons decompose into a conjunction.
+            parts = []
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                parts.append(
+                    _compare(_convert(left, env), op, _convert(right, env))
+                )
+                left = right
+            return E.And.make(*parts)
+        return _compare(
+            _convert(node.left, env), node.ops[0], _convert(node.comparators[0], env)
+        )
+
+    if isinstance(node, ast.BoolOp):
+        vals = [_convert(v, env) for v in node.values]
+        if isinstance(node.op, ast.And):
+            return E.And.make(*vals)  # type: ignore[arg-type]
+        return E.Or.make(*vals)  # type: ignore[arg-type]
+
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.func.id not in _FUNCS:
+            raise SymbolicSyntaxError(
+                f"unsupported function call in symbolic expression: {ast.dump(node.func)}"
+            )
+        args = [_convert(a, env) for a in node.args]
+        return _FUNCS[node.func.id](*args)
+
+    if isinstance(node, ast.IfExp):
+        # Conditional expressions are folded only if the test is constant.
+        test = _convert(node.test, env)
+        if test == E.TRUE:
+            return _convert(node.body, env)
+        if test == E.FALSE:
+            return _convert(node.orelse, env)
+        raise SymbolicSyntaxError("symbolic conditional expressions must be decidable")
+
+    raise SymbolicSyntaxError(f"unsupported syntax: {ast.dump(node)}")
+
+
+def _compare(a: E.Expr, op: ast.cmpop, b: E.Expr) -> E.Expr:
+    if isinstance(op, ast.Eq):
+        return E.Eq.make(a, b)
+    if isinstance(op, ast.NotEq):
+        return E.Ne.make(a, b)
+    if isinstance(op, ast.Lt):
+        return E.Lt.make(a, b)
+    if isinstance(op, ast.LtE):
+        return E.Le.make(a, b)
+    if isinstance(op, ast.Gt):
+        return E.Gt.make(a, b)
+    if isinstance(op, ast.GtE):
+        return E.Ge.make(a, b)
+    raise SymbolicSyntaxError(f"unsupported comparison {ast.dump(op)}")

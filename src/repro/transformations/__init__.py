@@ -1,0 +1,90 @@
+"""Data-centric graph transformations (paper §4.1, Appendix B).
+
+All 16 transformations of the paper's Table 4 are implemented, plus the
+strict ``RedundantArray`` cleanup of Appendix D:
+
+Map transformations
+    :class:`~repro.transformations.maps.MapCollapse`,
+    :class:`~repro.transformations.maps.MapExpansion`,
+    :class:`~repro.transformations.fusion.MapFusion`,
+    :class:`~repro.transformations.maps.MapInterchange`,
+    :class:`~repro.transformations.fusion.MapReduceFusion`,
+    :class:`~repro.transformations.maps.MapTiling`
+Data transformations
+    :class:`~repro.transformations.memory.DoubleBuffering`,
+    :class:`~repro.transformations.memory.LocalStorage`,
+    :class:`~repro.transformations.memory.LocalStream`,
+    :class:`~repro.transformations.maps.Vectorization`
+Control-flow transformations
+    :class:`~repro.transformations.maps.MapToForLoop`,
+    :class:`~repro.transformations.interstate.StateFusion`,
+    :class:`~repro.transformations.interstate.InlineSDFG`
+Hardware mapping transformations
+    :class:`~repro.transformations.hardware.FPGATransform`,
+    :class:`~repro.transformations.hardware.GPUTransform`,
+    :class:`~repro.transformations.hardware.MPITransform`
+"""
+
+from repro.transformations.base import (
+    REGISTRY,
+    PatternNode,
+    Transformation,
+    path_graph,
+    register_transformation,
+)
+from repro.transformations.maps import (
+    MapCollapse,
+    MapExpansion,
+    MapInterchange,
+    MapTiling,
+    MapToForLoop,
+    Vectorization,
+)
+from repro.transformations.fusion import MapFusion, MapReduceFusion
+from repro.transformations.memory import (
+    DoubleBuffering,
+    LocalStorage,
+    LocalStream,
+    RedundantArray,
+)
+from repro.transformations.interstate import InlineSDFG, StateFusion
+from repro.transformations.hardware import FPGATransform, GPUTransform, MPITransform
+from repro.transformations.auto import auto_optimize
+from repro.transformations.optimizer import (
+    apply_strict_transformations,
+    apply_transformations,
+    apply_transformations_repeated,
+    enumerate_matches,
+    replay,
+)
+
+__all__ = [
+    "DoubleBuffering",
+    "FPGATransform",
+    "GPUTransform",
+    "InlineSDFG",
+    "LocalStorage",
+    "LocalStream",
+    "MPITransform",
+    "MapCollapse",
+    "MapExpansion",
+    "MapFusion",
+    "MapInterchange",
+    "MapReduceFusion",
+    "MapTiling",
+    "MapToForLoop",
+    "PatternNode",
+    "REGISTRY",
+    "RedundantArray",
+    "StateFusion",
+    "Transformation",
+    "Vectorization",
+    "apply_strict_transformations",
+    "auto_optimize",
+    "apply_transformations",
+    "apply_transformations_repeated",
+    "enumerate_matches",
+    "path_graph",
+    "register_transformation",
+    "replay",
+]

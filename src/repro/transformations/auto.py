@@ -1,0 +1,50 @@
+"""Automatic optimization (the paper's §8 outlook: "research may be
+conducted into [transformations'] systematic application, enabling
+automatic optimization with reduced human intervention").
+
+``auto_optimize`` is a deliberately simple greedy pilot of that idea:
+
+1. strict cleanup pass (RedundantArray / StateFusion / InlineSDFG),
+2. fuse producer/consumer maps and map+reduce pairs where legal,
+3. collapse nested maps into wider parallel scopes,
+4. mark every vectorizable map for the strongest backend lowering,
+5. optionally offload the whole SDFG to a device.
+
+Each step only applies transformations whose ``can_be_applied`` accepts,
+so the result is always semantics-preserving; the applied chain is
+recorded in ``sdfg.transformation_history`` for inspection and replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.transformations.optimizer import (
+    apply_strict_transformations,
+    apply_transformations,
+    apply_transformations_repeated,
+)
+
+
+def auto_optimize(sdfg, device: Optional[str] = None, validate: bool = True) -> int:
+    """Greedy automatic optimization pass.  Returns the number of
+    transformations applied.  ``device`` may be ``"gpu"`` or ``"fpga"``."""
+    applied = 0
+    applied += apply_strict_transformations(sdfg, validate=False)
+    applied += apply_transformations_repeated(
+        sdfg, ["MapReduceFusion", "MapFusion"], validate=False, max_applications=50
+    )
+    applied += apply_transformations_repeated(
+        sdfg, "MapCollapse", validate=False, max_applications=50
+    )
+    applied += apply_transformations_repeated(
+        sdfg, "Vectorization", validate=False, max_applications=50
+    )
+    if device == "gpu":
+        applied += apply_transformations(sdfg, "GPUTransform", validate=False)
+    elif device == "fpga":
+        applied += apply_transformations(sdfg, "FPGATransform", validate=False)
+    if validate:
+        sdfg.propagate()
+        sdfg.validate()
+    return applied

@@ -1,0 +1,217 @@
+"""Hardware mapping transformations: GPUTransform, FPGATransform,
+MPITransform (paper Table 4).
+
+GPU/FPGA offloading follows §5: the whole SDFG is converted to execute
+on the accelerator — device copies of every externally-visible container
+are created, pre/post states copy data in and out with volumes taken
+from propagated memlets, access nodes are redirected to the device
+copies, and top-level map schedules become device schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sdfg.data import Scalar, Stream
+from repro.sdfg.dtypes import ScheduleType, StorageType
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import AccessNode, MapEntry
+from repro.sdfg.sdfg import InterstateEdge
+from repro.transformations.base import (
+    SDFGTransformation,
+    register_transformation,
+)
+
+
+class _DeviceTransform(SDFGTransformation):
+    """Shared machinery for whole-SDFG accelerator offloading."""
+
+    prefix = "dev_"
+    global_storage = StorageType.GPU_Global
+    transient_storage = StorageType.GPU_Global
+    device_schedule = ScheduleType.GPU_Device
+
+    @classmethod
+    def applicable(cls, sdfg) -> bool:
+        # Not applicable twice.
+        return not any(
+            name.startswith(cls.prefix) for name in sdfg.arrays
+        )
+
+    def apply(self) -> None:
+        sdfg = self.sdfg
+        sdfg.propagate()
+        externals = {
+            name: desc
+            for name, desc in sdfg.arglist().items()
+            if not isinstance(desc, Stream)
+        }
+        # Device copies of all externally-visible containers.
+        mapping: Dict[str, str] = {}
+        for name, desc in externals.items():
+            dev = desc.clone()
+            dev.transient = True
+            dev.storage = self.global_storage
+            dev_name = sdfg.add_datadesc(
+                f"{self.prefix}{name}", dev, find_new_name=True
+            )
+            mapping[name] = dev_name
+        # Determine read/written externals and their exact propagated
+        # footprints (the copy volumes the paper credits for GPU wins).
+        read, written = set(), set()
+        footprint: Dict[str, object] = {}
+
+        def _note(name, subset):
+            if subset is None:
+                return
+            if name in footprint:
+                try:
+                    footprint[name] = footprint[name].union_bb(subset)
+                except ValueError:
+                    footprint[name] = None  # rank confusion: fall back
+            else:
+                footprint[name] = subset
+
+        for state in sdfg.nodes():
+            for n in state.nodes():
+                if isinstance(n, AccessNode) and n.data in externals:
+                    if state.out_edges(n):
+                        read.add(n.data)
+                        for e in state.out_edges(n):
+                            if not e.data.is_empty() and e.data.data == n.data:
+                                _note(n.data, e.data.subset)
+                    if state.in_edges(n):
+                        written.add(n.data)
+                        for e in state.in_edges(n):
+                            if not e.data.is_empty() and e.data.data == n.data:
+                                _note(n.data, e.data.subset)
+        for e in sdfg.edges():
+            for s in e.data.free_symbols:
+                if s.name in externals:
+                    read.add(s.name)
+        # Redirect all access nodes and memlets to the device copies.
+        for state in sdfg.nodes():
+            for n in state.nodes():
+                if isinstance(n, AccessNode) and n.data in mapping:
+                    n.data = mapping[n.data]
+            for e in state.edges():
+                if not e.data.is_empty() and e.data.data in mapping:
+                    e.data.data = mapping[e.data.data]
+        # Device storage for existing transients; device schedule for
+        # top-level maps.
+        for name, desc in sdfg.arrays.items():
+            if desc.transient and not name.startswith(self.prefix):
+                if isinstance(desc, Stream):
+                    continue
+                if desc.storage == StorageType.Default:
+                    desc.storage = self.transient_storage
+        for state in sdfg.nodes():
+            sd = state.scope_dict()
+            for n in state.nodes():
+                if isinstance(n, MapEntry) and sd.get(n) is None:
+                    if n.map.schedule in (
+                        ScheduleType.Default,
+                        ScheduleType.CPU_Multicore,
+                        ScheduleType.Sequential,
+                    ):
+                        n.map.schedule = self.device_schedule
+        # Copy-in state before the start state; copy-out state at the end.
+        if read:
+            copy_in = sdfg.add_state_before(sdfg.start_state, "copy_to_device")
+            for name in sorted(read):
+                src = copy_in.add_read(name)
+                dst = copy_in.add_write(mapping[name])
+                sub = footprint.get(name)
+                usable = (
+                    sub is not None
+                    and {s.name for s in sub.free_symbols} <= set(sdfg.symbols)
+                    and sub.dims == sdfg.arrays[name].dims
+                )
+                if usable:
+                    mem = Memlet(data=name, subset=sub, other_subset=sub)
+                else:
+                    mem = Memlet.from_array(name, sdfg.arrays[name])
+                copy_in.add_edge(src, dst, mem, None, None)
+        end_states = [s for s in sdfg.nodes() if sdfg.out_degree(s) == 0]
+        if written and end_states:
+            copy_out = sdfg.add_state("copy_to_host")
+            for s in end_states:
+                if s is not copy_out:
+                    sdfg.add_edge(s, copy_out, InterstateEdge())
+            for name in sorted(written):
+                src = copy_out.add_read(mapping[name])
+                dst = copy_out.add_write(name)
+                sub = footprint.get(name)
+                usable = (
+                    sub is not None
+                    and {s.name for s in sub.free_symbols} <= set(sdfg.symbols)
+                    and sub.dims == sdfg.arrays[name].dims
+                )
+                if usable:
+                    mem = Memlet(data=mapping[name], subset=sub, other_subset=sub)
+                else:
+                    mem = Memlet.from_array(mapping[name], sdfg.arrays[mapping[name]])
+                copy_out.add_edge(src, dst, mem, None, None)
+        sdfg.invalidate_compiled()
+
+
+@register_transformation
+class GPUTransform(_DeviceTransform):
+    """Converts a CPU SDFG to run on a GPU, copying memory to the device
+    and executing kernels (paper §5)."""
+
+    prefix = "gpu_"
+    global_storage = StorageType.GPU_Global
+    transient_storage = StorageType.GPU_Global
+    device_schedule = ScheduleType.GPU_Device
+
+
+@register_transformation
+class FPGATransform(_DeviceTransform):
+    """Converts a CPU SDFG to be fully invoked on an FPGA (paper §5)."""
+
+    prefix = "fpga_"
+    global_storage = StorageType.FPGA_Global
+    transient_storage = StorageType.FPGA_Local
+    device_schedule = ScheduleType.FPGA_Device
+
+
+@register_transformation
+class MPITransform(SDFGTransformation):
+    """Converts top-level CPU maps to distribute work across MPI ranks:
+    each map's leading dimension is block-partitioned by the introduced
+    ``__mpi_rank``/``__mpi_size`` symbols.
+
+    On this single-node testbed the generated program runs with one rank
+    (``__mpi_size = 1``) which reproduces the original semantics; the
+    structural change (rank-parameterized ranges) is what the paper's
+    MPI backend consumes.
+    """
+
+    @classmethod
+    def applicable(cls, sdfg) -> bool:
+        return "__mpi_rank" not in sdfg.symbols
+
+    def apply(self) -> None:
+        from repro.symbolic import CeilDiv, Min, Range, Subset, sympify
+
+        sdfg = self.sdfg
+        sdfg.add_symbol("__mpi_rank")
+        sdfg.add_symbol("__mpi_size")
+        sdfg.constants.setdefault("__mpi_rank", 0)
+        sdfg.constants.setdefault("__mpi_size", 1)
+        rank = sympify("__mpi_rank")
+        size = sympify("__mpi_size")
+        for state in sdfg.nodes():
+            sd = state.scope_dict()
+            for n in state.nodes():
+                if isinstance(n, MapEntry) and sd.get(n) is None:
+                    rng = n.map.range.ranges[0]
+                    chunk = CeilDiv.make(rng.size(), size)
+                    new_start = rng.start + rank * chunk * rng.step
+                    new_end = Min.make(rng.end, rng.start + (rank + 1) * chunk * rng.step)
+                    n.map.range = Subset(
+                        (Range(new_start, new_end, rng.step),)
+                        + tuple(n.map.range.ranges[1:])
+                    )
+        sdfg.invalidate_compiled()

@@ -1,0 +1,118 @@
+"""Transformation enumeration and application (the programmatic half of
+the paper's §4.1/§4.2 workflow).
+
+``enumerate_matches`` lists applicable instances; ``apply_transformations``
+applies a sequence by name or class (recording history — the
+"optimization version control"); ``apply_strict_transformations`` runs
+the always-beneficial set to fixpoint, as DaCe does after frontend
+parsing; ``replay`` re-applies a recorded chain onto a fresh SDFG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Type, Union
+
+from repro.transformations.base import REGISTRY, Transformation
+
+XformLike = Union[str, Type[Transformation]]
+
+
+def _resolve(x: XformLike) -> Type[Transformation]:
+    if isinstance(x, str):
+        try:
+            return REGISTRY[x]
+        except KeyError as err:
+            raise KeyError(
+                f"unknown transformation {x!r}; available: {sorted(REGISTRY)}"
+            ) from err
+    return x
+
+
+def enumerate_matches(
+    sdfg, xform: XformLike, strict: bool = False
+) -> List[Transformation]:
+    """All applicable instances of a transformation in the SDFG."""
+    sdfg.propagate()
+    return list(_resolve(xform).matches(sdfg, strict))
+
+
+def apply_transformations(
+    sdfg,
+    xforms: Union[XformLike, Sequence[XformLike]],
+    options: Optional[Union[Mapping, Sequence[Optional[Mapping]]]] = None,
+    validate: bool = True,
+) -> int:
+    """Apply the first match of each given transformation, in order.
+
+    ``options`` sets instance attributes (e.g. ``{"tile_sizes": (64,)}``)
+    for the corresponding transformation.  Returns how many applied.
+    """
+    if isinstance(xforms, (str, type)):
+        xforms = [xforms]
+    if options is None:
+        opt_list: List[Optional[Mapping]] = [None] * len(xforms)
+    elif isinstance(options, Mapping):
+        opt_list = [options] * len(xforms)
+    else:
+        opt_list = list(options)
+    applied = 0
+    for xf, opts in zip(xforms, opt_list):
+        cls = _resolve(xf)
+        sdfg.propagate()
+        matches = cls.matches(sdfg)
+        for inst in matches:
+            for k, v in (opts or {}).items():
+                setattr(inst, k, v)
+            inst.apply_and_record()
+            applied += 1
+            break
+    if validate and applied:
+        sdfg.propagate()
+        sdfg.validate()
+    return applied
+
+
+def apply_transformations_repeated(
+    sdfg,
+    xforms: Union[XformLike, Sequence[XformLike]],
+    validate: bool = True,
+    max_applications: int = 1000,
+) -> int:
+    """Apply the given transformations until no more matches exist."""
+    if isinstance(xforms, (str, type)):
+        xforms = [xforms]
+    classes = [_resolve(x) for x in xforms]
+    applied = 0
+    progress = True
+    while progress and applied < max_applications:
+        progress = False
+        for cls in classes:
+            sdfg.propagate()
+            for inst in cls.matches(sdfg):
+                inst.apply_and_record()
+                applied += 1
+                progress = True
+                break
+    if validate and applied:
+        sdfg.propagate()
+        sdfg.validate()
+    return applied
+
+
+def apply_strict_transformations(sdfg, validate: bool = True) -> int:
+    """Apply all strict (only-beneficial) transformations to fixpoint."""
+    strict = [cls for cls in REGISTRY.values() if cls.strict]
+    return apply_transformations_repeated(sdfg, strict, validate=validate)
+
+
+def replay(sdfg, history: Iterable[str], options: Optional[Dict] = None) -> int:
+    """Re-apply a recorded transformation chain (DIODE's saved chains,
+    §4.2: 'diverging from a mid-point in the chain' when retargeting)."""
+    applied = 0
+    for name in history:
+        applied += apply_transformations(
+            sdfg, name, options=(options or {}).get(name), validate=False
+        )
+    sdfg.propagate()
+    sdfg.validate()
+    return applied

@@ -1,0 +1,24 @@
+"""Every workload of the paper's evaluation (§5, §6).
+
+* :mod:`repro.workloads.kernels` — the five fundamental computational
+  kernels of §6.1 (MM, Jacobi, Histogram, Query, SpMV),
+* :mod:`repro.workloads.polybench` — all 30 Polybench kernels of §5 as
+  data-centric programs with loop- and NumPy-reference implementations,
+* :mod:`repro.workloads.bfs` — the data-driven push-based BFS of §6.3
+  (Fig. 16) and its transformation chain,
+* :mod:`repro.workloads.sse` — the OMEN scattering-self-energy
+  computation of §6.4 (Fig. 18) with its baselines.
+
+Modules import lazily so that using one workload does not pull in the
+whole corpus.
+"""
+
+import importlib
+
+__all__ = ["bfs", "kernels", "polybench", "sse"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        return importlib.import_module(f"repro.workloads.{name}")
+    raise AttributeError(name)

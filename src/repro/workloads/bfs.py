@@ -1,0 +1,196 @@
+"""Data-driven push-based Breadth-First Search (paper §6.3, Fig. 16).
+
+The SDFG mirrors the paper's optimized BFS state machine: an
+initialization state, then a loop state whose outer map sweeps the
+current frontier (data-dependent range from the ``fsz`` scalar), an
+inner map with CSR-row dynamic ranges sweeping each vertex's neighbors,
+a depth test-and-update through an indirection view, pushes of newly
+discovered vertices into a stream, and a Sum-WCR frontier-size
+accumulator; the stream drains into the next frontier and the loop
+continues while ``fsz > 0``.
+
+``build_bfs_sdfg(optimized=True)`` applies the paper's ❷ LocalStream
+step (local accumulation of pushes, bulk update of the global frontier
+stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.library.graphs import UNVISITED, CSRGraph
+from repro.sdfg import SDFG, InterstateEdge, Memlet, dtypes
+from repro.symbolic import Subset
+
+INF = int(UNVISITED)
+
+
+def build_bfs_sdfg(optimized: bool = False) -> SDFG:
+    sdfg = SDFG("bfs")
+    sdfg.add_array("G_row", ("V + 1",), dtypes.uint32)
+    sdfg.add_array("G_col", ("E",), dtypes.uint32)
+    sdfg.add_array("depth", ("V",), dtypes.int32)
+    sdfg.add_scalar("src", dtypes.int64)
+    sdfg.add_array("frontier", ("V",), dtypes.int64, transient=True)
+    sdfg.add_scalar("fsz", dtypes.int64, transient=True)
+    sdfg.add_scalar("nfsz", dtypes.int64, transient=True)
+    sdfg.add_scalar("row_b", dtypes.int64, transient=True)
+    sdfg.add_scalar("row_e", dtypes.int64, transient=True)
+    sdfg.add_stream("S", dtypes.int64, transient=True)
+
+    # ----------------------------------------------------------- init state
+    init = sdfg.add_state("init", is_start=True)
+    init.add_mapped_tasklet(
+        "depth_init",
+        {"v": "0:V"},
+        inputs={},
+        code=f"d = {INF}",
+        outputs={"d": Memlet.simple("depth", "v")},
+    )
+    depth_w = [n for n in init.data_nodes() if n.data == "depth"][0]
+    t0 = init.add_tasklet(
+        "seed",
+        ["s", "dv"],
+        ["f0", "fs", "dout"],
+        "dv[s] = 0\nf0 = s\nfs = 1",
+    )
+    init.add_edge(init.add_read("src"), t0, Memlet.simple("src", "0"), None, "s")
+    init.add_edge(depth_w, t0, Memlet(data="depth", subset="0:V", volume=1), None, "dv")
+    init.add_edge(
+        t0, init.add_write("frontier"), Memlet.simple("frontier", "0"), "f0", None
+    )
+    init.add_edge(t0, init.add_write("fsz"), Memlet.simple("fsz", "0"), "fs", None)
+    depth_w2 = init.add_write("depth")
+    init.add_edge(
+        t0, depth_w2, Memlet(data="depth", subset="0:V", volume=1, dynamic=True),
+        "dout", None,
+    )
+
+    # ----------------------------------------------------------- body state
+    body = sdfg.add_state("body")
+    # Zero the next-frontier counter, ordering it before the sweep.
+    tz = body.add_tasklet("zero", [], ["z"], "z = 0")
+    nfsz_zero = body.add_access("nfsz")
+    body.add_edge(tz, nfsz_zero, Memlet.simple("nfsz", "0"), "z", None)
+
+    # Outer map over the frontier (data-dependent range from fsz).
+    ome, omx = body.add_map("frontier_sweep", {"f": "0:__fsz"})
+    ome.add_in_connector("__fsz")
+    body.add_edge(
+        body.add_read("fsz"), ome, Memlet(data="fsz", subset="0", volume=1),
+        None, "__fsz",
+    )
+    body.add_edge(nfsz_zero, ome, Memlet.empty(), None, None)
+
+    # Row-range indirection: begin/end of the CSR row of frontier[f].
+    t_row = body.add_tasklet(
+        "row_range", ["fr", "rows"], ["b", "e"], "b = rows[fr]\ne = rows[fr + 1]"
+    )
+    body.add_memlet_path(
+        body.add_read("frontier"), ome, t_row,
+        memlet=Memlet.simple("frontier", "f"), dst_conn="fr",
+    )
+    body.add_memlet_path(
+        body.add_read("G_row"), ome, t_row,
+        memlet=Memlet(data="G_row", subset="0:V + 1", volume=2),
+        dst_conn="rows",
+    )
+    rb = body.add_access("row_b")
+    re = body.add_access("row_e")
+    body.add_edge(t_row, rb, Memlet.simple("row_b", "0"), "b", None)
+    body.add_edge(t_row, re, Memlet.simple("row_e", "0"), "e", None)
+
+    # Inner map over the row's neighbors.
+    ime, imx = body.add_map("neighbors", {"nid": "__b:__e"})
+    ime.add_in_connector("__b")
+    ime.add_in_connector("__e")
+    body.add_edge(rb, ime, Memlet(data="row_b", subset="0", volume=1), None, "__b")
+    body.add_edge(re, ime, Memlet(data="row_e", subset="0", volume=1), None, "__e")
+
+    t_upd = body.add_tasklet(
+        "update_and_push",
+        ["cidx", "dview", "dcur"],
+        ["dout", "fpush", "cnt"],
+        f"c = cidx\n"
+        f"if dview[c] == {INF}:\n"
+        f"    dview[c] = dcur + 1\n"
+        f"    fpush.push(c)\n"
+        f"    cnt = 1\n",
+    )
+    body.add_memlet_path(
+        body.add_read("G_col"), ome, ime, t_upd,
+        memlet=Memlet.simple("G_col", "nid"), dst_conn="cidx",
+    )
+    depth_r = body.add_read("depth")
+    body.add_memlet_path(
+        depth_r, ome, ime, t_upd,
+        memlet=Memlet(data="depth", subset="0:V", volume=1, dynamic=True),
+        dst_conn="dview",
+    )
+    # Current depth from the loop symbol d (as a connector-free symbol).
+    t_upd.code = t_upd.code.replace("dcur + 1", "d + 1")
+    t_upd.in_connectors.discard("dcur")
+
+    depth_w3 = body.add_write("depth")
+    body.add_memlet_path(
+        t_upd, imx, omx, depth_w3,
+        memlet=Memlet(data="depth", subset="0:V", volume=1, dynamic=True),
+        src_conn="dout",
+    )
+    s_node = body.add_access("S")
+    body.add_memlet_path(
+        t_upd, imx, omx, s_node,
+        memlet=Memlet(data="S", subset="0", dynamic=True),
+        src_conn="fpush",
+    )
+    nfsz_acc = body.add_access("nfsz")
+    body.add_memlet_path(
+        t_upd, imx, omx, nfsz_acc,
+        memlet=Memlet(data="nfsz", subset="0", wcr="sum", dynamic=True),
+        src_conn="cnt",
+    )
+
+    # Drain the discovered vertices into the next frontier; publish size.
+    frontier_next = body.add_write("frontier")
+    body.add_edge(
+        s_node, frontier_next, Memlet(data="S", subset="0", dynamic=True), None, None
+    )
+    fsz_next = body.add_write("fsz")
+    body.add_edge(
+        nfsz_acc, fsz_next, Memlet(data="nfsz", subset="0", other_subset="0"),
+        None, None,
+    )
+
+    # ---------------------------------------------------------- state machine
+    end = sdfg.add_state("end")
+    sdfg.add_edge(init, body, InterstateEdge(assignments={"d": 0}))
+    sdfg.add_edge(
+        body, body_guard := sdfg.add_state("guard"), InterstateEdge(
+            assignments={"d": "d + 1"}
+        ),
+    )
+    sdfg.add_edge(body_guard, body, InterstateEdge(condition="fsz > 0"))
+    sdfg.add_edge(body_guard, end, InterstateEdge(condition="fsz <= 0"))
+
+    if optimized:
+        from repro.transformations import LocalStream, apply_transformations
+
+        apply_transformations(sdfg, LocalStream, validate=False)
+    sdfg.validate()
+    return sdfg
+
+
+def run_bfs(sdfg: SDFG, graph: CSRGraph, source: int = 0) -> np.ndarray:
+    depth = np.zeros(graph.num_vertices, np.int32)
+    compiled = sdfg.compile()
+    compiled(
+        G_row=graph.indptr,
+        G_col=graph.indices,
+        depth=depth,
+        src=source,
+        V=graph.num_vertices,
+        E=graph.num_edges,
+    )
+    return depth

@@ -1,0 +1,91 @@
+"""The PolyBench suite (all 30 kernels of paper §5 / Fig. 13) as
+data-centric programs.
+
+Every kernel registers three implementations:
+
+* ``make_sdfg()`` — the data-centric program (unoptimized, as in §5:
+  "without any optimizing transformations"),
+* ``ref_loops(data)`` — plain Python loop nest, the role of the
+  general-purpose compilers (GCC/Clang/ICC) applied to naive C loops,
+* ``ref_numpy(data)`` — vectorized NumPy, the role of the polyhedral
+  optimizers (Pluto/Polly/PPCG).
+
+``sizes`` are bench-scale dataset sizes (the paper's *Large* sizes do
+not fit this testbed's time budget; shapes of the comparison are what
+matters, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PolybenchKernel:
+    name: str
+    make_sdfg: Callable[[], object]
+    make_data: Callable[[Dict[str, int]], Dict[str, np.ndarray]]
+    ref_loops: Callable[[Dict[str, np.ndarray], Dict[str, int]], None]
+    ref_numpy: Callable[[Dict[str, np.ndarray], Dict[str, int]], None]
+    sizes: Dict[str, int]
+    #: Arrays compared for correctness.
+    outputs: Tuple[str, ...]
+    #: Extra symbols passed at invocation (not inferable from shapes).
+    extra_symbols: Tuple[str, ...] = ()
+
+    def data(self) -> Dict[str, np.ndarray]:
+        return self.make_data(self.sizes)
+
+    def run_sdfg(self, data: Dict[str, np.ndarray], compiled=None):
+        compiled = compiled or self.make_sdfg().compile()
+        kwargs = dict(data)
+        for sym in self.extra_symbols:
+            kwargs[sym] = self.sizes[sym]
+        compiled(**kwargs)
+        return compiled
+
+
+KERNELS: Dict[str, PolybenchKernel] = {}
+
+
+def register(kernel: PolybenchKernel) -> PolybenchKernel:
+    KERNELS[kernel.name] = kernel
+    return kernel
+
+
+def get(name: str) -> PolybenchKernel:
+    _load()
+    return KERNELS[name]
+
+
+def all_kernels() -> List[str]:
+    _load()
+    return sorted(KERNELS)
+
+
+_loaded = False
+
+
+def _load() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    import importlib
+
+    for mod in ("linalg_blas", "medley", "solvers", "stencils"):
+        try:
+            importlib.import_module(f"repro.workloads.polybench.{mod}")
+        except ModuleNotFoundError:  # partial corpus during development
+            pass
+
+
+def __getattr__(name):
+    if name in ("linalg_blas", "medley", "solvers", "stencils"):
+        import importlib
+
+        return importlib.import_module(f"repro.workloads.polybench.{name}")
+    raise AttributeError(name)

@@ -1,0 +1,656 @@
+"""PolyBench linear-algebra kernels (blas + kernels categories):
+gemm, 2mm, 3mm, atax, bicg, mvt, gemver, gesummv, symm, syrk, syr2k,
+trmm, doitgen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+import repro as rp
+from repro.workloads.polybench import PolybenchKernel, register
+
+NI, NJ, NK, NL, NM = (rp.symbol(s) for s in ("NI", "NJ", "NK", "NL", "NM"))
+NQ, NR, NP = (rp.symbol(s) for s in ("NQ", "NR", "NP"))
+
+ALPHA, BETA = 1.5, 1.2
+
+
+def _grid(*dims):
+    """Deterministic PolyBench-style initialization values."""
+    idx = np.indices(dims).astype(np.float64)
+    out = np.ones(dims)
+    for k, ax in enumerate(idx):
+        out = out * ((ax * (k + 2) + 1) % 13)
+    return (out % 7 + 1) / 7.0
+
+
+# ------------------------------------------------------------------- gemm
+def _gemm_sdfg():
+    @rp.program
+    def gemm(A: rp.float64[NI, NK], B: rp.float64[NK, NJ], C: rp.float64[NI, NJ]):
+        for i, j in rp.map[0:NI, 0:NJ]:
+            C[i, j] = C[i, j] * 1.2
+        for i, j, k in rp.map[0:NI, 0:NJ, 0:NK]:
+            C[i, j] += 1.5 * A[i, k] * B[k, j]
+
+    gemm._sdfg = None
+    return gemm.to_sdfg()
+
+
+def _gemm_data(s):
+    return {
+        "A": _grid(s["NI"], s["NK"]),
+        "B": _grid(s["NK"], s["NJ"]),
+        "C": _grid(s["NI"], s["NJ"]),
+    }
+
+
+def _gemm_loops(d, s):
+    A, B, C = d["A"], d["B"], d["C"]
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            C[i, j] *= BETA
+            for k in range(s["NK"]):
+                C[i, j] += ALPHA * A[i, k] * B[k, j]
+
+
+def _gemm_numpy(d, s):
+    d["C"][...] = ALPHA * d["A"] @ d["B"] + BETA * d["C"]
+
+
+register(PolybenchKernel(
+    "gemm", _gemm_sdfg, _gemm_data, _gemm_loops, _gemm_numpy,
+    sizes={"NI": 40, "NJ": 48, "NK": 56}, outputs=("C",),
+))
+
+
+# -------------------------------------------------------------------- 2mm
+def _2mm_sdfg():
+    @rp.program
+    def k2mm(
+        A: rp.float64[NI, NK], B: rp.float64[NK, NJ],
+        C: rp.float64[NJ, NL], D: rp.float64[NI, NL],
+    ):
+        tmp: rp.float64[NI, NJ]
+        for i, j in rp.map[0:NI, 0:NJ]:
+            tmp[i, j] = 0.0
+        for i, j, k in rp.map[0:NI, 0:NJ, 0:NK]:
+            tmp[i, j] += 1.5 * A[i, k] * B[k, j]
+        for i, j in rp.map[0:NI, 0:NL]:
+            D[i, j] = D[i, j] * 1.2
+        for i, j, k in rp.map[0:NI, 0:NL, 0:NJ]:
+            D[i, j] += tmp[i, k] * C[k, j]
+
+    k2mm._sdfg = None
+    return k2mm.to_sdfg()
+
+
+def _2mm_data(s):
+    return {
+        "A": _grid(s["NI"], s["NK"]),
+        "B": _grid(s["NK"], s["NJ"]),
+        "C": _grid(s["NJ"], s["NL"]),
+        "D": _grid(s["NI"], s["NL"]),
+    }
+
+
+def _2mm_loops(d, s):
+    A, B, C, D = d["A"], d["B"], d["C"], d["D"]
+    tmp = np.zeros((s["NI"], s["NJ"]))
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            for k in range(s["NK"]):
+                tmp[i, j] += ALPHA * A[i, k] * B[k, j]
+    for i in range(s["NI"]):
+        for j in range(s["NL"]):
+            D[i, j] *= BETA
+            for k in range(s["NJ"]):
+                D[i, j] += tmp[i, k] * C[k, j]
+
+
+def _2mm_numpy(d, s):
+    tmp = ALPHA * d["A"] @ d["B"]
+    d["D"][...] = tmp @ d["C"] + BETA * d["D"]
+
+
+register(PolybenchKernel(
+    "2mm", _2mm_sdfg, _2mm_data, _2mm_loops, _2mm_numpy,
+    sizes={"NI": 32, "NJ": 36, "NK": 40, "NL": 44}, outputs=("D",),
+))
+
+
+# -------------------------------------------------------------------- 3mm
+def _3mm_sdfg():
+    @rp.program
+    def k3mm(
+        A: rp.float64[NI, NK], B: rp.float64[NK, NJ],
+        C: rp.float64[NJ, NM], D: rp.float64[NM, NL],
+        G: rp.float64[NI, NL],
+    ):
+        E: rp.float64[NI, NJ]
+        F: rp.float64[NJ, NL]
+        for i, j, k in rp.map[0:NI, 0:NJ, 0:NK]:
+            E[i, j] += A[i, k] * B[k, j]
+        for i, j, k in rp.map[0:NJ, 0:NL, 0:NM]:
+            F[i, j] += C[i, k] * D[k, j]
+        for i, j in rp.map[0:NI, 0:NL]:
+            G[i, j] = 0.0
+        for i, j, k in rp.map[0:NI, 0:NL, 0:NJ]:
+            G[i, j] += E[i, k] * F[k, j]
+
+    k3mm._sdfg = None
+    return k3mm.to_sdfg()
+
+
+def _3mm_data(s):
+    return {
+        "A": _grid(s["NI"], s["NK"]),
+        "B": _grid(s["NK"], s["NJ"]),
+        "C": _grid(s["NJ"], s["NM"]),
+        "D": _grid(s["NM"], s["NL"]),
+        "G": np.zeros((s["NI"], s["NL"])),
+    }
+
+
+def _3mm_loops(d, s):
+    E = np.zeros((s["NI"], s["NJ"]))
+    F = np.zeros((s["NJ"], s["NL"]))
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            for k in range(s["NK"]):
+                E[i, j] += d["A"][i, k] * d["B"][k, j]
+    for i in range(s["NJ"]):
+        for j in range(s["NL"]):
+            for k in range(s["NM"]):
+                F[i, j] += d["C"][i, k] * d["D"][k, j]
+    d["G"][...] = 0
+    for i in range(s["NI"]):
+        for j in range(s["NL"]):
+            for k in range(s["NJ"]):
+                d["G"][i, j] += E[i, k] * F[k, j]
+
+
+def _3mm_numpy(d, s):
+    d["G"][...] = (d["A"] @ d["B"]) @ (d["C"] @ d["D"])
+
+
+register(PolybenchKernel(
+    "3mm", _3mm_sdfg, _3mm_data, _3mm_loops, _3mm_numpy,
+    sizes={"NI": 28, "NJ": 32, "NK": 36, "NL": 40, "NM": 44}, outputs=("G",),
+))
+
+
+# ------------------------------------------------------------------- atax
+def _atax_sdfg():
+    @rp.program
+    def atax(A: rp.float64[NI, NJ], x: rp.float64[NJ], y: rp.float64[NJ]):
+        tmp: rp.float64[NI]
+        for i in rp.map[0:NJ]:
+            y[i] = 0.0
+        for i, j in rp.map[0:NI, 0:NJ]:
+            tmp[i] += A[i, j] * x[j]
+        for i, j in rp.map[0:NI, 0:NJ]:
+            y[j] += A[i, j] * tmp[i]
+
+    atax._sdfg = None
+    return atax.to_sdfg()
+
+
+def _atax_data(s):
+    return {
+        "A": _grid(s["NI"], s["NJ"]),
+        "x": _grid(s["NJ"]),
+        "y": np.zeros(s["NJ"]),
+    }
+
+
+def _atax_loops(d, s):
+    A, x, y = d["A"], d["x"], d["y"]
+    y[...] = 0
+    tmp = np.zeros(s["NI"])
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            tmp[i] += A[i, j] * x[j]
+        for j in range(s["NJ"]):
+            y[j] += A[i, j] * tmp[i]
+
+
+def _atax_numpy(d, s):
+    d["y"][...] = d["A"].T @ (d["A"] @ d["x"])
+
+
+register(PolybenchKernel(
+    "atax", _atax_sdfg, _atax_data, _atax_loops, _atax_numpy,
+    sizes={"NI": 120, "NJ": 140}, outputs=("y",),
+))
+
+
+# ------------------------------------------------------------------- bicg
+def _bicg_sdfg():
+    @rp.program
+    def bicg(
+        A: rp.float64[NI, NJ], p: rp.float64[NJ], r: rp.float64[NI],
+        q: rp.float64[NI], s: rp.float64[NJ],
+    ):
+        for j in rp.map[0:NJ]:
+            s[j] = 0.0
+        for i in rp.map[0:NI]:
+            q[i] = 0.0
+        for i, j in rp.map[0:NI, 0:NJ]:
+            s[j] += r[i] * A[i, j]
+        for i, j in rp.map[0:NI, 0:NJ]:
+            q[i] += A[i, j] * p[j]
+
+    bicg._sdfg = None
+    return bicg.to_sdfg()
+
+
+def _bicg_data(s):
+    return {
+        "A": _grid(s["NI"], s["NJ"]),
+        "p": _grid(s["NJ"]),
+        "r": _grid(s["NI"]),
+        "q": np.zeros(s["NI"]),
+        "s": np.zeros(s["NJ"]),
+    }
+
+
+def _bicg_loops(d, s):
+    A = d["A"]
+    d["s"][...] = 0
+    d["q"][...] = 0
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            d["s"][j] += d["r"][i] * A[i, j]
+            d["q"][i] += A[i, j] * d["p"][j]
+
+
+def _bicg_numpy(d, s):
+    d["s"][...] = d["A"].T @ d["r"]
+    d["q"][...] = d["A"] @ d["p"]
+
+
+register(PolybenchKernel(
+    "bicg", _bicg_sdfg, _bicg_data, _bicg_loops, _bicg_numpy,
+    sizes={"NI": 124, "NJ": 116}, outputs=("q", "s"),
+))
+
+
+# -------------------------------------------------------------------- mvt
+def _mvt_sdfg():
+    @rp.program
+    def mvt(
+        A: rp.float64[NI, NI], x1: rp.float64[NI], x2: rp.float64[NI],
+        y1: rp.float64[NI], y2: rp.float64[NI],
+    ):
+        for i, j in rp.map[0:NI, 0:NI]:
+            x1[i] += A[i, j] * y1[j]
+        for i, j in rp.map[0:NI, 0:NI]:
+            x2[i] += A[j, i] * y2[j]
+
+    mvt._sdfg = None
+    return mvt.to_sdfg()
+
+
+def _mvt_data(s):
+    return {
+        "A": _grid(s["NI"], s["NI"]),
+        "x1": _grid(s["NI"]),
+        "x2": _grid(s["NI"]) * 0.5,
+        "y1": _grid(s["NI"]) * 0.25,
+        "y2": _grid(s["NI"]) * 0.125,
+    }
+
+
+def _mvt_loops(d, s):
+    n = s["NI"]
+    for i in range(n):
+        for j in range(n):
+            d["x1"][i] += d["A"][i, j] * d["y1"][j]
+    for i in range(n):
+        for j in range(n):
+            d["x2"][i] += d["A"][j, i] * d["y2"][j]
+
+
+def _mvt_numpy(d, s):
+    d["x1"][...] += d["A"] @ d["y1"]
+    d["x2"][...] += d["A"].T @ d["y2"]
+
+
+register(PolybenchKernel(
+    "mvt", _mvt_sdfg, _mvt_data, _mvt_loops, _mvt_numpy,
+    sizes={"NI": 130}, outputs=("x1", "x2"),
+))
+
+
+# ----------------------------------------------------------------- gemver
+def _gemver_sdfg():
+    @rp.program
+    def gemver(
+        A: rp.float64[NI, NI],
+        u1: rp.float64[NI], v1: rp.float64[NI],
+        u2: rp.float64[NI], v2: rp.float64[NI],
+        w: rp.float64[NI], x: rp.float64[NI],
+        y: rp.float64[NI], z: rp.float64[NI],
+    ):
+        for i, j in rp.map[0:NI, 0:NI]:
+            A[i, j] = A[i, j] + u1[i] * v1[j] + u2[i] * v2[j]
+        for i, j in rp.map[0:NI, 0:NI]:
+            x[i] += 1.2 * A[j, i] * y[j]
+        for i in rp.map[0:NI]:
+            x[i] = x[i] + z[i]
+        for i, j in rp.map[0:NI, 0:NI]:
+            w[i] += 1.5 * A[i, j] * x[j]
+
+    gemver._sdfg = None
+    return gemver.to_sdfg()
+
+
+def _gemver_data(s):
+    n = s["NI"]
+    return {
+        "A": _grid(n, n),
+        "u1": _grid(n), "v1": _grid(n) * 0.5,
+        "u2": _grid(n) * 0.25, "v2": _grid(n) * 0.125,
+        "w": np.zeros(n), "x": np.zeros(n),
+        "y": _grid(n) * 0.75, "z": _grid(n) * 0.3,
+    }
+
+
+def _gemver_loops(d, s):
+    n = s["NI"]
+    A = d["A"]
+    for i in range(n):
+        for j in range(n):
+            A[i, j] += d["u1"][i] * d["v1"][j] + d["u2"][i] * d["v2"][j]
+    for i in range(n):
+        for j in range(n):
+            d["x"][i] += BETA * A[j, i] * d["y"][j]
+    for i in range(n):
+        d["x"][i] += d["z"][i]
+    for i in range(n):
+        for j in range(n):
+            d["w"][i] += ALPHA * A[i, j] * d["x"][j]
+
+
+def _gemver_numpy(d, s):
+    A = d["A"]
+    A += np.outer(d["u1"], d["v1"]) + np.outer(d["u2"], d["v2"])
+    d["x"][...] += BETA * (A.T @ d["y"]) + d["z"]
+    d["w"][...] += ALPHA * (A @ d["x"])
+
+
+register(PolybenchKernel(
+    "gemver", _gemver_sdfg, _gemver_data, _gemver_loops, _gemver_numpy,
+    sizes={"NI": 120}, outputs=("A", "w", "x"),
+))
+
+
+# ---------------------------------------------------------------- gesummv
+def _gesummv_sdfg():
+    @rp.program
+    def gesummv(
+        A: rp.float64[NI, NI], B: rp.float64[NI, NI],
+        x: rp.float64[NI], y: rp.float64[NI],
+    ):
+        tmp: rp.float64[NI]
+        for i in rp.map[0:NI]:
+            y[i] = 0.0
+        for i, j in rp.map[0:NI, 0:NI]:
+            tmp[i] += A[i, j] * x[j]
+        for i, j in rp.map[0:NI, 0:NI]:
+            y[i] += B[i, j] * x[j]
+        for i in rp.map[0:NI]:
+            y[i] = 1.5 * tmp[i] + 1.2 * y[i]
+
+    gesummv._sdfg = None
+    return gesummv.to_sdfg()
+
+
+def _gesummv_data(s):
+    n = s["NI"]
+    return {"A": _grid(n, n), "B": _grid(n, n) * 0.5, "x": _grid(n), "y": np.zeros(n)}
+
+
+def _gesummv_loops(d, s):
+    n = s["NI"]
+    tmp = np.zeros(n)
+    d["y"][...] = 0
+    for i in range(n):
+        for j in range(n):
+            tmp[i] += d["A"][i, j] * d["x"][j]
+            d["y"][i] += d["B"][i, j] * d["x"][j]
+        d["y"][i] = ALPHA * tmp[i] + BETA * d["y"][i]
+
+
+def _gesummv_numpy(d, s):
+    d["y"][...] = ALPHA * (d["A"] @ d["x"]) + BETA * (d["B"] @ d["x"])
+
+
+register(PolybenchKernel(
+    "gesummv", _gesummv_sdfg, _gesummv_data, _gesummv_loops, _gesummv_numpy,
+    sizes={"NI": 130}, outputs=("y",),
+))
+
+
+# ------------------------------------------------------------------- symm
+def _symm_sdfg():
+    @rp.program
+    def symm(
+        A: rp.float64[NI, NI], B: rp.float64[NI, NJ], C: rp.float64[NI, NJ]
+    ):
+        t2: rp.float64[NJ]
+        for i in range(NI):
+            for j in rp.map[0:NJ]:
+                t2[j] = 0.0
+            for j, k in rp.map[0:NJ, 0:i]:
+                C[k, j] += 1.5 * B[i, j] * A[i, k]
+            for j, k in rp.map[0:NJ, 0:i]:
+                t2[j] += B[k, j] * A[i, k]
+            for j in rp.map[0:NJ]:
+                C[i, j] = 1.2 * C[i, j] + 1.5 * B[i, j] * A[i, i] + 1.5 * t2[j]
+
+    symm._sdfg = None
+    return symm.to_sdfg()
+
+
+def _symm_data(s):
+    return {
+        "A": _grid(s["NI"], s["NI"]),
+        "B": _grid(s["NI"], s["NJ"]) * 0.5,
+        "C": _grid(s["NI"], s["NJ"]) * 0.25,
+    }
+
+
+def _symm_loops(d, s):
+    A, B, C = d["A"], d["B"], d["C"]
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            temp2 = 0.0
+            for k in range(i):
+                C[k, j] += ALPHA * B[i, j] * A[i, k]
+                temp2 += B[k, j] * A[i, k]
+            C[i, j] = BETA * C[i, j] + ALPHA * B[i, j] * A[i, i] + ALPHA * temp2
+
+
+def _symm_numpy(d, s):
+    A, B, C = d["A"], d["B"], d["C"]
+    for i in range(s["NI"]):
+        C[:i] += ALPHA * np.outer(A[i, :i], B[i])
+        temp2 = A[i, :i] @ B[:i]
+        C[i] = BETA * C[i] + ALPHA * B[i] * A[i, i] + ALPHA * temp2
+
+
+register(PolybenchKernel(
+    "symm", _symm_sdfg, _symm_data, _symm_loops, _symm_numpy,
+    sizes={"NI": 24, "NJ": 28}, outputs=("C",),
+))
+
+
+# ------------------------------------------------------------------- syrk
+def _syrk_sdfg():
+    @rp.program
+    def syrk(A: rp.float64[NI, NK], C: rp.float64[NI, NI]):
+        for i in rp.map[0:NI]:
+            for j in rp.map[0 : i + 1]:
+                C[i, j] = C[i, j] * 1.2
+        for i in rp.map[0:NI]:
+            for j, k in rp.map[0 : i + 1, 0:NK]:
+                C[i, j] += 1.5 * A[i, k] * A[j, k]
+
+    syrk._sdfg = None
+    return syrk.to_sdfg()
+
+
+def _syrk_data(s):
+    return {"A": _grid(s["NI"], s["NK"]), "C": _grid(s["NI"], s["NI"])}
+
+
+def _syrk_loops(d, s):
+    A, C = d["A"], d["C"]
+    for i in range(s["NI"]):
+        for j in range(i + 1):
+            C[i, j] *= BETA
+            for k in range(s["NK"]):
+                C[i, j] += ALPHA * A[i, k] * A[j, k]
+
+
+def _syrk_numpy(d, s):
+    A, C = d["A"], d["C"]
+    full = ALPHA * (A @ A.T)
+    tri = np.tril(np.ones_like(C, dtype=bool))
+    C[tri] = BETA * C[tri] + full[tri]
+
+
+register(PolybenchKernel(
+    "syrk", _syrk_sdfg, _syrk_data, _syrk_loops, _syrk_numpy,
+    sizes={"NI": 40, "NK": 48}, outputs=("C",),
+))
+
+
+# ------------------------------------------------------------------ syr2k
+def _syr2k_sdfg():
+    @rp.program
+    def syr2k(A: rp.float64[NI, NK], B: rp.float64[NI, NK], C: rp.float64[NI, NI]):
+        for i in rp.map[0:NI]:
+            for j in rp.map[0 : i + 1]:
+                C[i, j] = C[i, j] * 1.2
+        for i in rp.map[0:NI]:
+            for j, k in rp.map[0 : i + 1, 0:NK]:
+                C[i, j] += 1.5 * A[j, k] * B[i, k] + 1.5 * B[j, k] * A[i, k]
+
+    syr2k._sdfg = None
+    return syr2k.to_sdfg()
+
+
+def _syr2k_data(s):
+    return {
+        "A": _grid(s["NI"], s["NK"]),
+        "B": _grid(s["NI"], s["NK"]) * 0.5,
+        "C": _grid(s["NI"], s["NI"]) * 0.25,
+    }
+
+
+def _syr2k_loops(d, s):
+    A, B, C = d["A"], d["B"], d["C"]
+    for i in range(s["NI"]):
+        for j in range(i + 1):
+            C[i, j] *= BETA
+            for k in range(s["NK"]):
+                C[i, j] += ALPHA * A[j, k] * B[i, k] + ALPHA * B[j, k] * A[i, k]
+
+
+def _syr2k_numpy(d, s):
+    A, B, C = d["A"], d["B"], d["C"]
+    full = ALPHA * (B @ A.T + A @ B.T)
+    tri = np.tril(np.ones_like(C, dtype=bool))
+    C[tri] = BETA * C[tri] + full[tri]
+
+
+register(PolybenchKernel(
+    "syr2k", _syr2k_sdfg, _syr2k_data, _syr2k_loops, _syr2k_numpy,
+    sizes={"NI": 36, "NK": 40}, outputs=("C",),
+))
+
+
+# ------------------------------------------------------------------- trmm
+def _trmm_sdfg():
+    @rp.program
+    def trmm(A: rp.float64[NI, NI], B: rp.float64[NI, NJ]):
+        for i in range(NI):
+            for j, k in rp.map[0:NJ, i + 1 : NI]:
+                B[i, j] += A[k, i] * B[k, j]
+            for j in rp.map[0:NJ]:
+                B[i, j] = 1.5 * B[i, j]
+
+    trmm._sdfg = None
+    return trmm.to_sdfg()
+
+
+def _trmm_data(s):
+    return {"A": _grid(s["NI"], s["NI"]), "B": _grid(s["NI"], s["NJ"]) * 0.5}
+
+
+def _trmm_loops(d, s):
+    A, B = d["A"], d["B"]
+    for i in range(s["NI"]):
+        for j in range(s["NJ"]):
+            for k in range(i + 1, s["NI"]):
+                B[i, j] += A[k, i] * B[k, j]
+            B[i, j] = ALPHA * B[i, j]
+
+
+def _trmm_numpy(d, s):
+    A, B = d["A"], d["B"]
+    for i in range(s["NI"]):
+        B[i] += A[i + 1 :, i] @ B[i + 1 :]
+        B[i] *= ALPHA
+
+
+register(PolybenchKernel(
+    "trmm", _trmm_sdfg, _trmm_data, _trmm_loops, _trmm_numpy,
+    sizes={"NI": 28, "NJ": 32}, outputs=("B",),
+))
+
+
+# ---------------------------------------------------------------- doitgen
+def _doitgen_sdfg():
+    @rp.program
+    def doitgen(A: rp.float64[NR, NQ, NP], C4: rp.float64[NP, NP]):
+        tmp: rp.float64[NR, NQ, NP]
+        for r, q, p, s in rp.map[0:NR, 0:NQ, 0:NP, 0:NP]:
+            tmp[r, q, p] += A[r, q, s] * C4[s, p]
+        for r, q, p in rp.map[0:NR, 0:NQ, 0:NP]:
+            A[r, q, p] = tmp[r, q, p]
+
+    doitgen._sdfg = None
+    return doitgen.to_sdfg()
+
+
+def _doitgen_data(s):
+    return {"A": _grid(s["NR"], s["NQ"], s["NP"]), "C4": _grid(s["NP"], s["NP"])}
+
+
+def _doitgen_loops(d, s):
+    A, C4 = d["A"], d["C4"]
+    total = np.zeros(s["NP"])
+    for r in range(s["NR"]):
+        for q in range(s["NQ"]):
+            total[...] = 0
+            for p in range(s["NP"]):
+                for k in range(s["NP"]):
+                    total[p] += A[r, q, k] * C4[k, p]
+            A[r, q] = total
+
+
+def _doitgen_numpy(d, s):
+    d["A"][...] = np.einsum("rqs,sp->rqp", d["A"], d["C4"])
+
+
+register(PolybenchKernel(
+    "doitgen", _doitgen_sdfg, _doitgen_data, _doitgen_loops, _doitgen_numpy,
+    sizes={"NR": 12, "NQ": 14, "NP": 16}, outputs=("A",),
+))

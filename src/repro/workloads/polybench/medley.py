@@ -1,0 +1,249 @@
+"""PolyBench data-mining and medley kernels: correlation, covariance,
+floyd-warshall, nussinov."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+import repro as rp
+from repro.workloads.polybench import PolybenchKernel, register
+
+M_, N_ = rp.symbol("M_"), rp.symbol("N_")
+
+
+# -------------------------------------------------------------- correlation
+def _correlation_sdfg():
+    @rp.program
+    def correlation(data: rp.float64[N_, M_], corr: rp.float64[M_, M_]):
+        mean: rp.float64[M_]
+        stddev: rp.float64[M_]
+        for j in rp.map[0:M_]:
+            mean[j] = 0.0
+        for i, j in rp.map[0:N_, 0:M_]:
+            mean[j] += data[i, j]
+        for j in rp.map[0:M_]:
+            mean[j] = mean[j] / N_
+        for j in rp.map[0:M_]:
+            stddev[j] = 0.0
+        for i, j in rp.map[0:N_, 0:M_]:
+            stddev[j] += (data[i, j] - mean[j]) * (data[i, j] - mean[j])
+        for j in rp.map[0:M_]:
+            stddev[j] = math.sqrt(stddev[j] / N_)
+        for j in rp.map[0:M_]:
+            stddev[j] = stddev[j] if stddev[j] > 0.1 else 1.0
+        for i, j in rp.map[0:N_, 0:M_]:
+            data[i, j] = (data[i, j] - mean[j]) / (math.sqrt(1.0 * N_) * stddev[j])
+        for i, j in rp.map[0:M_, 0:M_]:
+            corr[i, j] = 1.0 if i == j else 0.0
+        for i in rp.map[0 : M_ - 1]:
+            for j, k in rp.map[i + 1 : M_, 0:N_]:
+                corr[i, j] += data[k, i] * data[k, j]
+        for i in rp.map[0 : M_ - 1]:
+            for j in rp.map[i + 1 : M_]:
+                corr[j, i] = corr[i, j]
+
+    correlation._sdfg = None
+    return correlation.to_sdfg()
+
+
+import math  # noqa: E402
+
+
+def _corr_data(s):
+    n, m = s["N_"], s["M_"]
+    i, j = np.indices((n, m)).astype(np.float64)
+    return {
+        "data": (i * j) / m + i,
+        "corr": np.zeros((m, m)),
+    }
+
+
+def _corr_loops(d, s):
+    data, corr = d["data"], d["corr"]
+    n, m = s["N_"], s["M_"]
+    mean = data.sum(axis=0) / n
+    stddev = np.sqrt(((data - mean) ** 2).sum(axis=0) / n)
+    stddev = np.where(stddev > 0.1, stddev, 1.0)
+    data -= mean
+    data /= np.sqrt(n) * stddev
+    corr[...] = np.eye(m)
+    for i in range(m - 1):
+        for j in range(i + 1, m):
+            acc = 0.0
+            for k in range(n):
+                acc += data[k, i] * data[k, j]
+            corr[i, j] = acc
+            corr[j, i] = acc
+
+
+def _corr_numpy(d, s):
+    data, corr = d["data"], d["corr"]
+    n, m = s["N_"], s["M_"]
+    mean = data.mean(axis=0)
+    stddev = np.sqrt(((data - mean) ** 2).mean(axis=0))
+    stddev = np.where(stddev > 0.1, stddev, 1.0)
+    data -= mean
+    data /= np.sqrt(n) * stddev
+    corr[...] = data.T @ data
+    np.fill_diagonal(corr, 1.0)
+
+
+register(PolybenchKernel(
+    "correlation", _correlation_sdfg, _corr_data, _corr_loops, _corr_numpy,
+    sizes={"N_": 40, "M_": 32}, outputs=("corr",),
+))
+
+
+# --------------------------------------------------------------- covariance
+def _covariance_sdfg():
+    @rp.program
+    def covariance(data: rp.float64[N_, M_], cov: rp.float64[M_, M_]):
+        mean: rp.float64[M_]
+        for j in rp.map[0:M_]:
+            mean[j] = 0.0
+        for i, j in rp.map[0:N_, 0:M_]:
+            mean[j] += data[i, j]
+        for j in rp.map[0:M_]:
+            mean[j] = mean[j] / N_
+        for i, j in rp.map[0:N_, 0:M_]:
+            data[i, j] = data[i, j] - mean[j]
+        for i in rp.map[0:M_]:
+            for j, k in rp.map[i:M_, 0:N_]:
+                cov[i, j] += data[k, i] * data[k, j] / (N_ - 1.0)
+        for i in rp.map[0:M_]:
+            for j in rp.map[i:M_]:
+                cov[j, i] = cov[i, j]
+
+    covariance._sdfg = None
+    return covariance.to_sdfg()
+
+
+def _cov_data(s):
+    n, m = s["N_"], s["M_"]
+    i, j = np.indices((n, m)).astype(np.float64)
+    return {"data": (i * j) / m, "cov": np.zeros((m, m))}
+
+
+def _cov_loops(d, s):
+    data, cov = d["data"], d["cov"]
+    n, m = s["N_"], s["M_"]
+    mean = data.sum(axis=0) / n
+    data -= mean
+    for i in range(m):
+        for j in range(i, m):
+            acc = 0.0
+            for k in range(n):
+                acc += data[k, i] * data[k, j]
+            cov[i, j] = acc / (n - 1.0)
+            cov[j, i] = cov[i, j]
+
+
+def _cov_numpy(d, s):
+    data, cov = d["data"], d["cov"]
+    n = s["N_"]
+    data -= data.mean(axis=0)
+    cov[...] = data.T @ data / (n - 1.0)
+
+
+register(PolybenchKernel(
+    "covariance", _covariance_sdfg, _cov_data, _cov_loops, _cov_numpy,
+    sizes={"N_": 40, "M_": 32}, outputs=("cov",),
+))
+
+
+# ----------------------------------------------------------- floyd-warshall
+def _floyd_sdfg():
+    @rp.program
+    def floyd_warshall(paths: rp.float64[N_, N_]):
+        for k in range(N_):
+            for i, j in rp.map[0:N_, 0:N_]:
+                paths[i, j] = min(paths[i, j], paths[i, k] + paths[k, j])
+
+    floyd_warshall._sdfg = None
+    return floyd_warshall.to_sdfg()
+
+
+def _floyd_data(s):
+    n = s["N_"]
+    rng = np.random.RandomState(23)
+    paths = rng.randint(1, 20, size=(n, n)).astype(np.float64)
+    np.fill_diagonal(paths, 0.0)
+    return {"paths": paths}
+
+
+def _floyd_loops(d, s):
+    p = d["paths"]
+    n = s["N_"]
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                if p[i, k] + p[k, j] < p[i, j]:
+                    p[i, j] = p[i, k] + p[k, j]
+
+
+def _floyd_numpy(d, s):
+    p = d["paths"]
+    for k in range(s["N_"]):
+        p[...] = np.minimum(p, p[:, k : k + 1] + p[k : k + 1, :])
+
+
+register(PolybenchKernel(
+    "floyd-warshall", _floyd_sdfg, _floyd_data, _floyd_loops, _floyd_numpy,
+    sizes={"N_": 36}, outputs=("paths",),
+))
+
+
+# ----------------------------------------------------------------- nussinov
+def _nussinov_sdfg():
+    @rp.program
+    def nussinov(seq: rp.int64[N_], table: rp.float64[N_, N_]):
+        for i in range(N_ - 1, -1, -1):
+            for j in range(i + 1, N_):
+                table[i, j] = max(table[i, j], table[i, j - 1])
+                table[i, j] = max(table[i, j], table[i + 1, j])
+                table[i, j] = max(
+                    table[i, j],
+                    table[i + 1, j - 1]
+                    + (1.0 if j - 1 > i and seq[i] + seq[j] == 3 else 0.0),
+                )
+                for k in rp.map[i + 1 : j]:
+                    with rp.tasklet:
+                        a << table[i, k]
+                        b << table[k + 1, j]
+                        out >> table(1, rp.max)[i, j]
+                        out = a + b
+
+    nussinov._sdfg = None
+    return nussinov.to_sdfg()
+
+
+def _nussinov_data(s):
+    n = s["N_"]
+    rng = np.random.RandomState(29)
+    return {
+        "seq": rng.randint(0, 4, size=n).astype(np.int64),
+        "table": np.zeros((n, n)),
+    }
+
+
+def _nussinov_loops(d, s):
+    seq, table = d["seq"], d["table"]
+    n = s["N_"]
+    for i in range(n - 1, -1, -1):
+        for j in range(i + 1, n):
+            table[i, j] = max(table[i, j], table[i, j - 1])
+            table[i, j] = max(table[i, j], table[i + 1, j])
+            bonus = 1.0 if (j - 1 > i and seq[i] + seq[j] == 3) else 0.0
+            table[i, j] = max(table[i, j], table[i + 1, j - 1] + bonus)
+            for k in range(i + 1, j):
+                table[i, j] = max(table[i, j], table[i, k] + table[k + 1, j])
+
+
+_nussinov_numpy = _nussinov_loops  # dynamic programming; inherently ordered
+
+register(PolybenchKernel(
+    "nussinov", _nussinov_sdfg, _nussinov_data, _nussinov_loops, _nussinov_numpy,
+    sizes={"N_": 24}, outputs=("table",),
+))

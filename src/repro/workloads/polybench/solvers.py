@@ -1,0 +1,387 @@
+"""PolyBench solver kernels: cholesky, lu, ludcmp, trisolv, durbin,
+gramschmidt.  These are the sequential-dependency kernels where the
+paper observes unoptimized SDFG performance close to general-purpose
+compilers (§5: "data-centric transformations are necessary to optimize
+the computations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+import repro as rp
+from repro.workloads.polybench import PolybenchKernel, register
+
+N = rp.symbol("N")
+NI, NJ = rp.symbol("NI"), rp.symbol("NJ")
+
+
+def _spd(n: int) -> np.ndarray:
+    """Symmetric positive-definite matrix (Cholesky/LU-friendly)."""
+    rng = np.random.RandomState(7)
+    B = rng.rand(n, n)
+    return B @ B.T + n * np.eye(n)
+
+
+# --------------------------------------------------------------- cholesky
+def _cholesky_sdfg():
+    @rp.program
+    def cholesky(A: rp.float64[N, N]):
+        for i in range(N):
+            for j in range(i):
+                for k in rp.map[0:j]:
+                    A[i, j] += -(A[i, k] * A[j, k])
+                A[i, j] = A[i, j] / A[j, j]
+            for k in rp.map[0:i]:
+                A[i, i] += -(A[i, k] * A[i, k])
+            A[i, i] = math.sqrt(A[i, i])
+
+    cholesky._sdfg = None
+    return cholesky.to_sdfg()
+
+
+import math  # noqa: E402  (resolved by the frontend inside tasklet code)
+
+
+def _cholesky_data(s):
+    return {"A": _spd(s["N"])}
+
+
+def _cholesky_loops(d, s):
+    A = d["A"]
+    n = s["N"]
+    for i in range(n):
+        for j in range(i):
+            for k in range(j):
+                A[i, j] -= A[i, k] * A[j, k]
+            A[i, j] /= A[j, j]
+        for k in range(i):
+            A[i, i] -= A[i, k] * A[i, k]
+        A[i, i] = np.sqrt(A[i, i])
+
+
+def _cholesky_numpy(d, s):
+    # np.linalg.cholesky writes the lower triangle; polybench leaves the
+    # upper triangle untouched, so merge.
+    A = d["A"]
+    L = np.linalg.cholesky(A)
+    low = np.tril(np.ones_like(A, dtype=bool))
+    A[low] = L[low]
+
+
+register(PolybenchKernel(
+    "cholesky", _cholesky_sdfg, _cholesky_data, _cholesky_loops, _cholesky_numpy,
+    sizes={"N": 24}, outputs=("A",),
+))
+
+
+# --------------------------------------------------------------------- lu
+def _lu_sdfg():
+    @rp.program
+    def lu(A: rp.float64[N, N]):
+        for i in range(N):
+            for j in range(i):
+                for k in rp.map[0:j]:
+                    A[i, j] += -(A[i, k] * A[k, j])
+                A[i, j] = A[i, j] / A[j, j]
+            for j in range(i, N):
+                for k in rp.map[0:i]:
+                    A[i, j] += -(A[i, k] * A[k, j])
+
+    lu._sdfg = None
+    return lu.to_sdfg()
+
+
+def _lu_data(s):
+    return {"A": _spd(s["N"])}
+
+
+def _lu_loops(d, s):
+    A = d["A"]
+    n = s["N"]
+    for i in range(n):
+        for j in range(i):
+            for k in range(j):
+                A[i, j] -= A[i, k] * A[k, j]
+            A[i, j] /= A[j, j]
+        for j in range(i, n):
+            for k in range(i):
+                A[i, j] -= A[i, k] * A[k, j]
+
+
+def _lu_numpy(d, s):
+    # Doolittle LU without pivoting, row-vectorized.
+    A = d["A"]
+    n = s["N"]
+    for i in range(n):
+        for j in range(i):
+            A[i, j] = (A[i, j] - A[i, :j] @ A[:j, j]) / A[j, j]
+        A[i, i:] -= A[i, :i] @ A[:i, i:]
+
+
+register(PolybenchKernel(
+    "lu", _lu_sdfg, _lu_data, _lu_loops, _lu_numpy,
+    sizes={"N": 22}, outputs=("A",),
+))
+
+
+# ----------------------------------------------------------------- ludcmp
+def _ludcmp_sdfg():
+    @rp.program
+    def ludcmp(A: rp.float64[N, N], b: rp.float64[N], x: rp.float64[N], y: rp.float64[N]):
+        w: rp.float64
+        for i in range(N):
+            for j in range(i):
+                w[0] = A[i, j]
+                for k in rp.map[0:j]:
+                    w[0] += -(A[i, k] * A[k, j])
+                A[i, j] = w[0] / A[j, j]
+            for j in range(i, N):
+                w[0] = A[i, j]
+                for k in rp.map[0:i]:
+                    w[0] += -(A[i, k] * A[k, j])
+                A[i, j] = w[0]
+        for i in range(N):
+            w[0] = b[i]
+            for j in rp.map[0:i]:
+                w[0] += -(A[i, j] * y[j])
+            y[i] = w[0]
+        for i in range(N - 1, -1, -1):
+            w[0] = y[i]
+            for j in rp.map[i + 1 : N]:
+                w[0] += -(A[i, j] * x[j])
+            x[i] = w[0] / A[i, i]
+
+    ludcmp._sdfg = None
+    return ludcmp.to_sdfg()
+
+
+def _ludcmp_data(s):
+    n = s["N"]
+    rng = np.random.RandomState(11)
+    return {"A": _spd(n), "b": rng.rand(n), "x": np.zeros(n), "y": np.zeros(n)}
+
+
+def _ludcmp_loops(d, s):
+    A, b, x, y = d["A"], d["b"], d["x"], d["y"]
+    n = s["N"]
+    for i in range(n):
+        for j in range(i):
+            w = A[i, j]
+            for k in range(j):
+                w -= A[i, k] * A[k, j]
+            A[i, j] = w / A[j, j]
+        for j in range(i, n):
+            w = A[i, j]
+            for k in range(i):
+                w -= A[i, k] * A[k, j]
+            A[i, j] = w
+    for i in range(n):
+        w = b[i]
+        for j in range(i):
+            w -= A[i, j] * y[j]
+        y[i] = w
+    for i in range(n - 1, -1, -1):
+        w = y[i]
+        for j in range(i + 1, n):
+            w -= A[i, j] * x[j]
+        x[i] = w / A[i, i]
+
+
+def _ludcmp_numpy(d, s):
+    A, b, x, y = d["A"], d["b"], d["x"], d["y"]
+    n = s["N"]
+    for i in range(n):
+        for j in range(i):
+            A[i, j] = (A[i, j] - A[i, :j] @ A[:j, j]) / A[j, j]
+        A[i, i:] -= A[i, :i] @ A[:i, i:]
+    for i in range(n):
+        y[i] = b[i] - A[i, :i] @ y[:i]
+    for i in range(n - 1, -1, -1):
+        x[i] = (y[i] - A[i, i + 1 :] @ x[i + 1 :]) / A[i, i]
+
+
+register(PolybenchKernel(
+    "ludcmp", _ludcmp_sdfg, _ludcmp_data, _ludcmp_loops, _ludcmp_numpy,
+    sizes={"N": 20}, outputs=("A", "x", "y"),
+))
+
+
+# ---------------------------------------------------------------- trisolv
+def _trisolv_sdfg():
+    @rp.program
+    def trisolv(L: rp.float64[N, N], b: rp.float64[N], x: rp.float64[N]):
+        acc: rp.float64
+        for i in range(N):
+            acc[0] = b[i]
+            for j in rp.map[0:i]:
+                acc[0] += -(L[i, j] * x[j])
+            x[i] = acc[0] / L[i, i]
+
+    trisolv._sdfg = None
+    return trisolv.to_sdfg()
+
+
+def _trisolv_data(s):
+    n = s["N"]
+    rng = np.random.RandomState(13)
+    L = np.tril(rng.rand(n, n)) + n * np.eye(n)
+    return {"L": L, "b": rng.rand(n), "x": np.zeros(n)}
+
+
+def _trisolv_loops(d, s):
+    L, b, x = d["L"], d["b"], d["x"]
+    for i in range(s["N"]):
+        acc = b[i]
+        for j in range(i):
+            acc -= L[i, j] * x[j]
+        x[i] = acc / L[i, i]
+
+
+def _trisolv_numpy(d, s):
+    for i in range(s["N"]):
+        d["x"][i] = (d["b"][i] - d["L"][i, :i] @ d["x"][:i]) / d["L"][i, i]
+
+
+register(PolybenchKernel(
+    "trisolv", _trisolv_sdfg, _trisolv_data, _trisolv_loops, _trisolv_numpy,
+    sizes={"N": 64}, outputs=("x",),
+))
+
+
+# ----------------------------------------------------------------- durbin
+def _durbin_sdfg():
+    @rp.program
+    def durbin(r: rp.float64[N], y: rp.float64[N]):
+        z: rp.float64[N]
+        alpha: rp.float64
+        beta: rp.float64
+        summ: rp.float64
+        y[0] = -r[0]
+        beta[0] = 1.0
+        alpha[0] = -r[0]
+        for k in range(1, N):
+            beta[0] = (1.0 - alpha[0] * alpha[0]) * beta[0]
+            summ[0] = 0.0
+            for i in rp.map[0:k]:
+                summ[0] += r[k - i - 1] * y[i]
+            alpha[0] = -(r[k] + summ[0]) / beta[0]
+            for i in rp.map[0:k]:
+                z[i] = y[i] + alpha[0] * y[k - i - 1]
+            for i in rp.map[0:k]:
+                y[i] = z[i]
+            y[k] = alpha[0]
+
+    durbin._sdfg = None
+    return durbin.to_sdfg()
+
+
+def _durbin_data(s):
+    n = s["N"]
+    return {"r": (np.arange(n) + 1.0) / (2.0 * n), "y": np.zeros(n)}
+
+
+def _durbin_loops(d, s):
+    r, y = d["r"], d["y"]
+    n = s["N"]
+    y[0] = -r[0]
+    beta, alpha = 1.0, -r[0]
+    z = np.zeros(n)
+    for k in range(1, n):
+        beta = (1 - alpha * alpha) * beta
+        summ = 0.0
+        for i in range(k):
+            summ += r[k - i - 1] * y[i]
+        alpha = -(r[k] + summ) / beta
+        for i in range(k):
+            z[i] = y[i] + alpha * y[k - i - 1]
+        y[:k] = z[:k]
+        y[k] = alpha
+
+
+def _durbin_numpy(d, s):
+    r, y = d["r"], d["y"]
+    n = s["N"]
+    y[0] = -r[0]
+    beta, alpha = 1.0, -r[0]
+    for k in range(1, n):
+        beta = (1 - alpha * alpha) * beta
+        summ = r[:k][::-1] @ y[:k]
+        alpha = -(r[k] + summ) / beta
+        y[:k] = y[:k] + alpha * y[:k][::-1]
+        y[k] = alpha
+
+
+register(PolybenchKernel(
+    "durbin", _durbin_sdfg, _durbin_data, _durbin_loops, _durbin_numpy,
+    sizes={"N": 48}, outputs=("y",),
+))
+
+
+# ------------------------------------------------------------ gramschmidt
+def _gramschmidt_sdfg():
+    @rp.program
+    def gramschmidt(
+        A: rp.float64[NI, NJ], R: rp.float64[NJ, NJ], Q: rp.float64[NI, NJ]
+    ):
+        nrm: rp.float64
+        for k in range(NJ):
+            nrm[0] = 0.0
+            for i in rp.map[0:NI]:
+                nrm[0] += A[i, k] * A[i, k]
+            R[k, k] = math.sqrt(nrm[0])
+            for i in rp.map[0:NI]:
+                Q[i, k] = A[i, k] / R[k, k]
+            for j in range(k + 1, NJ):
+                R[k, j] = 0.0
+                for i in rp.map[0:NI]:
+                    R[k, j] += Q[i, k] * A[i, j]
+                for i in rp.map[0:NI]:
+                    A[i, j] += -(Q[i, k] * R[k, j])
+
+    gramschmidt._sdfg = None
+    return gramschmidt.to_sdfg()
+
+
+def _gramschmidt_data(s):
+    rng = np.random.RandomState(17)
+    return {
+        "A": rng.rand(s["NI"], s["NJ"]) + 0.5,
+        "R": np.zeros((s["NJ"], s["NJ"])),
+        "Q": np.zeros((s["NI"], s["NJ"])),
+    }
+
+
+def _gramschmidt_loops(d, s):
+    A, R, Q = d["A"], d["R"], d["Q"]
+    ni, nj = s["NI"], s["NJ"]
+    for k in range(nj):
+        nrm = 0.0
+        for i in range(ni):
+            nrm += A[i, k] * A[i, k]
+        R[k, k] = np.sqrt(nrm)
+        for i in range(ni):
+            Q[i, k] = A[i, k] / R[k, k]
+        for j in range(k + 1, nj):
+            R[k, j] = 0.0
+            for i in range(ni):
+                R[k, j] += Q[i, k] * A[i, j]
+            for i in range(ni):
+                A[i, j] -= Q[i, k] * R[k, j]
+
+
+def _gramschmidt_numpy(d, s):
+    A, R, Q = d["A"], d["R"], d["Q"]
+    for k in range(s["NJ"]):
+        R[k, k] = np.linalg.norm(A[:, k])
+        Q[:, k] = A[:, k] / R[k, k]
+        R[k, k + 1 :] = Q[:, k] @ A[:, k + 1 :]
+        A[:, k + 1 :] -= np.outer(Q[:, k], R[k, k + 1 :])
+
+
+register(PolybenchKernel(
+    "gramschmidt", _gramschmidt_sdfg, _gramschmidt_data, _gramschmidt_loops,
+    _gramschmidt_numpy, sizes={"NI": 28, "NJ": 24}, outputs=("A", "R", "Q"),
+))

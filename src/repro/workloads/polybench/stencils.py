@@ -1,0 +1,523 @@
+"""PolyBench stencil kernels: jacobi-1d, jacobi-2d, seidel-2d, heat-3d,
+fdtd-2d, adi, deriche."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+import repro as rp
+from repro.workloads.polybench import PolybenchKernel, register
+
+N = rp.symbol("N")
+NX, NY = rp.symbol("NX"), rp.symbol("NY")
+TSTEPS = rp.symbol("TSTEPS")
+W, H = rp.symbol("W"), rp.symbol("H")
+
+
+# ---------------------------------------------------------------- jacobi-1d
+def _jacobi1d_sdfg():
+    @rp.program
+    def jacobi1d(A: rp.float64[N], B: rp.float64[N], TSTEPS: rp.int64):
+        for t in range(TSTEPS):
+            for i in rp.map[1 : N - 1]:
+                B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1])
+            for i in rp.map[1 : N - 1]:
+                A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1])
+
+    jacobi1d._sdfg = None
+    return jacobi1d.to_sdfg()
+
+
+def _jacobi1d_data(s):
+    n = s["N"]
+    i = np.arange(n, dtype=np.float64)
+    return {"A": (i + 2) / n, "B": (i + 3) / n}
+
+
+def _jacobi1d_loops(d, s):
+    A, B = d["A"], d["B"]
+    for t in range(s["TSTEPS"]):
+        for i in range(1, s["N"] - 1):
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1])
+        for i in range(1, s["N"] - 1):
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1])
+
+
+def _jacobi1d_numpy(d, s):
+    A, B = d["A"], d["B"]
+    for t in range(s["TSTEPS"]):
+        B[1:-1] = 0.33333 * (A[:-2] + A[1:-1] + A[2:])
+        A[1:-1] = 0.33333 * (B[:-2] + B[1:-1] + B[2:])
+
+
+register(PolybenchKernel(
+    "jacobi-1d", _jacobi1d_sdfg, _jacobi1d_data, _jacobi1d_loops, _jacobi1d_numpy,
+    sizes={"N": 400, "TSTEPS": 20}, outputs=("A", "B"), extra_symbols=("TSTEPS",),
+))
+
+
+# ---------------------------------------------------------------- jacobi-2d
+def _jacobi2d_sdfg():
+    @rp.program
+    def jacobi2d(A: rp.float64[N, N], B: rp.float64[N, N], TSTEPS: rp.int64):
+        for t in range(TSTEPS):
+            for i, j in rp.map[1 : N - 1, 1 : N - 1]:
+                B[i, j] = 0.2 * (A[i, j] + A[i, j - 1] + A[i, j + 1] + A[i + 1, j] + A[i - 1, j])
+            for i, j in rp.map[1 : N - 1, 1 : N - 1]:
+                A[i, j] = 0.2 * (B[i, j] + B[i, j - 1] + B[i, j + 1] + B[i + 1, j] + B[i - 1, j])
+
+    jacobi2d._sdfg = None
+    return jacobi2d.to_sdfg()
+
+
+def _jacobi2d_data(s):
+    n = s["N"]
+    i, j = np.indices((n, n)).astype(np.float64)
+    return {"A": i * (j + 2) / n, "B": i * (j + 3) / n}
+
+
+def _jacobi2d_loops(d, s):
+    A, B = d["A"], d["B"]
+    n = s["N"]
+    for t in range(s["TSTEPS"]):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                B[i, j] = 0.2 * (A[i, j] + A[i, j - 1] + A[i, j + 1] + A[i + 1, j] + A[i - 1, j])
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                A[i, j] = 0.2 * (B[i, j] + B[i, j - 1] + B[i, j + 1] + B[i + 1, j] + B[i - 1, j])
+
+
+def _jacobi2d_numpy(d, s):
+    A, B = d["A"], d["B"]
+    for t in range(s["TSTEPS"]):
+        B[1:-1, 1:-1] = 0.2 * (
+            A[1:-1, 1:-1] + A[1:-1, :-2] + A[1:-1, 2:] + A[2:, 1:-1] + A[:-2, 1:-1]
+        )
+        A[1:-1, 1:-1] = 0.2 * (
+            B[1:-1, 1:-1] + B[1:-1, :-2] + B[1:-1, 2:] + B[2:, 1:-1] + B[:-2, 1:-1]
+        )
+
+
+register(PolybenchKernel(
+    "jacobi-2d", _jacobi2d_sdfg, _jacobi2d_data, _jacobi2d_loops, _jacobi2d_numpy,
+    sizes={"N": 60, "TSTEPS": 10}, outputs=("A", "B"), extra_symbols=("TSTEPS",),
+))
+
+
+# ---------------------------------------------------------------- seidel-2d
+def _seidel2d_sdfg():
+    @rp.program
+    def seidel2d(A: rp.float64[N, N], TSTEPS: rp.int64):
+        for t in range(TSTEPS):
+            for i in range(1, N - 1):
+                for j in range(1, N - 1):
+                    A[i, j] = (
+                        A[i - 1, j - 1] + A[i - 1, j] + A[i - 1, j + 1]
+                        + A[i, j - 1] + A[i, j] + A[i, j + 1]
+                        + A[i + 1, j - 1] + A[i + 1, j] + A[i + 1, j + 1]
+                    ) / 9.0
+
+    seidel2d._sdfg = None
+    return seidel2d.to_sdfg()
+
+
+def _seidel2d_data(s):
+    n = s["N"]
+    i, j = np.indices((n, n)).astype(np.float64)
+    return {"A": (i * (j + 2) + 2) / n}
+
+
+def _seidel2d_loops(d, s):
+    A = d["A"]
+    n = s["N"]
+    for t in range(s["TSTEPS"]):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                A[i, j] = (
+                    A[i - 1, j - 1] + A[i - 1, j] + A[i - 1, j + 1]
+                    + A[i, j - 1] + A[i, j] + A[i, j + 1]
+                    + A[i + 1, j - 1] + A[i + 1, j] + A[i + 1, j + 1]
+                ) / 9.0
+
+
+_seidel2d_numpy = _seidel2d_loops  # inherently sequential (Gauss-Seidel)
+
+register(PolybenchKernel(
+    "seidel-2d", _seidel2d_sdfg, _seidel2d_data, _seidel2d_loops, _seidel2d_numpy,
+    sizes={"N": 16, "TSTEPS": 2}, outputs=("A",), extra_symbols=("TSTEPS",),
+))
+
+
+# ------------------------------------------------------------------ heat-3d
+def _heat3d_sdfg():
+    @rp.program
+    def heat3d(A: rp.float64[N, N, N], B: rp.float64[N, N, N], TSTEPS: rp.int64):
+        for t in range(TSTEPS):
+            for i, j, k in rp.map[1 : N - 1, 1 : N - 1, 1 : N - 1]:
+                B[i, j, k] = (
+                    0.125 * (A[i + 1, j, k] - 2.0 * A[i, j, k] + A[i - 1, j, k])
+                    + 0.125 * (A[i, j + 1, k] - 2.0 * A[i, j, k] + A[i, j - 1, k])
+                    + 0.125 * (A[i, j, k + 1] - 2.0 * A[i, j, k] + A[i, j, k - 1])
+                    + A[i, j, k]
+                )
+            for i, j, k in rp.map[1 : N - 1, 1 : N - 1, 1 : N - 1]:
+                A[i, j, k] = (
+                    0.125 * (B[i + 1, j, k] - 2.0 * B[i, j, k] + B[i - 1, j, k])
+                    + 0.125 * (B[i, j + 1, k] - 2.0 * B[i, j, k] + B[i, j - 1, k])
+                    + 0.125 * (B[i, j, k + 1] - 2.0 * B[i, j, k] + B[i, j, k - 1])
+                    + B[i, j, k]
+                )
+
+    heat3d._sdfg = None
+    return heat3d.to_sdfg()
+
+
+def _heat3d_data(s):
+    n = s["N"]
+    i, j, k = np.indices((n, n, n)).astype(np.float64)
+    init = (i + j + (n - k)) * 10.0 / n
+    return {"A": init.copy(), "B": init.copy()}
+
+
+def _heat3d_loops(d, s):
+    A, B = d["A"], d["B"]
+    n = s["N"]
+
+    def step(src, dst):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                for k in range(1, n - 1):
+                    dst[i, j, k] = (
+                        0.125 * (src[i + 1, j, k] - 2 * src[i, j, k] + src[i - 1, j, k])
+                        + 0.125 * (src[i, j + 1, k] - 2 * src[i, j, k] + src[i, j - 1, k])
+                        + 0.125 * (src[i, j, k + 1] - 2 * src[i, j, k] + src[i, j, k - 1])
+                        + src[i, j, k]
+                    )
+
+    for t in range(s["TSTEPS"]):
+        step(A, B)
+        step(B, A)
+
+
+def _heat3d_numpy(d, s):
+    A, B = d["A"], d["B"]
+
+    def step(src, dst):
+        c = src[1:-1, 1:-1, 1:-1]
+        dst[1:-1, 1:-1, 1:-1] = (
+            0.125 * (src[2:, 1:-1, 1:-1] - 2 * c + src[:-2, 1:-1, 1:-1])
+            + 0.125 * (src[1:-1, 2:, 1:-1] - 2 * c + src[1:-1, :-2, 1:-1])
+            + 0.125 * (src[1:-1, 1:-1, 2:] - 2 * c + src[1:-1, 1:-1, :-2])
+            + c
+        )
+
+    for t in range(s["TSTEPS"]):
+        step(A, B)
+        step(B, A)
+
+
+register(PolybenchKernel(
+    "heat-3d", _heat3d_sdfg, _heat3d_data, _heat3d_loops, _heat3d_numpy,
+    sizes={"N": 16, "TSTEPS": 6}, outputs=("A", "B"), extra_symbols=("TSTEPS",),
+))
+
+
+# ------------------------------------------------------------------ fdtd-2d
+def _fdtd2d_sdfg():
+    @rp.program
+    def fdtd2d(
+        ex: rp.float64[NX, NY], ey: rp.float64[NX, NY],
+        hz: rp.float64[NX, NY], fict: rp.float64[TSTEPS],
+        TSTEPS: rp.int64,
+    ):
+        for t in range(TSTEPS):
+            for j in rp.map[0:NY]:
+                ey[0, j] = fict[t]
+            for i, j in rp.map[1:NX, 0:NY]:
+                ey[i, j] += -0.5 * (hz[i, j] - hz[i - 1, j])
+            for i, j in rp.map[0:NX, 1:NY]:
+                ex[i, j] += -0.5 * (hz[i, j] - hz[i, j - 1])
+            for i, j in rp.map[0 : NX - 1, 0 : NY - 1]:
+                hz[i, j] += -0.7 * (ex[i, j + 1] - ex[i, j] + ey[i + 1, j] - ey[i, j])
+
+    fdtd2d._sdfg = None
+    return fdtd2d.to_sdfg()
+
+
+def _fdtd2d_data(s):
+    nx, ny, t = s["NX"], s["NY"], s["TSTEPS"]
+    i, j = np.indices((nx, ny)).astype(np.float64)
+    return {
+        "ex": i * (j + 1) / nx,
+        "ey": i * (j + 2) / ny,
+        "hz": i * (j + 3) / nx,
+        "fict": np.arange(t, dtype=np.float64),
+    }
+
+
+def _fdtd2d_loops(d, s):
+    ex, ey, hz, fict = d["ex"], d["ey"], d["hz"], d["fict"]
+    nx, ny = s["NX"], s["NY"]
+    for t in range(s["TSTEPS"]):
+        for j in range(ny):
+            ey[0, j] = fict[t]
+        for i in range(1, nx):
+            for j in range(ny):
+                ey[i, j] -= 0.5 * (hz[i, j] - hz[i - 1, j])
+        for i in range(nx):
+            for j in range(1, ny):
+                ex[i, j] -= 0.5 * (hz[i, j] - hz[i, j - 1])
+        for i in range(nx - 1):
+            for j in range(ny - 1):
+                hz[i, j] -= 0.7 * (ex[i, j + 1] - ex[i, j] + ey[i + 1, j] - ey[i, j])
+
+
+def _fdtd2d_numpy(d, s):
+    ex, ey, hz, fict = d["ex"], d["ey"], d["hz"], d["fict"]
+    for t in range(s["TSTEPS"]):
+        ey[0, :] = fict[t]
+        ey[1:, :] -= 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] -= 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] -= 0.7 * (
+            ex[:-1, 1:] - ex[:-1, :-1] + ey[1:, :-1] - ey[:-1, :-1]
+        )
+
+
+register(PolybenchKernel(
+    "fdtd-2d", _fdtd2d_sdfg, _fdtd2d_data, _fdtd2d_loops, _fdtd2d_numpy,
+    sizes={"NX": 40, "NY": 50, "TSTEPS": 10}, outputs=("ex", "ey", "hz"),
+    extra_symbols=("TSTEPS",),
+))
+
+
+# ---------------------------------------------------------------------- adi
+def _adi_sdfg():
+    @rp.program
+    def adi(
+        u: rp.float64[N, N], v: rp.float64[N, N],
+        p: rp.float64[N, N], q: rp.float64[N, N],
+        TSTEPS: rp.int64,
+    ):
+        # Coefficients recomputed from the symbols inside tasklets.
+        for t in range(1, TSTEPS + 1):
+            # Column sweep.
+            for i in rp.map[1 : N - 1]:
+                v[0, i] = 1.0
+                p[i, 0] = 0.0
+                q[i, 0] = 1.0
+            for j in range(1, N - 1):
+                for i in rp.map[1 : N - 1]:
+                    p[i, j] = ((1.0 / TSTEPS) * N * N / 2.0) / (
+                        (-((1.0 / TSTEPS) * N * N / 2.0)) * p[i, j - 1]
+                        + (1.0 + (1.0 / TSTEPS) * N * N)
+                    )
+                for i in rp.map[1 : N - 1]:
+                    q[i, j] = (
+                        -((1.0 / TSTEPS) * N * N / 2.0) * u[j, i - 1]
+                        + (1.0 + (1.0 / TSTEPS) * N * N) * u[j, i]
+                        - (1.0 / TSTEPS) * N * N / 2.0 * u[j, i + 1]
+                        - (-((1.0 / TSTEPS) * N * N / 2.0)) * q[i, j - 1]
+                    ) / ((-((1.0 / TSTEPS) * N * N / 2.0)) * p[i, j - 1] + (1.0 + (1.0 / TSTEPS) * N * N))
+
+            for i in rp.map[1 : N - 1]:
+                v[N - 1, i] = 1.0
+            for j in range(N - 2, 0, -1):
+                for i in rp.map[1 : N - 1]:
+                    v[j, i] = p[i, j] * v[j + 1, i] + q[i, j]
+            # Row sweep.
+            for i in rp.map[1 : N - 1]:
+                u[i, 0] = 1.0
+                p[i, 0] = 0.0
+                q[i, 0] = 1.0
+            for j in range(1, N - 1):
+                for i in rp.map[1 : N - 1]:
+                    p[i, j] = ((1.0 / TSTEPS) * N * N / 2.0) / (
+                        (-((1.0 / TSTEPS) * N * N / 2.0)) * p[i, j - 1]
+                        + (1.0 + (1.0 / TSTEPS) * N * N)
+                    )
+                for i in rp.map[1 : N - 1]:
+                    q[i, j] = (
+                        -((1.0 / TSTEPS) * N * N / 2.0) * v[i - 1, j]
+                        + (1.0 + (1.0 / TSTEPS) * N * N) * v[i, j]
+                        - (1.0 / TSTEPS) * N * N / 2.0 * v[i + 1, j]
+                        - (-((1.0 / TSTEPS) * N * N / 2.0)) * q[i, j - 1]
+                    ) / ((-((1.0 / TSTEPS) * N * N / 2.0)) * p[i, j - 1] + (1.0 + (1.0 / TSTEPS) * N * N))
+            for i in rp.map[1 : N - 1]:
+                u[i, N - 1] = 1.0
+            for j in range(N - 2, 0, -1):
+                for i in rp.map[1 : N - 1]:
+                    u[i, j] = p[i, j] * u[i, j + 1] + q[i, j]
+
+    adi._sdfg = None
+    return adi.to_sdfg()
+
+
+def _adi_consts(s):
+    n, tsteps = s["N"], s["TSTEPS"]
+    # Simplified ADI coefficients (symmetric in both directions): with
+    # a = -d/2, b = 1 + d, c = a, where d = dt*n^2.
+    d = (1.0 / tsteps) * n * n
+    a = -d / 2.0
+    b = 1.0 + d
+    return a, b
+
+
+def _adi_loops(dta, s):
+    u, v, p, q = dta["u"], dta["v"], dta["p"], dta["q"]
+    n = s["N"]
+    a, b = _adi_consts(s)
+    for t in range(1, s["TSTEPS"] + 1):
+        for i in range(1, n - 1):
+            v[0, i] = 1.0
+            p[i, 0] = 0.0
+            q[i, 0] = 1.0
+            for j in range(1, n - 1):
+                p[i, j] = -a / (a * p[i, j - 1] + b)
+                q[i, j] = (a * u[j, i - 1] + b * u[j, i] + a * u[j, i + 1]
+                           - a * q[i, j - 1]) / (a * p[i, j - 1] + b)
+            v[n - 1, i] = 1.0
+            for j in range(n - 2, 0, -1):
+                v[j, i] = p[i, j] * v[j + 1, i] + q[i, j]
+        for i in range(1, n - 1):
+            u[i, 0] = 1.0
+            p[i, 0] = 0.0
+            q[i, 0] = 1.0
+            for j in range(1, n - 1):
+                p[i, j] = -a / (a * p[i, j - 1] + b)
+                q[i, j] = (a * v[i - 1, j] + b * v[i, j] + a * v[i + 1, j]
+                           - a * q[i, j - 1]) / (a * p[i, j - 1] + b)
+            u[i, n - 1] = 1.0
+            for j in range(n - 2, 0, -1):
+                u[i, j] = p[i, j] * u[i, j + 1] + q[i, j]
+
+
+def _adi_numpy(dta, s):
+    u, v, p, q = dta["u"], dta["v"], dta["p"], dta["q"]
+    n = s["N"]
+    a, b = _adi_consts(s)
+    rng = slice(1, n - 1)
+    for t in range(1, s["TSTEPS"] + 1):
+        v[0, rng] = 1.0
+        p[rng, 0] = 0.0
+        q[rng, 0] = 1.0
+        for j in range(1, n - 1):
+            p[rng, j] = -a / (a * p[rng, j - 1] + b)
+            q[rng, j] = (
+                a * u[j, 0 : n - 2] + b * u[j, rng] + a * u[j, 2:n] - a * q[rng, j - 1]
+            ) / (a * p[rng, j - 1] + b)
+        v[n - 1, rng] = 1.0
+        for j in range(n - 2, 0, -1):
+            v[j, rng] = p[rng, j] * v[j + 1, rng] + q[rng, j]
+        u[rng, 0] = 1.0
+        p[rng, 0] = 0.0
+        q[rng, 0] = 1.0
+        for j in range(1, n - 1):
+            p[rng, j] = -a / (a * p[rng, j - 1] + b)
+            q[rng, j] = (
+                a * v[0 : n - 2, j] + b * v[rng, j] + a * v[2:n, j] - a * q[rng, j - 1]
+            ) / (a * p[rng, j - 1] + b)
+        u[rng, n - 1] = 1.0
+        for j in range(n - 2, 0, -1):
+            u[rng, j] = p[rng, j] * u[rng, j + 1] + q[rng, j]
+
+
+def _adi_data(s):
+    n = s["N"]
+    i, j = np.indices((n, n)).astype(np.float64)
+    return {
+        "u": (i + n - j) / n,
+        "v": np.zeros((n, n)),
+        "p": np.zeros((n, n)),
+        "q": np.zeros((n, n)),
+    }
+
+
+register(PolybenchKernel(
+    "adi", _adi_sdfg, _adi_data, _adi_loops, _adi_numpy,
+    sizes={"N": 18, "TSTEPS": 4}, outputs=("u", "v"), extra_symbols=("TSTEPS",),
+))
+
+
+# -------------------------------------------------------------------- deriche
+def _deriche_sdfg():
+    @rp.program
+    def deriche(imgIn: rp.float64[W, H], imgOut: rp.float64[W, H]):
+        y1: rp.float64[W, H]
+        y2: rp.float64[W, H]
+        # Horizontal forward scan (rows parallel, columns sequential).
+        for j in range(H):
+            for i in rp.map[0:W]:
+                y1[i, j] = (
+                    0.2 * imgIn[i, j]
+                    + 0.1 * imgIn[i, max(j - 1, 0)] * (1.0 if j >= 1 else 0.0)
+                    + 0.4 * y1[i, max(j - 1, 0)] * (1.0 if j >= 1 else 0.0)
+                    + 0.25 * y1[i, max(j - 2, 0)] * (1.0 if j >= 2 else 0.0)
+                )
+        # Horizontal backward scan.
+        for j in range(H - 1, -1, -1):
+            for i in rp.map[0:W]:
+                y2[i, j] = (
+                    0.15 * imgIn[i, min(j + 1, H - 1)] * (1.0 if j <= H - 2 else 0.0)
+                    + 0.4 * y2[i, min(j + 1, H - 1)] * (1.0 if j <= H - 2 else 0.0)
+                    + 0.25 * y2[i, min(j + 2, H - 1)] * (1.0 if j <= H - 3 else 0.0)
+                )
+        for i, j in rp.map[0:W, 0:H]:
+            imgOut[i, j] = y1[i, j] + y2[i, j]
+
+    deriche._sdfg = None
+    return deriche.to_sdfg()
+
+
+def _deriche_data(s):
+    w, h = s["W"], s["H"]
+    i, j = np.indices((w, h)).astype(np.float64)
+    return {"imgIn": ((313 * i + 991 * j) % 65536) / 65535.0, "imgOut": np.zeros((w, h))}
+
+
+def _deriche_loops(d, s):
+    imgIn, imgOut = d["imgIn"], d["imgOut"]
+    w, h = s["W"], s["H"]
+    y1 = np.zeros((w, h))
+    y2 = np.zeros((w, h))
+    for i in range(w):
+        for j in range(h):
+            y1[i, j] = 0.2 * imgIn[i, j]
+            if j >= 1:
+                y1[i, j] += 0.1 * imgIn[i, j - 1] + 0.4 * y1[i, j - 1]
+            if j >= 2:
+                y1[i, j] += 0.25 * y1[i, j - 2]
+        for j in range(h - 1, -1, -1):
+            y2[i, j] = 0.0
+            if j <= h - 2:
+                y2[i, j] += 0.15 * imgIn[i, j + 1] + 0.4 * y2[i, j + 1]
+            if j <= h - 3:
+                y2[i, j] += 0.25 * y2[i, j + 2]
+    imgOut[...] = y1 + y2
+
+
+def _deriche_numpy(d, s):
+    imgIn, imgOut = d["imgIn"], d["imgOut"]
+    w, h = s["W"], s["H"]
+    y1 = np.zeros((w, h))
+    y2 = np.zeros((w, h))
+    for j in range(h):
+        y1[:, j] = 0.2 * imgIn[:, j]
+        if j >= 1:
+            y1[:, j] += 0.1 * imgIn[:, j - 1] + 0.4 * y1[:, j - 1]
+        if j >= 2:
+            y1[:, j] += 0.25 * y1[:, j - 2]
+    for j in range(h - 1, -1, -1):
+        if j <= h - 2:
+            y2[:, j] += 0.15 * imgIn[:, j + 1] + 0.4 * y2[:, j + 1]
+        if j <= h - 3:
+            y2[:, j] += 0.25 * y2[:, j + 2]
+    imgOut[...] = y1 + y2
+
+
+register(PolybenchKernel(
+    "deriche", _deriche_sdfg, _deriche_data, _deriche_loops, _deriche_numpy,
+    sizes={"W": 32, "H": 36}, outputs=("imgOut",),
+))

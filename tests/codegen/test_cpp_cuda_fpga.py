@@ -1,0 +1,289 @@
+"""Tests for the C++ (compiled via gcc when available), CUDA, and HLS
+backends."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_code
+from repro.codegen.common import CodegenError
+from repro.codegen.cpp_gen import compile_cpp, find_host_compiler
+from repro.codegen.py2cpp import Py2Cpp
+from repro.sdfg import (
+    SDFG,
+    Memlet,
+    ScheduleType,
+    StorageType,
+    dtypes,
+)
+
+needs_cc = pytest.mark.skipif(
+    find_host_compiler() is None, reason="no host C++ compiler"
+)
+
+
+def vadd(storage=StorageType.Default, schedule=ScheduleType.Default, name="vadd"):
+    sdfg = SDFG(name)
+    sdfg.add_array("A", ("N",), dtypes.float64, storage=storage)
+    sdfg.add_array("B", ("N",), dtypes.float64, storage=storage)
+    sdfg.add_array("C", ("N",), dtypes.float64, storage=storage)
+    st = sdfg.add_state("main")
+    st.add_mapped_tasklet(
+        "add",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i"), "b": Memlet.simple("B", "i")},
+        code="c = a + b",
+        outputs={"c": Memlet.simple("C", "i")},
+        schedule=schedule,
+    )
+    return sdfg
+
+
+class TestPy2Cpp:
+    def test_simple_assignment(self):
+        lines = Py2Cpp(declared={"a": "double", "b": "double"}).convert("b = a * 2")
+        assert lines == ["b = (a * 2);"]
+
+    def test_local_gets_auto(self):
+        lines = Py2Cpp().convert("x = 1\ny = x + 2")
+        assert lines[0].startswith("auto x = ")
+        assert lines[1].startswith("auto y = ")
+
+    def test_if_statement(self):
+        lines = Py2Cpp(declared={"o": "double", "v": "double"}).convert(
+            "if v > 0:\n    o = v\nelse:\n    o = -v"
+        )
+        joined = "\n".join(lines)
+        assert "if (((v > 0))) {" in joined and "} else {" in joined
+
+    def test_ternary(self):
+        lines = Py2Cpp(declared={"o": "double", "a": "double"}).convert(
+            "o = a if a > 0 else 0.0"
+        )
+        assert "?" in lines[0]
+
+    def test_min_max_math(self):
+        lines = Py2Cpp(declared={"o": "double", "a": "double"}).convert(
+            "o = min(a, 1.0) + math.sqrt(a)"
+        )
+        assert "std::min<double>" in lines[0] and "std::sqrt" in lines[0]
+
+    def test_subscript(self):
+        lines = Py2Cpp(declared={"o": "double", "w": "double"}).convert(
+            "o = w[0] - 2*w[1] + w[2]"
+        )
+        assert "w[0]" in lines[0]
+
+    def test_unsupported_rejected(self):
+        with pytest.raises(CodegenError):
+            Py2Cpp().convert("x = {1: 2}")
+        with pytest.raises(CodegenError):
+            Py2Cpp().convert("for i in range(3): pass")
+
+
+class TestCppStructure:
+    def test_signature_and_state_machine(self):
+        src = generate_code(vadd(), "cpp")
+        assert 'extern "C" void vadd(' in src
+        assert "double* A" in src and "long long N" in src
+        assert "__state_0:" in src and "goto __exit" in src
+
+    def test_openmp_for_multicore(self):
+        src = generate_code(
+            vadd(schedule=ScheduleType.CPU_Multicore, name="vaddmc"), "cpp"
+        )
+        assert "#pragma omp parallel for" in src
+
+    def test_wcr_becomes_atomic_in_parallel(self):
+        sdfg = SDFG("dotc")
+        sdfg.add_array("x", ("N",), dtypes.float64)
+        sdfg.add_array("r", (1,), dtypes.float64)
+        st = sdfg.add_state()
+        st.add_mapped_tasklet(
+            "d",
+            {"i": "0:N"},
+            inputs={"a": Memlet.simple("x", "i")},
+            code="o = a * a",
+            outputs={"o": Memlet(data="r", subset="0", wcr="sum")},
+            schedule=ScheduleType.CPU_Multicore,
+        )
+        src = generate_code(sdfg, "cpp")
+        assert "#pragma omp atomic" in src
+
+    def test_transient_allocation(self):
+        sdfg = vadd(name="vaddt")
+        sdfg.add_transient("tmp", ("N",), dtypes.float64, find_new_name=False)
+        st = sdfg.start_state
+        st.add_nedge(st.add_read("A"), st.add_access("tmp"))
+        src = generate_code(sdfg, "cpp")
+        assert "new double[" in src and "delete[] tmp;" in src
+
+
+@needs_cc
+class TestCppExecution:
+    def test_vadd(self):
+        comp = compile_cpp(vadd(name="vaddx"))
+        A, B, C = np.random.rand(64), np.random.rand(64), np.zeros(64)
+        comp(A=A, B=B, C=C)
+        assert np.allclose(C, A + B)
+
+    def test_matmul_wcr(self):
+        sdfg = SDFG("mmx")
+        sdfg.add_array("A", ("M", "K"), dtypes.float64)
+        sdfg.add_array("B", ("K", "N"), dtypes.float64)
+        sdfg.add_array("C", ("M", "N"), dtypes.float64)
+        st = sdfg.add_state()
+        st.add_mapped_tasklet(
+            "mm",
+            {"i": "0:M", "j": "0:N", "k": "0:K"},
+            inputs={"a": Memlet.simple("A", "i, k"), "b": Memlet.simple("B", "k, j")},
+            code="o = a * b",
+            outputs={"o": Memlet(data="C", subset="i, j", wcr="sum")},
+        )
+        sdfg.validate()
+        comp = compile_cpp(sdfg)
+        A, B = np.random.rand(6, 4), np.random.rand(4, 5)
+        C = np.zeros((6, 5))
+        comp(A=A, B=B, C=C)
+        assert np.allclose(C, A @ B)
+
+    def test_state_loop(self):
+        sdfg = SDFG("loopx")
+        sdfg.add_array("v", (1,), dtypes.float64)
+        sdfg.add_symbol("T")
+        body = sdfg.add_state("body")
+        t = body.add_tasklet("inc", ["a"], ["b"], "b = a + 1")
+        body.add_edge(body.add_read("v"), t, Memlet.simple("v", "0"), None, "a")
+        body.add_edge(t, body.add_write("v"), Memlet.simple("v", "0"), "b", None)
+        init = sdfg.add_state("init", is_start=True)
+        sdfg.add_loop(init, body, None, "k", 0, "k < T", "k + 1")
+        comp = compile_cpp(sdfg)
+        v = np.zeros(1)
+        comp(v=v, T=17)
+        assert v[0] == 17
+
+    def test_stencil_pointer_connector(self):
+        sdfg = SDFG("stencilx")
+        sdfg.add_array("A", ("N",), dtypes.float64)
+        sdfg.add_array("B", ("N",), dtypes.float64)
+        st = sdfg.add_state()
+        st.add_mapped_tasklet(
+            "lap",
+            {"i": "1:N-1"},
+            inputs={"w": Memlet.simple("A", "i-1:i+2")},
+            code="b = w[0] - 2*w[1] + w[2]",
+            outputs={"b": Memlet.simple("B", "i")},
+        )
+        comp = compile_cpp(sdfg)
+        A = np.random.rand(40)
+        B = np.zeros(40)
+        comp(A=A, B=B)
+        assert np.allclose(B[1:-1], A[:-2] - 2 * A[1:-1] + A[2:])
+
+    def test_reduce_node(self):
+        sdfg = SDFG("redx")
+        sdfg.add_array("A", ("M", "N"), dtypes.float64)
+        sdfg.add_array("out", ("M",), dtypes.float64)
+        st = sdfg.add_state()
+        r = st.add_reduce("sum", axes=(1,))
+        st.add_edge(st.add_read("A"), r, Memlet.simple("A", "0:M, 0:N"), None, "IN_1")
+        st.add_edge(r, st.add_write("out"), Memlet.simple("out", "0:M"), "OUT_1", None)
+        comp = compile_cpp(sdfg)
+        A = np.random.rand(5, 9)
+        out = np.zeros(5)
+        comp(A=A, out=out)
+        assert np.allclose(out, A.sum(axis=1))
+
+
+class TestCudaStructure:
+    def gpu_vadd(self):
+        return vadd(
+            storage=StorageType.GPU_Global,
+            schedule=ScheduleType.GPU_Device,
+            name="vaddgpu",
+        )
+
+    def test_kernel_emitted(self):
+        src = generate_code(self.gpu_vadd(), "cuda")
+        assert "__global__ void" in src
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in src
+        assert "<<<" in src
+
+    def test_device_allocation(self):
+        src = generate_code(self.gpu_vadd(), "cuda")
+        assert src.count("cudaMalloc") == 3
+        assert "cudaFree" in src
+
+    def test_wcr_atomic(self):
+        sdfg = SDFG("dotg")
+        sdfg.add_array("x", ("N",), dtypes.float64, storage=StorageType.GPU_Global)
+        sdfg.add_array("r", (1,), dtypes.float64, storage=StorageType.GPU_Global)
+        st = sdfg.add_state()
+        st.add_mapped_tasklet(
+            "d",
+            {"i": "0:N"},
+            inputs={"a": Memlet.simple("x", "i")},
+            code="o = a * a",
+            outputs={"o": Memlet(data="r", subset="0", wcr="sum")},
+            schedule=ScheduleType.GPU_Device,
+        )
+        src = generate_code(sdfg, "cuda")
+        assert "atomicAdd" in src
+
+    def test_copy_volume_from_propagated_memlets(self):
+        # The H2D copy must be sized by the propagated footprint: this is
+        # the data-movement precision the paper credits for GPU speedups.
+        sdfg = SDFG("copyvol")
+        sdfg.add_array("A", ("N",), dtypes.float64)  # host
+        sdfg.add_array("gA", ("N",), dtypes.float64, storage=StorageType.GPU_Global, transient=True)
+        st = sdfg.add_state()
+        a = st.add_read("A")
+        ga = st.add_access("gA")
+        st.add_edge(a, ga, Memlet(data="A", subset="0:N//2", other_subset="0:N//2"), None, None)
+        src = generate_code(sdfg, "cuda")
+        assert "cudaMemcpyAsync" in src
+        assert "(N // 2)" in src.replace("((N) / (2))", "(N // 2)")
+
+
+class TestFPGAStructure:
+    def test_pipeline_pragma(self):
+        sdfg = vadd(storage=StorageType.FPGA_Global, name="vaddfp")
+        src = generate_code(sdfg, "fpga")
+        assert "#pragma HLS PIPELINE II=1" in src
+        assert "m_axi" in src
+
+    def test_ddr_bank_spread(self):
+        sdfg = vadd(storage=StorageType.FPGA_Global, name="vaddfp2")
+        src = generate_code(sdfg, "fpga")
+        # A, B, C spread across gmem banks (VCU1525 has 4 DDR4 banks).
+        assert "bundle=gmem0" in src and "bundle=gmem1" in src and "bundle=gmem2" in src
+
+    def test_systolic_array_from_pe_indexed_streams(self):
+        # Paper Fig. 7: map over PEs communicating via pipes[p] -> pipes[p+1].
+        sdfg = SDFG("systolic")
+        sdfg.add_array("A", ("N",), dtypes.float64, storage=StorageType.FPGA_Global)
+        sdfg.add_stream("pipes", dtypes.float64, shape=("P + 1",), transient=True)
+        sdfg.add_symbol("P")
+        st = sdfg.add_state()
+        me, mx = st.add_map("pes", {"p": "0:P"}, schedule=ScheduleType.FPGA_Device)
+        t = st.add_tasklet("pe", ["inp"], ["out"], "out = inp + 1")
+        pin = st.add_access("pipes")
+        pout = st.add_access("pipes")
+        st.add_memlet_path(
+            pin, me, t, memlet=Memlet(data="pipes", subset="p", dynamic=True), dst_conn="inp"
+        )
+        st.add_memlet_path(
+            t, mx, pout, memlet=Memlet(data="pipes", subset="p+1", dynamic=True), src_conn="out"
+        )
+        src = generate_code(sdfg, "fpga")
+        assert "systolic array" in src
+        assert "#pragma HLS UNROLL" in src
+        assert "hls::stream<double> pipes" in src
+
+    def test_internal_stream_fifo(self):
+        sdfg = SDFG("fifo")
+        sdfg.add_stream("S", dtypes.float32, buffer_size=32, transient=True)
+        sdfg.add_array("A", ("N",), dtypes.float32, storage=StorageType.FPGA_Global)
+        st = sdfg.add_state()
+        st.add_nedge(st.add_read("A"), st.add_access("S"))
+        src = generate_code(sdfg, "fpga")
+        assert "#pragma HLS STREAM variable=S depth=32" in src

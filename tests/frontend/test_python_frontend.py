@@ -1,0 +1,388 @@
+"""Tests for the restricted-Python frontend (paper §2.1)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro as rp
+from repro.frontend.astparser import FrontendError
+from repro.sdfg.nodes import MapEntry, Tasklet
+
+N = rp.symbol("N")
+M = rp.symbol("M")
+K = rp.symbol("K")
+
+
+class TestExplicitTasklets:
+    def test_vector_add(self):
+        @rp.program
+        def vadd(A: rp.float64[N], B: rp.float64[N], C: rp.float64[N]):
+            for i in rp.map[0:N]:
+                with rp.tasklet:
+                    a << A[i]
+                    b << B[i]
+                    c >> C[i]
+                    c = a + b
+
+        a, b, c = np.random.rand(16), np.random.rand(16), np.zeros(16)
+        vadd(a, b, c)
+        assert np.allclose(c, a + b)
+
+    def test_laplace_fig2(self):
+        """Paper Fig. 2: 1-D Laplace with double buffering via t % 2."""
+
+        @rp.program
+        def laplace(A: rp.float64[2, N], T: rp.int64):
+            for t in range(T):
+                for i in rp.map[1 : N - 1]:
+                    with rp.tasklet:
+                        w << A[t % 2, i - 1 : i + 2]
+                        out >> A[(t + 1) % 2, i]
+                        out = w[0] - 2 * w[1] + w[2]
+
+        A = np.random.rand(2, 40)
+        ref = A.copy()
+        laplace(A, 5)
+        for t in range(5):
+            ref[(t + 1) % 2, 1:-1] = ref[t % 2, :-2] - 2 * ref[t % 2, 1:-1] + ref[t % 2, 2:]
+        assert np.allclose(A, ref)
+
+    def test_spmv_fig4(self):
+        """Paper Fig. 4: SpMV with data-dependent ranges and indirection."""
+        H, W, nnz = rp.symbol("H"), rp.symbol("W"), rp.symbol("nnz")
+
+        @rp.program
+        def spmv(
+            A_row: rp.uint32[H + 1],
+            A_col: rp.uint32[nnz],
+            A_val: rp.float32[nnz],
+            x: rp.float32[W],
+            b: rp.float32[H],
+        ):
+            for i in rp.map[0:H]:
+                for j in rp.map[A_row[i] : A_row[i + 1]]:
+                    with rp.tasklet:
+                        a << A_val[j]
+                        in_x << x[A_col[j]]
+                        out >> b(1, rp.sum)[i]
+                        out = a * in_x
+
+        m = sp.random(25, 40, density=0.25, format="csr", dtype=np.float32)
+        x = np.random.rand(40).astype(np.float32)
+        b = np.zeros(25, np.float32)
+        spmv(m.indptr.astype(np.uint32), m.indices.astype(np.uint32), m.data, x, b)
+        assert np.allclose(b, m @ x, rtol=1e-4)
+
+    def test_wcr_memlet_syntax(self):
+        @rp.program
+        def total(A: rp.float64[N], out: rp.float64[1]):
+            for i in rp.map[0:N]:
+                with rp.tasklet:
+                    a << A[i]
+                    o >> out(1, rp.sum)[0]
+                    o = a
+
+        A = np.random.rand(50)
+        out = np.zeros(1)
+        total(A, out)
+        assert np.allclose(out[0], A.sum())
+
+    def test_indirection_builds_subgraph(self):
+        """The x[A_col[j]] access becomes an indirection tasklet (App. F)."""
+        W, nnz = rp.symbol("W"), rp.symbol("nnz")
+
+        @rp.program
+        def gather(A_col: rp.uint32[nnz], x: rp.float32[W], out: rp.float32[nnz]):
+            for j in rp.map[0:nnz]:
+                with rp.tasklet:
+                    in_x << x[A_col[j]]
+                    o >> out[j]
+                    o = in_x
+
+        sdfg = gather.to_sdfg()
+        tasklets = [
+            n
+            for st in sdfg.states()
+            for n in st.nodes()
+            if isinstance(n, Tasklet) and "indirection" in n.name
+        ]
+        assert len(tasklets) == 1
+
+
+class TestImplicitTasklets:
+    def test_assignment_in_map(self):
+        @rp.program
+        def scale(A: rp.float64[N, M], B: rp.float64[N, M]):
+            for i, j in rp.map[0:N, 0:M]:
+                B[i, j] = A[i, j] * 2 + 1
+
+        A = np.random.rand(5, 7)
+        B = np.zeros((5, 7))
+        scale(A, B)
+        assert np.allclose(B, A * 2 + 1)
+
+    def test_augassign_becomes_wcr(self):
+        @rp.program
+        def colsum(A: rp.float64[N, M], out: rp.float64[M]):
+            for i, j in rp.map[0:N, 0:M]:
+                out[j] += A[i, j]
+
+        A = np.random.rand(6, 4)
+        out = np.zeros(4)
+        colsum(A, out)
+        assert np.allclose(out, A.sum(axis=0))
+
+    def test_duplicate_reads_share_connector(self):
+        @rp.program
+        def square(A: rp.float64[N], B: rp.float64[N]):
+            for i in rp.map[0:N]:
+                B[i] = A[i] * A[i]
+
+        sdfg = square.to_sdfg()
+        t = [
+            n
+            for st in sdfg.states()
+            for n in st.nodes()
+            if isinstance(n, Tasklet)
+        ][0]
+        assert len(t.in_connectors) == 1
+
+    def test_implicit_indirection_read(self):
+        @rp.program
+        def gather(idx: rp.int64[N], v: rp.float64[M], out: rp.float64[N]):
+            for i in rp.map[0:N]:
+                out[i] = v[idx[i]]
+
+        idx = np.array([2, 0, 1, 2], dtype=np.int64)
+        v = np.array([10.0, 20.0, 30.0])
+        out = np.zeros(4)
+        gather(idx, v, out)
+        assert np.allclose(out, v[idx])
+
+
+class TestControlFlow:
+    def test_range_loop(self):
+        @rp.program
+        def power(A: rp.float64[N], T: rp.int64):
+            for t in range(T):
+                for i in rp.map[0:N]:
+                    A[i] = A[i] * 2
+
+        A = np.ones(4)
+        power(A, 3)
+        assert np.allclose(A, 8.0)
+
+    def test_range_start_stop_step(self):
+        @rp.program
+        def count(out: rp.float64[1], T: rp.int64):
+            for t in range(1, T, 2):
+                for i in rp.map[0:1]:
+                    out[0] += 1.0
+
+        out = np.zeros(1)
+        count(out, 10)  # t = 1, 3, 5, 7, 9
+        assert out[0] == 5
+
+    def test_if_branching_on_data(self):
+        @rp.program
+        def branch(C: rp.float64[1]):
+            if C[0] <= 5:
+                for i in rp.map[0:1]:
+                    C[i] = C[i] * 2
+            else:
+                for i in rp.map[0:1]:
+                    C[i] = C[i] / 2
+
+        c = np.array([4.0])
+        branch(c)
+        assert c[0] == 8.0
+        c = np.array([10.0])
+        branch(c)
+        assert c[0] == 5.0
+
+    def test_while_loop(self):
+        @rp.program
+        def collatz_steps(v: rp.float64[1], steps: rp.float64[1]):
+            while v[0] > 1:
+                if v[0] % 2 == 0:
+                    for i in rp.map[0:1]:
+                        v[i] = v[i] / 2
+                else:
+                    for i in rp.map[0:1]:
+                        v[i] = 3 * v[i] + 1
+                for i in rp.map[0:1]:
+                    steps[i] += 1.0
+
+        v = np.array([6.0])
+        s = np.zeros(1)
+        collatz_steps(v, s)
+        assert v[0] == 1.0 and s[0] == 8  # 6→3→10→5→16→8→4→2→1
+
+
+class TestNumpyOperators:
+    def test_matmul_generates_fig9b(self):
+        @rp.program
+        def mm(A: rp.float64[M, K], B: rp.float64[K, N], C: rp.float64[M, N]):
+            C = A @ B
+
+        sdfg = mm.to_sdfg()
+        # Fig. 9b structure: a 3-D map plus a Reduce node.
+        from repro.sdfg.nodes import Reduce
+
+        maps = [n for st in sdfg.states() for n in st.nodes() if isinstance(n, MapEntry)]
+        reds = [n for st in sdfg.states() for n in st.nodes() if isinstance(n, Reduce)]
+        assert len(maps) == 1 and len(maps[0].map.params) == 3
+        assert len(reds) == 1
+        A, B = np.random.rand(4, 6), np.random.rand(6, 5)
+        C = np.zeros((4, 5))
+        mm(A, B, C)
+        assert np.allclose(C, A @ B)
+
+    def test_elementwise_chain(self):
+        @rp.program
+        def expr(A: rp.float64[N], B: rp.float64[N], C: rp.float64[N]):
+            C = A * 2 + B
+
+        A, B = np.random.rand(12), np.random.rand(12)
+        C = np.zeros(12)
+        expr(A, B, C)
+        assert np.allclose(C, A * 2 + B)
+
+    def test_np_sum_reduce(self):
+        import numpy
+
+        @rp.program
+        def rowsum(A: rp.float64[N, M], out: rp.float64[N]):
+            out = numpy.sum(A, axis=1)
+
+        A = np.random.rand(5, 8)
+        out = np.zeros(5)
+        rowsum(A, out)
+        assert np.allclose(out, A.sum(axis=1))
+
+    def test_transient_declaration_and_use(self):
+        @rp.program
+        def twostep(A: rp.float64[N], C: rp.float64[N]):
+            tmp: rp.float64[N]
+            tmp = A * 3
+            C = tmp + 1
+
+        A = np.random.rand(9)
+        C = np.zeros(9)
+        twostep(A, C)
+        assert np.allclose(C, A * 3 + 1)
+
+    def test_slice_copy(self):
+        @rp.program
+        def shift(A: rp.float64[N], B: rp.float64[N]):
+            B[1:N] = A[0 : N - 1]
+
+        A = np.random.rand(8)
+        B = np.zeros(8)
+        shift(A, B)
+        assert np.allclose(B[1:], A[:-1])
+
+    def test_replaces_registry(self):
+        from repro.frontend import npops
+
+        @rp.replaces("mylib.triple")
+        def _triple(ctx, state, result, a):
+            return npops.expand_elementwise_binop(ctx, state, "*", a, 3, result)
+
+        class mylib:  # noqa: N801 (namespace stand-in)
+            triple = None
+
+        @rp.program
+        def use_triple(A: rp.float64[N], B: rp.float64[N]):
+            B = mylib.triple(A)
+
+        A = np.random.rand(6)
+        B = np.zeros(6)
+        use_triple(A, B)
+        assert np.allclose(B, A * 3)
+
+
+class TestErrors:
+    def test_missing_annotation(self):
+        with pytest.raises(FrontendError, match="annotation"):
+
+            @rp.program
+            def bad(A):
+                pass
+
+            bad.to_sdfg()
+
+    def test_unsupported_statement(self):
+        with pytest.raises(FrontendError):
+
+            @rp.program
+            def bad(A: rp.float64[N]):
+                import os  # noqa
+
+            bad.to_sdfg()
+
+    def test_return_value_rejected(self):
+        with pytest.raises(FrontendError, match="return"):
+
+            @rp.program
+            def bad(A: rp.float64[N]):
+                return A
+
+            bad.to_sdfg()
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(FrontendError, match="dataflow implementation"):
+
+            @rp.program
+            def bad(A: rp.float64[N], B: rp.float64[N]):
+                B = np.fft.fft(A)
+
+            bad.to_sdfg()
+
+    def test_map_iteration_outside_program(self):
+        with pytest.raises(TypeError):
+            for i in rp.map[0:5]:
+                pass
+
+    def test_tasklet_outside_program(self):
+        with pytest.raises(TypeError):
+            with rp.tasklet:
+                pass
+
+
+class TestSDFGProperties:
+    def test_to_sdfg_is_cached(self):
+        @rp.program
+        def f(A: rp.float64[N]):
+            for i in rp.map[0:N]:
+                A[i] = A[i] + 1
+
+        assert f.to_sdfg() is f.to_sdfg()
+
+    def test_sdfg_validates_and_serializes(self):
+        @rp.program
+        def f(A: rp.float64[N, M]):
+            for i, j in rp.map[0:N, 0:M]:
+                A[i, j] = A[i, j] * 2
+
+        sdfg = f.to_sdfg()
+        sdfg.validate()
+        from repro.sdfg import SDFG
+
+        assert SDFG.from_json(sdfg.to_json()).to_json() == sdfg.to_json()
+
+    def test_scalar_float_argument(self):
+        @rp.program
+        def axpy(alpha: rp.float64, X: rp.float64[N], Y: rp.float64[N]):
+            for i in rp.map[0:N]:
+                with rp.tasklet:
+                    a << alpha[0]
+                    x << X[i]
+                    yin << Y[i]
+                    yout >> Y[i]
+                    yout = a * x + yin
+
+        X, Y = np.random.rand(10), np.random.rand(10)
+        ref = 2.5 * X + Y
+        axpy(2.5, X, Y)
+        assert np.allclose(Y, ref)

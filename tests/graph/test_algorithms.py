@@ -1,0 +1,155 @@
+"""Unit + property tests for graph algorithms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    CycleError,
+    OrderedMultiDiGraph,
+    bfs_order,
+    dfs_preorder,
+    dominators,
+    postdominators,
+    topological_sort,
+    weakly_connected_components,
+)
+
+
+def chain(n):
+    g = OrderedMultiDiGraph()
+    nodes = list(range(n))
+    for i in range(n - 1):
+        g.add_edge(nodes[i], nodes[i + 1], None)
+    return g, nodes
+
+
+class TestTraversal:
+    def test_dfs_preorder_chain(self):
+        g, nodes = chain(5)
+        assert dfs_preorder(g) == nodes
+
+    def test_bfs_levels(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("a", "b", None)
+        g.add_edge("a", "c", None)
+        g.add_edge("b", "d", None)
+        g.add_edge("c", "d", None)
+        assert bfs_order(g) == ["a", "b", "c", "d"]
+
+    def test_traversal_handles_cycles(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("a", "b", None)
+        g.add_edge("b", "a", None)
+        order = dfs_preorder(g, ["a"])
+        assert order == ["a", "b"]
+
+
+class TestToposort:
+    def test_chain(self):
+        g, nodes = chain(6)
+        assert topological_sort(g) == nodes
+
+    def test_diamond_stable(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("a", "b", None)
+        g.add_edge("a", "c", None)
+        g.add_edge("b", "d", None)
+        g.add_edge("c", "d", None)
+        assert topological_sort(g) == ["a", "b", "c", "d"]
+
+    def test_cycle_raises(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("a", "b", None)
+        g.add_edge("b", "a", None)
+        with pytest.raises(CycleError):
+            topological_sort(g)
+
+    def test_disconnected(self):
+        g = OrderedMultiDiGraph()
+        g.add_node("x")
+        g.add_edge("a", "b", None)
+        order = topological_sort(g)
+        assert set(order) == {"x", "a", "b"}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+                lambda ab: ab[0] < ab[1]
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_edges_respect_order(self, edges):
+        # Edges always go low -> high, so the graph is a DAG by construction.
+        g = OrderedMultiDiGraph()
+        for a, b in edges:
+            g.add_edge(a, b, None)
+        order = topological_sort(g)
+        pos = {n: i for i, n in enumerate(order)}
+        for e in g.edges():
+            assert pos[e.src] < pos[e.dst]
+
+
+class TestComponents:
+    def test_single_component(self):
+        g, _ = chain(4)
+        assert len(weakly_connected_components(g)) == 1
+
+    def test_multiple_components(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("a", "b", None)
+        g.add_edge("c", "d", None)
+        g.add_node("e")
+        comps = weakly_connected_components(g)
+        assert [sorted(map(str, c)) for c in comps] == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_direction_ignored(self):
+        g = OrderedMultiDiGraph()
+        g.add_edge("a", "b", None)
+        g.add_edge("c", "b", None)
+        assert len(weakly_connected_components(g)) == 1
+
+
+class TestDominators:
+    """Scope detection relies on dominator/post-dominator structure
+    (map-entry dominates the scope, map-exit post-dominates it)."""
+
+    def make_scope_graph(self):
+        #      entry
+        #      /   \
+        #     t1   t2
+        #      \   /
+        #      exit -> after
+        g = OrderedMultiDiGraph()
+        g.add_edge("entry", "t1", None)
+        g.add_edge("entry", "t2", None)
+        g.add_edge("t1", "exit", None)
+        g.add_edge("t2", "exit", None)
+        g.add_edge("exit", "after", None)
+        return g
+
+    def test_entry_dominates_all(self):
+        g = self.make_scope_graph()
+        dom = dominators(g, "entry")
+        for n in ["t1", "t2", "exit", "after"]:
+            assert "entry" in dom[n]
+
+    def test_branch_nodes_do_not_dominate_join(self):
+        g = self.make_scope_graph()
+        dom = dominators(g, "entry")
+        assert "t1" not in dom["exit"]
+        assert "t2" not in dom["exit"]
+
+    def test_self_domination(self):
+        g = self.make_scope_graph()
+        dom = dominators(g, "entry")
+        for n, ds in dom.items():
+            assert n in ds
+
+    def test_postdominators(self):
+        g = self.make_scope_graph()
+        pdom = postdominators(g, "after")
+        assert "exit" in pdom["t1"]
+        assert "exit" in pdom["t2"]
+        assert "t1" not in pdom["entry"]

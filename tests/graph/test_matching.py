@@ -1,0 +1,168 @@
+"""Tests for the VF2-style subgraph matcher."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import OrderedMultiDiGraph, subgraph_monomorphisms
+
+
+class L:
+    """Labeled node."""
+
+    def __init__(self, kind):
+        self.kind = kind
+
+    def __repr__(self):
+        return f"L({self.kind})"
+
+
+def kind_match(pn, hn):
+    return pn.kind == hn.kind
+
+
+class TestBasicMatching:
+    def test_single_edge_pattern(self):
+        host = OrderedMultiDiGraph()
+        a, b, c = L("map"), L("tasklet"), L("data")
+        host.add_edge(a, b, None)
+        host.add_edge(b, c, None)
+
+        pat = OrderedMultiDiGraph()
+        pm, pt = L("map"), L("tasklet")
+        pat.add_edge(pm, pt, None)
+
+        matches = list(subgraph_monomorphisms(pat, host, node_match=kind_match))
+        assert len(matches) == 1
+        assert matches[0][pm] is a
+        assert matches[0][pt] is b
+
+    def test_no_match(self):
+        host = OrderedMultiDiGraph()
+        host.add_edge(L("a"), L("b"), None)
+        pat = OrderedMultiDiGraph()
+        pat.add_edge(L("x"), L("y"), None)
+        assert list(subgraph_monomorphisms(pat, host, node_match=kind_match)) == []
+
+    def test_path_pattern_in_chain(self):
+        host = OrderedMultiDiGraph()
+        ns = [L("n") for _ in range(5)]
+        for i in range(4):
+            host.add_edge(ns[i], ns[i + 1], None)
+        pat = OrderedMultiDiGraph()
+        p = [L("n") for _ in range(3)]
+        pat.add_edge(p[0], p[1], None)
+        pat.add_edge(p[1], p[2], None)
+        matches = list(subgraph_monomorphisms(pat, host, node_match=kind_match))
+        assert len(matches) == 3  # three consecutive windows
+
+    def test_edge_match_callback(self):
+        host = OrderedMultiDiGraph()
+        a, b = L("n"), L("n")
+        host.add_edge(a, b, "good")
+        host.add_edge(a, b, "bad")
+        pat = OrderedMultiDiGraph()
+        pa, pb = L("n"), L("n")
+        pat.add_edge(pa, pb, "good")
+        matches = list(
+            subgraph_monomorphisms(
+                pat, host, node_match=kind_match, edge_match=lambda p, h: p == h
+            )
+        )
+        assert len(matches) == 1
+
+    def test_monomorphism_ignores_extra_host_edges(self):
+        host = OrderedMultiDiGraph()
+        a, b = L("n"), L("n")
+        host.add_edge(a, b, None)
+        host.add_edge(b, a, None)  # extra back edge
+        pat = OrderedMultiDiGraph()
+        pa, pb = L("n"), L("n")
+        pat.add_edge(pa, pb, None)
+        matches = list(subgraph_monomorphisms(pat, host, node_match=kind_match))
+        assert len(matches) == 2  # both directions match the single-edge pattern
+
+    def test_induced_rejects_extra_edges(self):
+        host = OrderedMultiDiGraph()
+        a, b = L("n"), L("n")
+        host.add_edge(a, b, None)
+        host.add_edge(b, a, None)
+        pat = OrderedMultiDiGraph()
+        pa, pb = L("n"), L("n")
+        pat.add_edge(pa, pb, None)
+        matches = list(
+            subgraph_monomorphisms(pat, host, node_match=kind_match, induced=True)
+        )
+        assert matches == []
+
+    def test_injective(self):
+        # A two-node pattern must not map both nodes to the same host node.
+        host = OrderedMultiDiGraph()
+        a = L("n")
+        host.add_edge(a, a, None)  # self-loop
+        pat = OrderedMultiDiGraph()
+        pa, pb = L("n"), L("n")
+        pat.add_edge(pa, pb, None)
+        assert list(subgraph_monomorphisms(pat, host, node_match=kind_match)) == []
+
+    def test_disconnected_pattern(self):
+        host = OrderedMultiDiGraph()
+        a, b = L("x"), L("y")
+        host.add_node(a)
+        host.add_node(b)
+        pat = OrderedMultiDiGraph()
+        pat.add_node(L("x"))
+        pat.add_node(L("y"))
+        matches = list(subgraph_monomorphisms(pat, host, node_match=kind_match))
+        assert len(matches) == 1
+
+
+class TestAgainstNetworkX:
+    """Differential test: our matcher must agree with networkx's DiGraphMatcher
+    on match *counts* for random labeled DAG patterns."""
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_counts_match_networkx(self, data):
+        n_host = data.draw(st.integers(3, 7))
+        labels = "ab"
+        host_edges = data.draw(
+            st.lists(
+                st.tuples(st.integers(0, n_host - 1), st.integers(0, n_host - 1)).filter(
+                    lambda ab: ab[0] != ab[1]
+                ),
+                max_size=12,
+                unique=True,
+            )
+        )
+        host_labels = [data.draw(st.sampled_from(labels)) for _ in range(n_host)]
+
+        # Build both representations.
+        ours_host = OrderedMultiDiGraph()
+        hnodes = [L(host_labels[i]) for i in range(n_host)]
+        for hn in hnodes:
+            ours_host.add_node(hn)
+        nxg = nx.DiGraph()
+        for i in range(n_host):
+            nxg.add_node(i, kind=host_labels[i])
+        for a, b in host_edges:
+            ours_host.add_edge(hnodes[a], hnodes[b], None)
+            nxg.add_edge(a, b)
+
+        # Pattern: a 2-node, 1-edge labeled pattern.
+        la = data.draw(st.sampled_from(labels))
+        lb = data.draw(st.sampled_from(labels))
+        pat = OrderedMultiDiGraph()
+        pa, pb = L(la), L(lb)
+        pat.add_edge(pa, pb, None)
+        npat = nx.DiGraph()
+        npat.add_node("pa", kind=la)
+        npat.add_node("pb", kind=lb)
+        npat.add_edge("pa", "pb")
+
+        ours = len(list(subgraph_monomorphisms(pat, ours_host, node_match=kind_match)))
+        gm = nx.algorithms.isomorphism.DiGraphMatcher(
+            nxg, npat, node_match=lambda a, b: a["kind"] == b["kind"]
+        )
+        theirs = len(list(gm.subgraph_monomorphisms_iter()))
+        assert ours == theirs

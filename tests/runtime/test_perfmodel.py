@@ -1,0 +1,146 @@
+"""Tests for machine models and the analytic performance model."""
+
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.runtime.machine import (
+    MACHINES,
+    TESLA_P100,
+    TESLA_V100,
+    XCVU9P,
+    XEON_E5_2650V4,
+)
+from repro.runtime.perfmodel import PerformanceModel, simulate, tasklet_flops
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.sdfg.nodes import Tasklet
+from repro.transformations import (
+    FPGATransform,
+    GPUTransform,
+    MapReduceFusion,
+    apply_transformations,
+)
+
+M, K, N = rp.symbol("M"), rp.symbol("K"), rp.symbol("N")
+
+
+def mm_sdfg():
+    @rp.program
+    def mm(A: rp.float64[M, K], B: rp.float64[K, N], C: rp.float64[M, N]):
+        C = A @ B
+
+    mm._sdfg = None
+    sdfg = mm.to_sdfg()
+    apply_transformations(sdfg, MapReduceFusion)
+    return sdfg
+
+
+SYMS = {"M": 512, "K": 512, "N": 512}
+
+
+class TestMachineModels:
+    def test_registry(self):
+        assert set(MACHINES) == {"cpu", "gpu", "gpu_v100", "fpga"}
+
+    def test_roofline_times(self):
+        m = XEON_E5_2650V4
+        assert m.time_compute(m.peak_flops_dp * m.compute_efficiency) == pytest.approx(1.0)
+        assert m.time_memory(m.mem_bandwidth * m.bandwidth_efficiency) == pytest.approx(1.0)
+
+    def test_random_access_penalty(self):
+        m = XEON_E5_2650V4
+        assert m.time_memory(1e9, random_access=True) > m.time_memory(1e9)
+
+    def test_transfer_only_on_devices(self):
+        assert XEON_E5_2650V4.time_transfer(1e9) == 0.0
+        assert TESLA_P100.time_transfer(12.0e9) == pytest.approx(1.0)
+
+    def test_v100_faster_than_p100(self):
+        assert TESLA_V100.peak_flops_dp > TESLA_P100.peak_flops_dp
+
+    def test_fpga_pipeline_vs_naive(self):
+        ops = 1e9
+        assert XCVU9P.time_naive(ops) / XCVU9P.time_pipelined(ops) == pytest.approx(
+            XCVU9P.ii_naive, rel=0.01
+        )
+
+    def test_fpga_pe_parallelism_capped(self):
+        t1 = XCVU9P.time_pipelined(1e9, num_pes=1)
+        t16 = XCVU9P.time_pipelined(1e9, num_pes=16)
+        assert t16 == pytest.approx(t1 / 16)
+        huge = XCVU9P.time_pipelined(1e9, num_pes=10**9)
+        assert huge == pytest.approx(t1 / XCVU9P.max_parallel_pes())
+
+
+class TestTaskletFlops:
+    def test_counts_binops(self):
+        t = Tasklet("t", ["a", "b"], ["c"], "c = a * b + 1")
+        assert tasklet_flops(t) == 2
+
+    def test_pow_and_calls_cost_more(self):
+        t = Tasklet("t", ["a"], ["c"], "c = a ** 3")
+        assert tasklet_flops(t) == 10
+        t2 = Tasklet("t", ["a"], ["c"], "c = math.sqrt(a)")
+        assert tasklet_flops(t2) >= 10
+
+    def test_minimum_one(self):
+        t = Tasklet("t", ["a"], ["c"], "c = a")
+        assert tasklet_flops(t) == 1
+
+
+class TestSimulation:
+    def test_mm_work_counted(self):
+        rep = simulate(mm_sdfg(), "cpu", SYMS)
+        # One multiply per (i, j, k) iteration.
+        assert rep.flops == pytest.approx(512**3, rel=0.01)
+        assert rep.time > 0
+
+    def test_gpu_beats_cpu_on_large_mm(self):
+        sdfg = mm_sdfg()
+        cpu = simulate(sdfg, "cpu", SYMS)
+        gpu_sdfg = mm_sdfg()
+        apply_transformations(gpu_sdfg, GPUTransform)
+        gpu = simulate(gpu_sdfg, "gpu", SYMS)
+        assert gpu.time < cpu.time
+
+    def test_gpu_transfers_counted(self):
+        gpu_sdfg = mm_sdfg()
+        apply_transformations(gpu_sdfg, GPUTransform)
+        rep = simulate(gpu_sdfg, "gpu", SYMS)
+        # A, B in + C in/out: at least 3 x 512^2 x 8 bytes over PCIe.
+        assert rep.transfer_bytes >= 3 * 512 * 512 * 8
+
+    def test_kernel_launch_overhead_dominates_tiny_kernels(self):
+        gpu_sdfg = mm_sdfg()
+        apply_transformations(gpu_sdfg, GPUTransform)
+        tiny = simulate(gpu_sdfg, "gpu", {"M": 4, "K": 4, "N": 4})
+        assert tiny.time >= TESLA_P100.launch_latency
+
+    def test_fpga_naive_orders_of_magnitude_slower(self):
+        sdfg = mm_sdfg()
+        apply_transformations(sdfg, FPGATransform)
+        opt = simulate(sdfg, "fpga", SYMS)
+        naive = simulate(sdfg, "fpga", SYMS, naive_fpga=True)
+        assert naive.time / opt.time > 30
+
+    def test_loop_trip_counts(self):
+        sdfg = SDFG("loop")
+        sdfg.add_array("v", (1,), dtypes.float64)
+        sdfg.add_symbol("T")
+        body = sdfg.add_state("body")
+        t = body.add_tasklet("t", ["a"], ["b"], "b = a + 1")
+        body.add_edge(body.add_read("v"), t, Memlet.simple("v", "0"), None, "a")
+        body.add_edge(t, body.add_write("v"), Memlet.simple("v", "0"), "b", None)
+        init = sdfg.add_state("init", is_start=True)
+        sdfg.add_loop(init, body, None, "k", 0, "k < T", "k + 1")
+        model = PerformanceModel(sdfg, {"T": 7})
+        visits = model.state_visit_counts()
+        assert visits[id(body)] == 7
+        rep = simulate(sdfg, "cpu", {"T": 7})
+        assert rep.flops == pytest.approx(7, rel=0.01)
+
+    def test_report_breakdown(self):
+        rep = simulate(mm_sdfg(), "cpu", SYMS)
+        assert rep.breakdown
+        assert rep.achieved_flops > 0
+        assert 0 < rep.fraction_of_peak(XEON_E5_2650V4) <= 1

@@ -1,0 +1,140 @@
+"""Unit tests for dtypes, data descriptors, and memlets."""
+
+import numpy as np
+import pytest
+
+from repro.sdfg import (
+    Array,
+    Memlet,
+    ReductionType,
+    Scalar,
+    StorageType,
+    Stream,
+    dtypes,
+)
+from repro.symbolic import Integer, Subset, symbols
+
+N, M = symbols("N M")
+
+
+class TestDtypes:
+    def test_basic_properties(self):
+        assert dtypes.float64.bytes == 8
+        assert dtypes.float32.bytes == 4
+        assert dtypes.int32.ctype == "int"
+        assert dtypes.float64.ctype == "double"
+        assert dtypes.complex128.ctype == "std::complex<double>"
+
+    def test_predicates(self):
+        assert dtypes.int32.is_integer()
+        assert dtypes.float32.is_float()
+        assert dtypes.complex64.is_complex()
+        assert not dtypes.float64.is_integer()
+
+    def test_equality(self):
+        assert dtypes.float64 == np.float64
+        assert dtypes.float64 == dtypes.typeclass(np.float64)
+        assert dtypes.float64 != dtypes.float32
+
+    def test_shape_annotation_syntax(self):
+        arr = dtypes.float64[N, M]
+        assert isinstance(arr, Array)
+        assert arr.shape == (N, M)
+        arr1 = dtypes.int32[N]
+        assert arr1.dims == 1
+
+    def test_dtype_from_name(self):
+        assert dtypes.dtype_from_name("float32") is dtypes.float32
+        with pytest.raises(ValueError):
+            dtypes.dtype_from_name("quaternion")
+
+    def test_dtype_of(self):
+        assert dtypes.dtype_of(np.zeros(3, np.float32)) == dtypes.float32
+        assert dtypes.dtype_of(3) == dtypes.int64
+        assert dtypes.dtype_of(3.5) == dtypes.float64
+
+    def test_wcr_detection(self):
+        assert dtypes.detect_reduction_type("lambda a, b: a + b") == ReductionType.Sum
+        assert dtypes.detect_reduction_type("sum") == ReductionType.Sum
+        assert dtypes.detect_reduction_type("lambda a, b: max(a, b)") == ReductionType.Max
+        assert (
+            dtypes.detect_reduction_type("lambda a, b: a - b") == ReductionType.Custom
+        )
+
+
+class TestDescriptors:
+    def test_array_strides_row_major(self):
+        a = Array(dtypes.float64, (N, M))
+        assert a.strides == (M, Integer(1))
+
+    def test_array_total_size(self):
+        a = Array(dtypes.float64, (N, M))
+        assert a.total_size() == N * M
+        assert a.size_bytes() == N * M * 8
+
+    def test_scalar(self):
+        s = Scalar(dtypes.int32)
+        assert s.total_size() == Integer(1)
+
+    def test_stream(self):
+        s = Stream(dtypes.float32, (4,), buffer_size=16)
+        assert s.buffer_size == Integer(16)
+
+    def test_validate_bad_shape(self):
+        with pytest.raises(ValueError):
+            Array(dtypes.float64, (0,)).validate()
+
+    def test_validate_stride_rank(self):
+        a = Array(dtypes.float64, (N, M), strides=(1,))
+        with pytest.raises(ValueError):
+            a.validate()
+
+    def test_clone_independent(self):
+        a = Array(dtypes.float64, (N,), transient=True)
+        b = a.clone()
+        assert b.transient and b.shape == a.shape
+        b.transient = False
+        assert a.transient
+
+    def test_full_subset(self):
+        a = Array(dtypes.float64, (N, M))
+        assert str(a.full_subset()) == "0:N, 0:M"
+
+
+class TestMemlet:
+    def test_simple(self):
+        m = Memlet.simple("A", "i, j")
+        assert m.data == "A"
+        assert m.volume == Integer(1)
+
+    def test_volume_default_is_subset_size(self):
+        m = Memlet.simple("A", "0:N, 0:M")
+        assert m.volume == N * M
+
+    def test_volume_override(self):
+        m = Memlet(data="x", subset="0:N", volume=1, dynamic=True)
+        assert m.volume == Integer(1)
+        assert m.dynamic
+
+    def test_empty(self):
+        m = Memlet.empty()
+        assert m.is_empty()
+        assert m.volume == Integer(0)
+
+    def test_wcr_alias(self):
+        m = Memlet(data="b", subset="i", wcr="sum")
+        assert m.wcr == "lambda a, b: a + b"
+        assert m.reduction_type() == ReductionType.Sum
+
+    def test_subs(self):
+        m = Memlet.simple("A", "i, j").subs({"i": 1, "j": 2})
+        assert m.subset.evaluate_indices({}) == (1, 2)
+
+    def test_clone_equality(self):
+        m = Memlet(data="A", subset="0:N", wcr="sum")
+        assert m.clone() == m
+        assert m.clone() is not m
+
+    def test_repr_shows_wcr(self):
+        m = Memlet(data="b", subset="i", wcr="sum")
+        assert "CR" in repr(m)

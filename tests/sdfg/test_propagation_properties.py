@@ -1,0 +1,109 @@
+"""Property-based tests of memlet propagation soundness.
+
+The invariant behind accelerator copy generation (paper §4.3 ❶): the
+propagated outer memlet of a scope must cover every element any
+iteration of the scope actually accesses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.symbolic import Subset
+
+
+@given(
+    st.integers(-3, 3),     # offset of the accessed window
+    st.integers(1, 4),      # window width
+    st.integers(1, 3),      # access stride coefficient
+    st.integers(5, 20),     # concrete N
+)
+@settings(max_examples=80, deadline=None)
+def test_propagated_subset_covers_all_iterations(offset, width, coeff, n):
+    lo = max(0, -offset)  # keep the accesses in bounds
+    hi_bound = (n - offset - width) // coeff
+    if hi_bound <= lo:
+        return
+    sdfg = SDFG("prop")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    state = sdfg.add_state()
+    subset = f"{coeff}*i + {offset}:{coeff}*i + {offset} + {width}"
+    state.add_mapped_tasklet(
+        "t",
+        {"i": f"{lo}:{hi_bound}"},
+        inputs={"a": Memlet(data="A", subset=subset)},
+        code="b = a[0]",
+        outputs={"b": Memlet.simple("B", "i")},
+    )
+    sdfg.propagate()
+    me = state.entry_nodes()[0]
+    outer = state.in_edges(me)[0].data
+    out_lo = int(outer.subset[0].min_element().evaluate({"N": n}))
+    out_hi = int(outer.subset[0].max_element().evaluate({"N": n}))
+    for i in range(lo, hi_bound):
+        first = coeff * i + offset
+        last = first + width - 1
+        assert out_lo <= first and last <= out_hi, (i, outer.subset)
+
+
+@given(st.integers(2, 8), st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_propagated_volume_counts_iterations(m, k):
+    """Outer volume = per-iteration accesses x iteration count."""
+    sdfg = SDFG("vol")
+    sdfg.add_array("A", ("M", "K"), dtypes.float64)
+    sdfg.add_array("B", ("M",), dtypes.float64)
+    state = sdfg.add_state()
+    state.add_mapped_tasklet(
+        "t",
+        {"i": "0:M", "j": "0:K"},
+        inputs={"a": Memlet.simple("A", "i, j")},
+        code="b = a",
+        outputs={"b": Memlet(data="B", subset="i", wcr="sum")},
+    )
+    sdfg.propagate()
+    me = state.entry_nodes()[0]
+    outer = state.in_edges(me)[0].data
+    assert outer.volume.evaluate({"M": m, "K": k}) == m * k
+
+
+def test_propagation_is_idempotent():
+    sdfg = SDFG("idem")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    state = sdfg.add_state()
+    state.add_mapped_tasklet(
+        "t",
+        {"i": "1:N-1"},
+        inputs={"a": Memlet.simple("A", "i-1:i+2")},
+        code="b = a[1]",
+        outputs={"b": Memlet.simple("A", "i")},
+    )
+    sdfg.propagate()
+    snapshot = sdfg.to_json()
+    sdfg.propagate()
+    assert sdfg.to_json() == snapshot
+
+
+def test_memlet_path_fan_out_raises():
+    sdfg = SDFG("fan")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    sdfg.add_array("C", ("N",), dtypes.float64)
+    state = sdfg.add_state()
+    me, mx = state.add_map("m", {"i": "0:N"})
+    t1 = state.add_tasklet("t1", ["a"], ["b"], "b = a")
+    t2 = state.add_tasklet("t2", ["a"], ["b"], "b = a")
+    r = state.add_read("A")
+    in_edge = state.add_memlet_path(r, me, t1, memlet=Memlet.simple("A", "i"),
+                                    dst_conn="a")[0]
+    # Second consumer on the same relay connector (fan-out).
+    me.add_out_connector("OUT_1")
+    state.add_edge(me, t2, Memlet.simple("A", "i"), "OUT_1", "a")
+    state.add_memlet_path(t1, mx, state.add_write("B"),
+                          memlet=Memlet.simple("B", "i"), src_conn="b")
+    state.add_memlet_path(t2, mx, state.add_write("C"),
+                          memlet=Memlet.simple("C", "i"), src_conn="b")
+    with pytest.raises(ValueError, match="fans out"):
+        state.memlet_path(in_edge)

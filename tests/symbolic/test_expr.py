@@ -1,0 +1,253 @@
+"""Unit tests for the symbolic expression tree."""
+
+import math
+
+import pytest
+
+from repro.symbolic import (
+    Abs,
+    Add,
+    CeilDiv,
+    Eq,
+    Expr,
+    FloorDiv,
+    Integer,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Pow,
+    Real,
+    Symbol,
+    parse_expr,
+    symbols,
+    sympify,
+)
+from repro.symbolic.expr import TRUE, FALSE, And, Or, Not, evaluate_to_int
+
+N, M, K = symbols("N M K")
+i, j = symbols("i j")
+
+
+class TestConstruction:
+    def test_integer_fold(self):
+        assert Integer(2) + Integer(3) == Integer(5)
+        assert Integer(2) * Integer(3) == Integer(6)
+        assert Integer(7) - 10 == Integer(-3)
+
+    def test_symbol_identity(self):
+        assert Symbol("N") == Symbol("N")
+        assert Symbol("N") != Symbol("M")
+        assert hash(Symbol("N")) == hash(Symbol("N"))
+
+    def test_invalid_symbol_name(self):
+        with pytest.raises(ValueError):
+            Symbol("3x")
+        with pytest.raises(ValueError):
+            Symbol("")
+
+    def test_add_collects_like_terms(self):
+        assert 2 * N + 3 * N == 5 * N
+        assert N + N - 2 * N == Integer(0)
+
+    def test_add_sorts_deterministically(self):
+        a = N + M + K
+        b = K + M + N
+        assert a == b
+        assert str(a) == str(b)
+
+    def test_mul_merges_powers(self):
+        assert N * N == N**2
+        assert N**2 * N == N**3
+        assert (N**2) / N == N  # exact division via negative powers folds
+
+    def test_mul_zero_annihilates(self):
+        assert 0 * N == Integer(0)
+        assert N * 0 * M == Integer(0)
+
+    def test_distribute_constant_over_add(self):
+        # Crucial for cancelation of differences of sums.
+        assert (N + 3) - (N + 1) == Integer(2)
+        assert 2 * (N + 1) == 2 * N + 2
+
+    def test_neg(self):
+        assert -(-N) == N
+        assert str(-N) == "-N"
+
+    def test_pow_folding(self):
+        assert Pow.make(Integer(2), Integer(10)) == Integer(1024)
+        assert Pow.make(N, Integer(0)) == Integer(1)
+        assert Pow.make(N, Integer(1)) == N
+
+
+class TestDivision:
+    def test_exact_integer_division(self):
+        assert (4 * N) / 2 == 2 * N
+        assert (4 * N + 8) / 4 == N + 2
+
+    def test_inexact_becomes_floordiv(self):
+        e = N / 2
+        assert isinstance(e, FloorDiv)
+        assert e.evaluate({"N": 7}) == 3
+
+    def test_floordiv_semantics(self):
+        assert (N // 3).evaluate({"N": -7}) == -3  # Python floor semantics
+
+    def test_ceildiv(self):
+        e = CeilDiv.make(N, Integer(4))
+        assert e.evaluate({"N": 9}) == 3
+        assert e.evaluate({"N": 8}) == 2
+        assert CeilDiv.make(Integer(9), Integer(4)) == Integer(3)
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            N / 0
+
+    def test_mod(self):
+        assert Mod.make(Integer(7), Integer(4)) == Integer(3)
+        assert (N % 1) == Integer(0)
+        assert ((4 * N) % 2) == Integer(0)
+        assert (N % N) == Integer(0)
+
+
+class TestMinMaxAbs:
+    def test_min_max_consts(self):
+        assert Min.make(Integer(3), Integer(5)) == Integer(3)
+        assert Max.make(Integer(3), Integer(5)) == Integer(5)
+
+    def test_min_flattens_and_dedups(self):
+        e = Min.make(N, Min.make(M, N))
+        assert isinstance(e, Min)
+        assert len(e.args) == 2
+
+    def test_min_single_arg_collapses(self):
+        assert Min.make(N, N) == N
+
+    def test_evaluate(self):
+        e = Max.make(N, M + 1)
+        assert e.evaluate({"N": 3, "M": 7}) == 8
+
+    def test_abs(self):
+        assert Abs.make(Integer(-4)) == Integer(4)
+        assert Abs.make(N).evaluate({"N": -3}) == 3
+
+
+class TestSubstitution:
+    def test_subs_by_name_and_symbol(self):
+        e = N + 2 * M
+        assert e.subs({"N": 1, "M": 2}) == Integer(5)
+        assert e.subs({N: 1, M: 2}) == Integer(5)
+
+    def test_subs_expression(self):
+        e = N * N
+        assert e.subs({"N": M + 1}) == (M + 1) ** 2
+
+    def test_subs_partial(self):
+        e = N + M
+        r = e.subs({"N": 3})
+        assert r == M + 3
+        assert r.free_symbols == frozenset({M})
+
+    def test_free_symbols(self):
+        e = (N + M) * K // 2
+        assert {s.name for s in e.free_symbols} == {"N", "M", "K"}
+
+
+class TestEvaluation:
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(KeyError):
+            N.evaluate({})
+
+    def test_evaluate_to_int(self):
+        assert evaluate_to_int("N*2+1", {"N": 5}) == 11
+        assert evaluate_to_int(7) == 7
+
+    def test_bool_raises(self):
+        with pytest.raises(TypeError):
+            bool(N + 1)
+
+    def test_as_int(self):
+        assert (Integer(3) + 4).as_int() == 7
+        with pytest.raises(KeyError):
+            N.as_int()
+
+
+class TestBooleans:
+    def test_constant_relations_fold(self):
+        assert Eq.make(Integer(3), Integer(3)) == TRUE
+        assert (Integer(2) < Integer(1)) == FALSE
+
+    def test_symbolic_relation(self):
+        c = N < M
+        assert c.evaluate({"N": 1, "M": 2}) is True
+        assert c.evaluate({"N": 2, "M": 2}) is False
+
+    def test_and_or_folding(self):
+        assert And.make(TRUE, TRUE) == TRUE
+        assert And.make(TRUE, FALSE) == FALSE
+        assert Or.make(FALSE, TRUE) == TRUE
+        assert And.make() == TRUE
+        assert Or.make() == FALSE
+
+    def test_not_negates_relations(self):
+        assert Not.make(N < M) == (N >= M)
+        assert Not.make(Not.make(N < M)) == (N < M)
+
+    def test_relation_simplifies_via_difference(self):
+        assert ((N + 1) > N) == TRUE
+        assert (N - N == 0)
+
+
+class TestParser:
+    def test_arithmetic(self):
+        assert parse_expr("2*N + 1") == 2 * N + 1
+        assert parse_expr("(N+1)*(N+1)") == (N + 1) ** 2
+
+    def test_functions(self):
+        assert parse_expr("min(N, M)") == Min.make(N, M)
+        assert parse_expr("int_ceil(N, 4)") == CeilDiv.make(N, Integer(4))
+
+    def test_comparison_chain(self):
+        e = parse_expr("0 <= i < N")
+        assert e.evaluate({"i": 3, "N": 5}) is True
+        assert e.evaluate({"i": 7, "N": 5}) is False
+
+    def test_bool_ops(self):
+        e = parse_expr("i < N and not (i == 3)")
+        assert e.evaluate({"i": 2, "N": 5}) is True
+        assert e.evaluate({"i": 3, "N": 5}) is False
+
+    def test_rejects_unknown_calls(self):
+        from repro.symbolic.parser import SymbolicSyntaxError
+
+        with pytest.raises(SymbolicSyntaxError):
+            parse_expr("foo(N)")
+
+    def test_rejects_garbage(self):
+        from repro.symbolic.parser import SymbolicSyntaxError
+
+        with pytest.raises(SymbolicSyntaxError):
+            parse_expr("N +")
+
+    def test_sympify_roundtrip(self):
+        for text in ["N", "2*N + 1", "N // 2", "N % 4", "min(N, M)", "-N + M*K"]:
+            e = parse_expr(text)
+            assert parse_expr(str(e)) == e, text
+
+
+class TestImmutability:
+    def test_integers_immutable(self):
+        with pytest.raises(AttributeError):
+            Integer(3).value = 4
+
+    def test_symbols_immutable(self):
+        with pytest.raises(AttributeError):
+            N.name = "Q"
+
+    def test_sympify_types(self):
+        assert sympify(3) == Integer(3)
+        assert sympify(3.0) == Integer(3)
+        assert isinstance(sympify(3.5), Real)
+        assert sympify(N) is N
+        with pytest.raises(TypeError):
+            sympify(object())

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the symbolic engine.
+
+The central invariant: canonicalization never changes the value of an
+expression.  We generate random expression trees, evaluate them under
+random positive bindings, and check that the canonical form, the
+string-parse round-trip, and substitution all preserve semantics.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import Expr, Integer, Range, Subset, Symbol, parse_expr
+
+SYMS = ("N", "M", "K")
+
+
+def exprs(max_depth: int = 4) -> st.SearchStrategy:
+    base = st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Integer),
+        st.sampled_from(SYMS).map(Symbol),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: ab[0] + ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] - ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] * ab[1]),
+            st.tuples(children, st.integers(min_value=1, max_value=7)).map(
+                lambda ab: ab[0] // ab[1]
+            ),
+            st.tuples(children, st.integers(min_value=1, max_value=7)).map(
+                lambda ab: ab[0] % ab[1]
+            ),
+            children.map(lambda a: -a),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+BINDINGS = st.fixed_dictionaries(
+    {name: st.integers(min_value=1, max_value=50) for name in SYMS}
+)
+
+
+@given(exprs(), BINDINGS)
+@settings(max_examples=200, deadline=None)
+def test_canonicalization_preserves_value(e: Expr, bindings):
+    # Rebuilding the expression from scratch (add 0, multiply by 1) must
+    # not change its value under any binding.
+    v = e.evaluate(bindings)
+    assert (e + 0).evaluate(bindings) == v
+    assert (e * 1).evaluate(bindings) == v
+    assert (0 + (e * 1)).evaluate(bindings) == v
+
+
+@given(exprs(), BINDINGS)
+@settings(max_examples=200, deadline=None)
+def test_parse_str_roundtrip(e: Expr, bindings):
+    reparsed = parse_expr(str(e))
+    assert reparsed.evaluate(bindings) == e.evaluate(bindings)
+
+
+@given(exprs(), BINDINGS)
+@settings(max_examples=150, deadline=None)
+def test_subs_equals_evaluate(e: Expr, bindings):
+    substituted = e.subs(bindings)
+    assert substituted.is_constant()
+    assert substituted.evaluate({}) == e.evaluate(bindings)
+
+
+@given(exprs(), exprs(), BINDINGS)
+@settings(max_examples=150, deadline=None)
+def test_arithmetic_homomorphism(a: Expr, b: Expr, bindings):
+    assert (a + b).evaluate(bindings) == a.evaluate(bindings) + b.evaluate(bindings)
+    assert (a - b).evaluate(bindings) == a.evaluate(bindings) - b.evaluate(bindings)
+    assert (a * b).evaluate(bindings) == a.evaluate(bindings) * b.evaluate(bindings)
+
+
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=5),
+    BINDINGS,
+)
+@settings(max_examples=150, deadline=None)
+def test_range_size_matches_python_range(start, length, step, bindings):
+    r = Range(start, start + length, step)
+    assert r.size().evaluate(bindings) == len(range(start, start + length, step))
+    assert r.max_element().evaluate(bindings) == max(
+        range(start, start + length, step)
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=1, max_value=10),
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_subset_volume_is_product(dims):
+    sub = Subset([Range(s, s + l) for s, l in dims])
+    vol = sub.num_elements().as_int()
+    expected = 1
+    for _, l in dims:
+        expected *= l
+    assert vol == expected
+
+
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=100, deadline=None)
+def test_image_covers_every_concrete_point(lo, n, off, width):
+    """The image of a subset under a map range contains every subset
+    instance produced by any concrete parameter value — soundness of
+    memlet propagation."""
+    param = Range(lo, lo + n)
+    sub = Subset.from_string(f"i+{off}:i+{off}+{width}")
+    img = sub.image({"i": param})
+    img_lo = img[0].min_element().as_int()
+    img_hi = img[0].max_element().as_int()
+    for iv in range(lo, lo + n):
+        inst = sub.subs({"i": iv})
+        assert img_lo <= inst[0].min_element().as_int()
+        assert inst[0].max_element().as_int() <= img_hi

@@ -1,0 +1,208 @@
+"""Cross-cutting integration and property tests.
+
+These tie the subsystems together: random programs through both
+execution paths, serialization round-trips over real workload SDFGs,
+transformation chains preserving semantics under hypothesis-driven
+sequencing, and the C++ backend cross-checked against Python on real
+kernels.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro as rp
+from repro.codegen import compile_sdfg
+from repro.codegen.cpp_gen import compile_cpp, find_host_compiler
+from repro.runtime import SDFGInterpreter
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.transformations import (
+    MapExpansion,
+    MapTiling,
+    Vectorization,
+    apply_transformations,
+    enumerate_matches,
+)
+
+needs_cc = pytest.mark.skipif(find_host_compiler() is None, reason="no C++ compiler")
+
+# --------------------------------------------------------------------------
+# Random elementwise pipelines: codegen == interpreter == numpy.
+# --------------------------------------------------------------------------
+
+_OPS = [
+    ("b = a + {c}", lambda x, c: x + c),
+    ("b = a * {c}", lambda x, c: x * c),
+    ("b = a - {c}", lambda x, c: x - c),
+    ("b = max(a, {c})", lambda x, c: np.maximum(x, c)),
+    ("b = min(a, {c})", lambda x, c: np.minimum(x, c)),
+    ("b = a * a", lambda x, c: x * x),
+]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, len(_OPS) - 1), st.floats(-2, 2, allow_nan=False)),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(4, 24),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_pipeline_backends_agree(stages, n):
+    sdfg = SDFG("pipeline")
+    sdfg.add_array("x0", ("N",), dtypes.float64)
+    for i in range(1, len(stages) + 1):
+        if i == len(stages):
+            sdfg.add_array(f"x{i}", ("N",), dtypes.float64)
+        else:
+            sdfg.add_transient(f"x{i}", ("N",), dtypes.float64, find_new_name=False)
+    state = sdfg.add_state()
+    nodes = {}
+    for i, (op_idx, const) in enumerate(stages):
+        code, _ = _OPS[op_idx]
+        state.add_mapped_tasklet(
+            f"stage{i}",
+            {"i": "0:N"},
+            inputs={"a": Memlet.simple(f"x{i}", "i")},
+            code=code.format(c=repr(float(const))),
+            outputs={"b": Memlet.simple(f"x{i + 1}", "i")},
+            input_nodes={f"x{i}": nodes[f"x{i}"]} if f"x{i}" in nodes else None,
+        )
+        nodes[f"x{i + 1}"] = [
+            node for node in state.data_nodes()
+            if node.data == f"x{i + 1}" and state.in_edges(node)
+        ][0]
+    rng = np.random.RandomState(0)
+    x0 = rng.rand(n)
+    expected = x0.copy()
+    for op_idx, const in stages:
+        expected = _OPS[op_idx][1](expected, float(const))
+
+    out_name = f"x{len(stages)}"
+    cg = {"x0": x0.copy(), out_name: np.zeros(n)}
+    compile_sdfg(sdfg)(**cg)
+    np.testing.assert_allclose(cg[out_name], expected, rtol=1e-12)
+    it = {"x0": x0.copy(), out_name: np.zeros(n)}
+    SDFGInterpreter(sdfg, validate=False)(**it)
+    np.testing.assert_allclose(it[out_name], expected, rtol=1e-12)
+
+
+# --------------------------------------------------------------------------
+# Transformation sequences preserve semantics.
+# --------------------------------------------------------------------------
+
+_XFORM_POOL = ["MapTiling", "MapExpansion", "MapCollapse", "Vectorization",
+               "MapToForLoop"]
+
+
+@given(st.lists(st.sampled_from(_XFORM_POOL), min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_random_transformation_chain_preserves_semantics(chain):
+    N = rp.symbol("N")
+
+    sdfg = SDFG("xsem")
+    sdfg.add_array("A", ("N", "N"), dtypes.float64)
+    sdfg.add_array("B", ("N", "N"), dtypes.float64)
+    st_ = sdfg.add_state()
+    st_.add_mapped_tasklet(
+        "t",
+        {"i": "0:N", "j": "0:N"},
+        inputs={"a": Memlet.simple("A", "i, j")},
+        code="b = 2 * a + 1",
+        outputs={"b": Memlet.simple("B", "i, j")},
+    )
+    for name in chain:
+        apply_transformations(sdfg, name, validate=False)
+    sdfg.propagate()
+    sdfg.validate()
+    A = np.random.RandomState(1).rand(9, 9)
+    B = np.zeros((9, 9))
+    compile_sdfg(sdfg)(A=A, B=B)
+    np.testing.assert_allclose(B, 2 * A + 1)
+
+
+# --------------------------------------------------------------------------
+# Serialization round-trips over real workload SDFGs.
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", ["gemm", "atax", "jacobi-2d", "cholesky",
+                                  "floyd-warshall"])
+def test_polybench_serialization_roundtrip(name):
+    from repro.workloads.polybench import get
+
+    sdfg = get(name).make_sdfg()
+    j1 = sdfg.to_json()
+    back = SDFG.from_json(j1)
+    back.validate()
+    assert back.to_json() == j1
+    # The deserialized SDFG also executes correctly.
+    kernel = get(name)
+    data = kernel.data()
+    expected = {k: v.copy() for k, v in data.items()}
+    kernel.ref_loops(expected, kernel.sizes)
+    kwargs = dict(data)
+    for sym in kernel.extra_symbols:
+        kwargs[sym] = kernel.sizes[sym]
+    back.compile()(**kwargs)
+    for out in kernel.outputs:
+        np.testing.assert_allclose(data[out], expected[out], rtol=1e-8, atol=1e-9)
+
+
+def test_bfs_serialization_roundtrip():
+    from repro.workloads.bfs import build_bfs_sdfg
+
+    sdfg = build_bfs_sdfg(optimized=True)
+    assert SDFG.from_json(sdfg.to_json()).to_json() == sdfg.to_json()
+
+
+# --------------------------------------------------------------------------
+# C++ backend differential on real kernels.
+# --------------------------------------------------------------------------
+
+@needs_cc
+@pytest.mark.parametrize("name", ["gemm", "mvt"])
+def test_cpp_backend_matches_python_on_polybench(name):
+    from repro.workloads.polybench import get
+
+    kernel = get(name)
+    data_py = kernel.data()
+    data_cpp = {k: v.copy() for k, v in data_py.items()}
+    kernel.run_sdfg(data_py)
+    sdfg = kernel.make_sdfg()
+    comp = compile_cpp(sdfg)
+    kwargs = dict(data_cpp)
+    for sym in kernel.extra_symbols:
+        kwargs[sym] = kernel.sizes[sym]
+    comp(**kwargs)
+    for out in kernel.outputs:
+        np.testing.assert_allclose(data_cpp[out], data_py[out], rtol=1e-10)
+
+
+# --------------------------------------------------------------------------
+# Visualization sanity over transformed graphs.
+# --------------------------------------------------------------------------
+
+def test_dot_and_summary_after_transformations():
+    N = rp.symbol("N")
+
+    @rp.program
+    def prog(A: rp.float64[N, N]):
+        for i, j in rp.map[0:N, 0:N]:
+            A[i, j] = A[i, j] * 2
+
+    sdfg = prog.to_sdfg()
+    apply_transformations(sdfg, MapTiling, options={"tile_sizes": (8,)})
+    dot = sdfg.to_dot()
+    assert "digraph" in dot and "trapezium" in dot
+    assert "__tile_i" in sdfg.summary()
+
+
+def test_transformation_enumeration_is_deterministic():
+    from repro.workloads.polybench import get
+
+    sdfg1 = get("gemm").make_sdfg()
+    sdfg2 = get("gemm").make_sdfg()
+    m1 = [type(m).__name__ for m in enumerate_matches(sdfg1, MapExpansion)]
+    m2 = [type(m).__name__ for m in enumerate_matches(sdfg2, MapExpansion)]
+    assert m1 == m2
