@@ -32,7 +32,22 @@ from repro.symbolic.expr import (
 
 
 class CodegenError(Exception):
-    """Raised when an SDFG feature cannot be lowered by a backend."""
+    """Raised when an SDFG feature cannot be lowered by a backend.
+
+    Carries a structured :class:`repro.diagnostics.Diagnostic` (stable
+    ``code``, optional SDFG/state/node location) so the compilation
+    driver and tooling can record *why* a backend was abandoned when the
+    degradation chain fires.
+    """
+
+    def __init__(self, message: str, code: str = "CG000", sdfg=None, state=None, node=None):
+        from repro.diagnostics import Severity, make_diagnostic
+
+        self.code = code
+        self.diagnostic = make_diagnostic(
+            code, message, Severity.ERROR, sdfg=sdfg, state=state, node=node
+        )
+        super().__init__(message)
 
 
 def pycode(e: Expr, rename: Optional[Dict[str, str]] = None) -> str:
@@ -75,7 +90,7 @@ def pycode(e: Expr, rename: Optional[Dict[str, str]] = None) -> str:
             return "(" + " or ".join(go(a) for a in e.args) + ")"
         if isinstance(e, Not):
             return f"(not {go(e.arg)})"
-        raise CodegenError(f"cannot render expression {e!r}")
+        raise CodegenError(f"cannot render expression {e!r}", code="CG001")
 
     return go(e)
 
@@ -132,7 +147,7 @@ def cppcode(e: Expr, rename: Optional[Dict[str, str]] = None) -> str:
             return "(" + " || ".join(go(a) for a in e.args) + ")"
         if isinstance(e, Not):
             return f"(!{go(e.arg)})"
-        raise CodegenError(f"cannot render expression {e!r}")
+        raise CodegenError(f"cannot render expression {e!r}", code="CG002")
 
     return go(e)
 
@@ -154,7 +169,7 @@ def flat_index_cpp(subset: Subset, strides) -> str:
     terms = []
     for rng, stride in zip(subset.ranges, strides):
         if not rng.is_point():
-            raise CodegenError("flat index requires point subset")
+            raise CodegenError("flat index requires point subset", code="CG003")
         terms.append(f"({cppcode(rng.start)}) * ({cppcode(stride)})")
     return " + ".join(terms) if terms else "0"
 

@@ -6,17 +6,43 @@ propagation, ❷ code generation through the requested backend,
 + ``exec`` of the generated module; for the C++ backend, gcc via ctypes
 (see :mod:`repro.codegen.cpp_gen`).
 
-If the Python generator hits an unsupported construct, compilation
-transparently falls back to the reference interpreter, so every valid
-SDFG is executable.
+Backends degrade gracefully along an explicit chain
+
+    cpp  →  python  →  interpreter
+
+so every valid SDFG is executable even when the host toolchain is
+broken: a missing g++, a failed compile, a ctypes load error, or an
+unsupported construct in a generator each abandon the current backend
+and fall through to the next.  Every hop is recorded on the returned
+:class:`CompiledSDFG` (``requested_backend`` + ``degradation``) so
+callers — and the fault-injection harness — can see which fallbacks
+fired and why.
 """
 
 from __future__ import annotations
 
+import subprocess
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.codegen.common import CodegenError
+
+#: Next backend to try when one fails; the interpreter is the terminal
+#: fallback (it executes the IR directly and cannot itself "miscompile").
+DEGRADATION_CHAIN: Dict[str, str] = {"cpp": "python", "python": "interpreter"}
+
+#: Exception types that mean "this backend is unusable here", not "the
+#: SDFG is broken": unsupported constructs (CodegenError), missing or
+#: broken host toolchain (OSError from subprocess/ctypes), generated
+#: code the host CPython rejects (SyntaxError), missing entry symbols
+#: (AttributeError), and compiler-invocation failures.
+DEGRADABLE_ERRORS = (
+    CodegenError,
+    OSError,
+    SyntaxError,
+    AttributeError,
+    subprocess.SubprocessError,
+)
 
 
 class CompiledSDFG:
@@ -26,7 +52,13 @@ class CompiledSDFG:
         self.sdfg = sdfg
         self._entry = entry
         self.source = source
+        #: Backend that actually produced this artifact.
         self.backend = backend
+        #: Backend the caller asked for (== ``backend`` unless degraded).
+        self.requested_backend = backend
+        #: Fallback hops taken, in order: dicts with ``from``/``to``/
+        #: ``error``/``code``/``reason`` keys (empty when none fired).
+        self.degradation: List[Dict[str, Optional[str]]] = []
         self.last_runtime: Optional[float] = None
 
     def __call__(self, **kwargs):
@@ -39,7 +71,12 @@ class CompiledSDFG:
         return result
 
     def __repr__(self) -> str:
-        return f"CompiledSDFG({self.sdfg.name!r}, backend={self.backend!r})"
+        degraded = (
+            f", degraded_from={self.requested_backend!r}"
+            if self.backend != self.requested_backend
+            else ""
+        )
+        return f"CompiledSDFG({self.sdfg.name!r}, backend={self.backend!r}{degraded})"
 
 
 def generate_code(sdfg, backend: str = "cpp") -> str:
@@ -65,16 +102,48 @@ def generate_code(sdfg, backend: str = "cpp") -> str:
     raise ValueError(f"unknown backend {backend!r}")
 
 
-def compile_sdfg(sdfg, backend: str = "python", validate: bool = True) -> CompiledSDFG:
-    """Compile an SDFG into a callable."""
+def compile_sdfg(
+    sdfg, backend: str = "python", validate: bool = True, fallback: bool = True
+) -> CompiledSDFG:
+    """Compile an SDFG into a callable.
+
+    On backend failure the next backend in :data:`DEGRADATION_CHAIN` is
+    tried (``fallback=False`` disables this and re-raises).  The
+    returned artifact records the requested backend and every fallback
+    hop taken.
+    """
     if validate:
         sdfg.validate()
     sdfg.propagate()
-    if backend == "python":
+
+    hops: List[Dict[str, Optional[str]]] = []
+    current = backend
+    while True:
         try:
-            return _compile_python(sdfg)
-        except CodegenError:
-            return _interpreter_fallback(sdfg)
+            compiled = _compile_backend(sdfg, current)
+        except DEGRADABLE_ERRORS as err:
+            nxt = DEGRADATION_CHAIN.get(current)
+            if nxt is None or not fallback:
+                raise
+            hops.append(
+                {
+                    "from": current,
+                    "to": nxt,
+                    "error": type(err).__name__,
+                    "code": getattr(err, "code", None),
+                    "reason": str(err).splitlines()[0] if str(err) else "",
+                }
+            )
+            current = nxt
+            continue
+        compiled.requested_backend = backend
+        compiled.degradation = hops
+        return compiled
+
+
+def _compile_backend(sdfg, backend: str) -> CompiledSDFG:
+    if backend == "python":
+        return _compile_python(sdfg)
     if backend == "interpreter":
         return _interpreter_fallback(sdfg)
     if backend == "cpp":

@@ -3,12 +3,21 @@
 Checks that scopes are correctly structured, memlets are connected
 properly, and map schedules / data storage locations are feasible
 (failing when, e.g., FPGA-resident data is accessed inside a GPU map).
+
+All checks report through :mod:`repro.diagnostics`.  By default the
+first ERROR raises :class:`InvalidSDFGError` (historical fail-fast
+behavior); with ``collect_all=True`` every diagnostic of a broken SDFG
+is returned so tooling can show them all at once.  A static
+write-conflict detector (paper §3.2: conflicting writes require a WCR
+memlet) emits W501 warnings for overlapping writes inside map scopes
+that lack conflict resolution.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import List, Optional, Set
 
+from repro.diagnostics import Diagnostic, DiagnosticCollector, Severity
 from repro.graph import CycleError, topological_sort
 from repro.sdfg.data import Stream
 from repro.sdfg.dtypes import STORAGE_ACCESSIBLE_FROM, ScheduleType, StorageType
@@ -29,10 +38,19 @@ from repro.sdfg.state import SDFGState
 class InvalidSDFGError(Exception):
     """Raised when an SDFG fails validation."""
 
-    def __init__(self, message: str, sdfg=None, state=None, node=None):
+    def __init__(self, message: str, sdfg=None, state=None, node=None, code: str = "V000"):
         self.sdfg = sdfg
         self.state = state
         self.node = node
+        self.code = code
+        self.diagnostic = Diagnostic(
+            code=code,
+            severity=Severity.ERROR,
+            message=message,
+            sdfg=getattr(sdfg, "name", None),
+            state=getattr(state, "name", None),
+            node=repr(node) if node is not None else None,
+        )
         loc = ""
         if state is not None:
             loc += f" [state {state.name}]"
@@ -41,180 +59,265 @@ class InvalidSDFGError(Exception):
         super().__init__(message + loc)
 
 
-def validate_sdfg(sdfg) -> None:
-    """Validate the full SDFG, recursing into nested SDFGs."""
+def _invalid_sdfg_factory(diag: Diagnostic, sdfg, state, node) -> InvalidSDFGError:
+    return InvalidSDFGError(diag.message, sdfg, state, node, code=diag.code)
+
+
+def _collector(collect_all: bool) -> DiagnosticCollector:
+    return DiagnosticCollector(
+        collect_all=collect_all, error_factory=_invalid_sdfg_factory
+    )
+
+
+def validate_sdfg(sdfg, collect_all: bool = False) -> List[Diagnostic]:
+    """Validate the full SDFG, recursing into nested SDFGs.
+
+    In the default fail-fast mode the first error raises
+    :class:`InvalidSDFGError`; warnings never raise.  With
+    ``collect_all=True`` no exception is raised and the complete list of
+    diagnostics (errors and warnings) is returned.
+    """
+    ctx = _collector(collect_all)
+    _validate_sdfg_into(sdfg, ctx)
+    return ctx.diagnostics
+
+
+def _validate_sdfg_into(sdfg, ctx: DiagnosticCollector) -> None:
     if sdfg.number_of_nodes() == 0:
-        raise InvalidSDFGError("SDFG has no states", sdfg)
+        ctx.error("V001", "SDFG has no states", sdfg=sdfg)
+        return  # nothing further to check
     if sdfg.start_state is None or sdfg.start_state not in sdfg:
-        raise InvalidSDFGError("SDFG has no start state", sdfg)
+        ctx.error("V002", "SDFG has no start state", sdfg=sdfg)
 
     names = [s.name for s in sdfg.nodes()]
     if len(set(names)) != len(names):
-        raise InvalidSDFGError(f"duplicate state names: {names}", sdfg)
+        ctx.error("V003", f"duplicate state names: {names}", sdfg=sdfg)
 
     for state in sdfg.nodes():
-        validate_state(sdfg, state)
+        validate_state(sdfg, state, ctx)
 
     # Interstate edges may only assign to symbols, not container names.
     for e in sdfg.edges():
         for target in e.data.assignments:
             if target in sdfg.arrays:
-                raise InvalidSDFGError(
-                    f"interstate assignment to container {target!r}", sdfg
+                ctx.error(
+                    "V004",
+                    f"interstate assignment to container {target!r}",
+                    sdfg=sdfg,
                 )
 
+    detect_write_conflicts(sdfg, ctx)
 
-def validate_state(sdfg, state: SDFGState) -> None:
+
+def validate_state(
+    sdfg, state: SDFGState, ctx: Optional[DiagnosticCollector] = None
+) -> List[Diagnostic]:
+    if ctx is None:
+        ctx = _collector(collect_all=False)
+
     # ❶ acyclicity
     try:
         topological_sort(state)
     except CycleError as err:
-        raise InvalidSDFGError("state dataflow graph is cyclic", sdfg, state) from err
+        ctx.error(
+            "V101", "state dataflow graph is cyclic", sdfg=sdfg, state=state, cause=err
+        )
 
     # ❷ node-level checks
     for node in state.nodes():
-        _validate_node(sdfg, state, node)
+        _validate_node(sdfg, state, node, ctx)
 
     # ❸ edge/memlet checks
     for e in state.edges():
-        _validate_edge(sdfg, state, e)
+        _validate_edge(sdfg, state, e, ctx)
 
-    # ❹ scope structure (raises on inconsistency) + schedule/storage feasibility
+    # ❹ scope structure (reported on inconsistency) + schedule/storage
+    # feasibility (depends on a well-formed scope tree, hence skipped on
+    # malformed scopes in collect mode).
     try:
         sd = state.scope_dict()
     except (ValueError, KeyError) as err:
-        raise InvalidSDFGError(f"malformed scopes: {err}", sdfg, state) from err
-    _validate_storage(sdfg, state, sd)
+        ctx.error(
+            "V102", f"malformed scopes: {err}", sdfg=sdfg, state=state, cause=err
+        )
+    else:
+        _validate_storage(sdfg, state, sd, ctx)
 
     # ❺ every entry has exactly one matching exit
     for entry in state.entry_nodes():
         try:
             state.exit_node(entry)
         except KeyError as err:
-            raise InvalidSDFGError(
-                "scope entry without matching exit", sdfg, state, entry
-            ) from err
+            ctx.error(
+                "V103",
+                "scope entry without matching exit",
+                sdfg=sdfg,
+                state=state,
+                node=entry,
+                cause=err,
+            )
+    return ctx.diagnostics
 
 
-def _validate_node(sdfg, state: SDFGState, node: Node) -> None:
+def _validate_node(sdfg, state: SDFGState, node: Node, ctx: DiagnosticCollector) -> None:
     if isinstance(node, AccessNode):
         if node.data not in sdfg.arrays:
-            raise InvalidSDFGError(
+            ctx.error(
+                "V201",
                 f"access node references undefined container {node.data!r}",
-                sdfg,
-                state,
-                node,
+                sdfg=sdfg,
+                state=state,
+                node=node,
+                data=node.data,
             )
         return
 
     if isinstance(node, Tasklet):
         # Tasklets may not reference external memory without memlets: all
         # loaded names must be connectors, scope parameters, or symbols.
-        defined = _symbols_defined_at(sdfg, state, node)
-        for name in node.free_symbols():
-            if name not in defined and name not in sdfg.constants:
-                raise InvalidSDFGError(
-                    f"tasklet accesses name {name!r} without a memlet "
-                    "(undeclared symbol or external memory)",
-                    sdfg,
-                    state,
-                    node,
-                )
+        try:
+            defined = _symbols_defined_at(sdfg, state, node)
+        except (ValueError, KeyError):
+            defined = None  # malformed scopes are reported separately (V102)
+        if defined is not None:
+            for name in node.free_symbols():
+                if name not in defined and name not in sdfg.constants:
+                    ctx.error(
+                        "V202",
+                        f"tasklet accesses name {name!r} without a memlet "
+                        "(undeclared symbol or external memory)",
+                        sdfg=sdfg,
+                        state=state,
+                        node=node,
+                    )
         # Connected edges must target declared connectors.
         for e in state.in_edges(node):
             if e.dst_conn is None and not e.data.is_empty():
-                raise InvalidSDFGError(
-                    "dataflow into tasklet without a connector", sdfg, state, node
+                ctx.error(
+                    "V203",
+                    "dataflow into tasklet without a connector",
+                    sdfg=sdfg,
+                    state=state,
+                    node=node,
                 )
         for e in state.out_edges(node):
             if e.src_conn is None and not e.data.is_empty():
-                raise InvalidSDFGError(
-                    "dataflow out of tasklet without a connector", sdfg, state, node
+                ctx.error(
+                    "V204",
+                    "dataflow out of tasklet without a connector",
+                    sdfg=sdfg,
+                    state=state,
+                    node=node,
                 )
         if not state.out_edges(node) and node.out_connectors:
-            raise InvalidSDFGError(
+            ctx.error(
+                "V205",
                 "tasklet declares outputs but has no outgoing edges",
-                sdfg,
-                state,
-                node,
+                sdfg=sdfg,
+                state=state,
+                node=node,
             )
         return
 
     if isinstance(node, NestedSDFG):
         # Recurse; nested SDFG must not recurse into itself (paper §3.4).
         if node.sdfg is sdfg:
-            raise InvalidSDFGError("recursive nested SDFG", sdfg, state, node)
-        validate_sdfg(node.sdfg)
+            ctx.error(
+                "V206", "recursive nested SDFG", sdfg=sdfg, state=state, node=node
+            )
+            return
+        _validate_sdfg_into(node.sdfg, ctx)
         outer_names = set(node.in_connectors) | set(node.out_connectors)
         for conn in outer_names:
             if conn not in node.sdfg.arrays:
-                raise InvalidSDFGError(
+                ctx.error(
+                    "V207",
                     f"nested SDFG connector {conn!r} has no matching container",
-                    sdfg,
-                    state,
-                    node,
+                    sdfg=sdfg,
+                    state=state,
+                    node=node,
                 )
         return
 
     if isinstance(node, ConsumeEntry):
         ins = state.in_edges_by_connector(node, "IN_stream")
         if len(ins) != 1:
-            raise InvalidSDFGError(
-                "consume entry needs exactly one stream input", sdfg, state, node
+            ctx.error(
+                "V208",
+                "consume entry needs exactly one stream input",
+                sdfg=sdfg,
+                state=state,
+                node=node,
             )
+            return
         src = ins[0].src
         if not (isinstance(src, AccessNode) and isinstance(src.desc(sdfg), Stream)):
-            raise InvalidSDFGError(
-                "consume entry input must come from a stream", sdfg, state, node
+            ctx.error(
+                "V209",
+                "consume entry input must come from a stream",
+                sdfg=sdfg,
+                state=state,
+                node=node,
             )
 
 
-def _validate_edge(sdfg, state: SDFGState, e) -> None:
+def _validate_edge(sdfg, state: SDFGState, e, ctx: DiagnosticCollector) -> None:
     mem = e.data
     if mem.is_empty():
         return
     if mem.data not in sdfg.arrays:
-        raise InvalidSDFGError(
-            f"memlet references undefined container {mem.data!r}", sdfg, state
+        ctx.error(
+            "V301",
+            f"memlet references undefined container {mem.data!r}",
+            sdfg=sdfg,
+            state=state,
+            data=mem.data,
         )
+        return  # remaining checks dereference the descriptor
     desc = sdfg.arrays[mem.data]
     if mem.subset is not None and mem.subset.dims != desc.dims:
-        raise InvalidSDFGError(
+        ctx.error(
+            "V302",
             f"memlet subset [{mem.subset}] rank {mem.subset.dims} does not "
             f"match container {mem.data!r} rank {desc.dims}",
-            sdfg,
-            state,
+            sdfg=sdfg,
+            state=state,
+            data=mem.data,
         )
     if mem.other_subset is not None:
         # other_subset reindexes the opposite endpoint's container.
         other = e.dst if isinstance(e.dst, AccessNode) else e.src
-        if isinstance(other, AccessNode):
+        if isinstance(other, AccessNode) and other.data in sdfg.arrays:
             odesc = sdfg.arrays[other.data]
             if mem.other_subset.dims != odesc.dims:
-                raise InvalidSDFGError(
+                ctx.error(
+                    "V303",
                     f"memlet other_subset rank mismatch on {other.data!r}",
-                    sdfg,
-                    state,
+                    sdfg=sdfg,
+                    state=state,
+                    data=other.data,
                 )
     # Connector existence on endpoints with explicit connector sets.
     if e.src_conn is not None and e.src_conn not in e.src.out_connectors:
-        raise InvalidSDFGError(
+        ctx.error(
+            "V304",
             f"edge uses undeclared source connector {e.src_conn!r}",
-            sdfg,
-            state,
-            e.src,
+            sdfg=sdfg,
+            state=state,
+            node=e.src,
         )
     if e.dst_conn is not None and e.dst_conn not in e.dst.in_connectors:
-        raise InvalidSDFGError(
+        ctx.error(
+            "V305",
             f"edge uses undeclared destination connector {e.dst_conn!r}",
-            sdfg,
-            state,
-            e.dst,
+            sdfg=sdfg,
+            state=state,
+            node=e.dst,
         )
     # Subset must fit in the container — checked only when every free
     # symbol is a global size symbol (map parameters and loop variables
     # have data-dependent domains the positive-symbol model cannot bound).
-    if mem.subset is not None:
+    if mem.subset is not None and mem.subset.dims == desc.dims:
         from repro.symbolic.sets import decide_nonnegative
 
         subset_syms = {s.name for s in mem.subset.free_symbols}
@@ -225,21 +328,27 @@ def _validate_edge(sdfg, state: SDFGState, e) -> None:
             over = decide_nonnegative(r.max_element() - dim)
             under = decide_nonnegative(-r.min_element() - 1)
             if over is True or under is True:
-                raise InvalidSDFGError(
+                ctx.error(
+                    "V306",
                     f"memlet {mem!r} is out of bounds for container "
                     f"{mem.data!r} (shape {desc.shape})",
-                    sdfg,
-                    state,
+                    sdfg=sdfg,
+                    state=state,
+                    data=mem.data,
                 )
 
 
-def _validate_storage(sdfg, state: SDFGState, scope_dict) -> None:
+def _validate_storage(
+    sdfg, state: SDFGState, scope_dict, ctx: DiagnosticCollector
+) -> None:
     """Schedules may only touch storage they can reach (paper §3.1:
     'memlets between containers either generate appropriate memory copy
     operations or fail with illegal accesses')."""
     for node in state.nodes():
         if not isinstance(node, AccessNode):
             continue
+        if node.data not in sdfg.arrays:
+            continue  # reported as V201
         storage = node.desc(sdfg).storage
         if storage == StorageType.Default:
             continue
@@ -249,13 +358,112 @@ def _validate_storage(sdfg, state: SDFGState, scope_dict) -> None:
             continue
         allowed = STORAGE_ACCESSIBLE_FROM[schedule]
         if storage not in allowed:
-            raise InvalidSDFGError(
+            ctx.error(
+                "V401",
                 f"container {node.data!r} with storage {storage.name} is not "
                 f"accessible from schedule {schedule.name}",
-                sdfg,
-                state,
-                node,
+                sdfg=sdfg,
+                state=state,
+                node=node,
+                data=node.data,
             )
+
+
+# =====================================================================
+# Static write-conflict detection (paper §3.2)
+# =====================================================================
+
+
+def detect_write_conflicts(
+    sdfg, ctx: Optional[DiagnosticCollector] = None
+) -> List[Diagnostic]:
+    """Warn (W501) when a write that crosses a map exit may touch the
+    same elements from different iterations without a WCR memlet.
+
+    A map parameter is *covered* when it appears in the write's subset,
+    or — transitively — when the range of a covered parameter depends on
+    it (tiled maps: the inner parameter's range is anchored at the tile
+    parameter, so distinct tiles write disjoint elements).  A write
+    crossing a map whose parameter is not covered repeats the same
+    subset every iteration: a conflict unless the memlet declares a WCR
+    or is dynamic (data-dependent writes are the programmer's contract,
+    e.g. stream pushes).
+    """
+    if ctx is None:
+        ctx = DiagnosticCollector(collect_all=True)
+    for state in sdfg.nodes():
+        _detect_state_write_conflicts(sdfg, state, ctx)
+        for node in state.nodes():
+            if isinstance(node, NestedSDFG) and node.sdfg is not sdfg:
+                detect_write_conflicts(node.sdfg, ctx)
+    return ctx.warnings()
+
+
+def _detect_state_write_conflicts(sdfg, state, ctx: DiagnosticCollector) -> None:
+    for e in state.edges():
+        mem = e.data
+        if mem.is_empty() or mem.wcr is not None or mem.dynamic:
+            continue
+        if mem.subset is None or mem.data not in sdfg.arrays:
+            continue
+        # Only analyze write origins: edges leaving a compute node (or an
+        # access-node copy source) whose memlet path crosses a map exit.
+        if isinstance(e.src, (EntryNode, ExitNode)):
+            continue
+        try:
+            path = state.memlet_path(e)
+        except ValueError:
+            continue  # fan-out paths: branches are analyzed individually
+        if path[0] is not e:
+            continue  # interior edge; the origin edge covers this path
+        crossed = [
+            state.entry_node_of(edge.dst)
+            for edge in path
+            if isinstance(edge.dst, ExitNode)
+        ]
+        crossed = [c for c in crossed if isinstance(c, MapEntry)]
+        if not crossed:
+            continue
+        # The conflict concerns the final destination container; skip
+        # reindexed copies where the written subset is other_subset.
+        final = path[-1].dst
+        if isinstance(final, AccessNode) and final.data != mem.data:
+            continue
+        missing = _uncovered_params(mem.subset, crossed)
+        if missing:
+            maps = ", ".join(sorted({c.map.label for c in crossed}))
+            ctx.warning(
+                "W501",
+                f"write to {mem.data!r}[{mem.subset}] repeats across "
+                f"iterations of parameter(s) {sorted(missing)} of map(s) "
+                f"{maps} without conflict resolution (WCR)",
+                sdfg=sdfg,
+                state=state,
+                node=e.src,
+                data=mem.data,
+            )
+
+
+def _uncovered_params(subset, crossed_entries) -> Set[str]:
+    """Map parameters (of the crossed scopes) not pinned by the subset,
+    directly or through the range of a pinned parameter."""
+    param_ranges = {}
+    for entry in crossed_entries:
+        for param, rng in zip(entry.map.params, entry.map.range.ranges):
+            param_ranges[param] = rng
+    covered = {s.name for s in subset.free_symbols}
+    changed = True
+    while changed:
+        changed = False
+        for param, rng in param_ranges.items():
+            if param not in covered:
+                continue
+            for expr in (rng.start, rng.end, rng.step):
+                for s in expr.free_symbols:
+                    if s.name in param_ranges and s.name not in covered:
+                        covered.add(s.name)
+                        changed = True
+    return set(param_ranges) - covered
 
 
 def _innermost_schedule(entry, scope_dict=None) -> Optional[ScheduleType]:

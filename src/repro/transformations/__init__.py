@@ -49,7 +49,13 @@ from repro.transformations.memory import (
 )
 from repro.transformations.interstate import InlineSDFG, StateFusion
 from repro.transformations.hardware import FPGATransform, GPUTransform, MPITransform
-from repro.transformations.auto import auto_optimize
+from repro.transformations.auto import auto_optimize, auto_optimize_guarded
+from repro.transformations.guard import (
+    AttemptRecord,
+    GuardedOptimizer,
+    GuardReport,
+    canonical_snapshot,
+)
 from repro.transformations.optimizer import (
     apply_strict_transformations,
     apply_transformations,
@@ -59,7 +65,10 @@ from repro.transformations.optimizer import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "DoubleBuffering",
+    "GuardReport",
+    "GuardedOptimizer",
     "FPGATransform",
     "GPUTransform",
     "InlineSDFG",
@@ -81,6 +90,8 @@ __all__ = [
     "Vectorization",
     "apply_strict_transformations",
     "auto_optimize",
+    "auto_optimize_guarded",
+    "canonical_snapshot",
     "apply_transformations",
     "apply_transformations_repeated",
     "enumerate_matches",

@@ -17,7 +17,7 @@ recorded in ``sdfg.transformation_history`` for inspection and replay.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.transformations.optimizer import (
     apply_strict_transformations,
@@ -48,3 +48,34 @@ def auto_optimize(sdfg, device: Optional[str] = None, validate: bool = True) -> 
         sdfg.propagate()
         sdfg.validate()
     return applied
+
+
+def auto_optimize_guarded(
+    sdfg,
+    device: Optional[str] = None,
+    verify: bool = False,
+    verify_inputs: Optional[Mapping[str, Any]] = None,
+    tolerance: float = 1e-8,
+):
+    """Run the :func:`auto_optimize` schedule transactionally.
+
+    Every application is snapshotted, re-validated, optionally
+    differentially verified, and rolled back on failure — the unattended
+    form of auto-optimization.  Returns the :class:`~repro.
+    transformations.guard.GuardReport` with every attempt recorded; the
+    number applied is ``len(report.applied())``.
+    """
+    from repro.transformations.guard import GuardedOptimizer
+
+    guard = GuardedOptimizer(
+        sdfg, verify=verify, verify_inputs=verify_inputs, tolerance=tolerance
+    )
+    guard.apply_to_fixpoint()  # strict cleanup set
+    guard.apply_to_fixpoint(["MapReduceFusion", "MapFusion"], max_applications=50)
+    guard.apply_to_fixpoint(["MapCollapse"], max_applications=50)
+    guard.apply_to_fixpoint(["Vectorization"], max_applications=50)
+    if device == "gpu":
+        guard.apply("GPUTransform")
+    elif device == "fpga":
+        guard.apply("FPGATransform")
+    return guard.report

@@ -1,0 +1,352 @@
+"""Transactional transformation application (the safety layer over the
+paper's §4.1/§4.2 workflow).
+
+``GuardedOptimizer`` wraps every transformation application in a
+transaction, in the spirit of DIODE's "optimization version control":
+
+1. **snapshot** — serialize the SDFG (JSON round-trip);
+2. **apply** — run the transformation's graph rewrite;
+3. **re-validate** — full structural validation of the result;
+4. **differential verification** (optional) — execute the pre- and
+   post-transformation SDFGs on small inputs through the interpreter
+   backend and compare every output container within a tolerance;
+5. **commit or roll back** — on any failure the snapshot is restored
+   *in place* (byte-identical serialization), so a corrupting
+   transformation can never leave the graph broken.
+
+Every attempt — applied, rolled back (with the reason), or no match —
+is recorded in a machine-readable :class:`GuardReport`, making the
+optimization pipeline safe to run unattended to fixpoint.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.sdfg.serialize import restore_sdfg_inplace, sdfg_from_json, sdfg_to_json
+from repro.transformations.base import REGISTRY, Transformation
+from repro.transformations.optimizer import XformLike, _resolve
+
+#: Sentinel reason when differential verification could not run (e.g.
+#: the *baseline* already fails on synthesized inputs): the application
+#: is kept, but recorded as unverified.
+VERIFY_SKIPPED = "skipped"
+
+
+def canonical_snapshot(sdfg) -> str:
+    """Deterministic serialized form, used for byte-identity checks."""
+    return json.dumps(sdfg_to_json(sdfg), sort_keys=True)
+
+
+@dataclass
+class AttemptRecord:
+    """One transformation attempt in a guarded pipeline."""
+
+    transformation: str
+    status: str  # "applied" | "rolled_back" | "no_match"
+    reason: str = ""
+    code: Optional[str] = None  # diagnostic code of the failure, if any
+    verified: Optional[str] = None  # None | "ok" | "skipped"
+    max_abs_error: Optional[float] = None
+    duration: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "transformation": self.transformation,
+            "status": self.status,
+            "reason": self.reason,
+            "code": self.code,
+            "verified": self.verified,
+            "max_abs_error": self.max_abs_error,
+            "duration": self.duration,
+        }
+
+
+@dataclass
+class GuardReport:
+    """Machine-readable log of a guarded optimization run."""
+
+    sdfg: str
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    def applied(self) -> List[AttemptRecord]:
+        return [a for a in self.attempts if a.status == "applied"]
+
+    def rolled_back(self) -> List[AttemptRecord]:
+        return [a for a in self.attempts if a.status == "rolled_back"]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"sdfg": self.sdfg, "attempts": [a.to_json() for a in self.attempts]}
+
+    def summary(self) -> str:
+        n_app, n_rb = len(self.applied()), len(self.rolled_back())
+        lines = [f"guarded optimization of {self.sdfg!r}: "
+                 f"{n_app} applied, {n_rb} rolled back"]
+        for a in self.attempts:
+            extra = f" ({a.reason})" if a.reason else ""
+            lines.append(f"  {a.status:12s} {a.transformation}{extra}")
+        return "\n".join(lines)
+
+
+class GuardedOptimizer:
+    """Applies transformations transactionally (snapshot / validate /
+    verify / roll back) and records every attempt.
+
+    :param sdfg: The SDFG to optimize (mutated in place; rolled back in
+        place on failure).
+    :param verify: Differentially verify each application by executing
+        pre- and post-transformation SDFGs through the interpreter
+        backend and comparing outputs.
+    :param verify_inputs: Keyword arguments (arrays + symbol values) for
+        verification runs.  When omitted, small random inputs are
+        synthesized from the SDFG's argument descriptors — sound for
+        dense kernels; pass explicit inputs for data-dependent graphs
+        (sparse indices, stream sizes).
+    :param tolerance: Maximum absolute output difference accepted.
+    :param symbol_default: Value bound to each free size symbol when
+        synthesizing inputs.
+    """
+
+    def __init__(
+        self,
+        sdfg,
+        verify: bool = False,
+        verify_inputs: Optional[Mapping[str, Any]] = None,
+        tolerance: float = 1e-8,
+        validate: bool = True,
+        symbol_default: int = 6,
+        seed: int = 0,
+    ):
+        self.sdfg = sdfg
+        self.verify = verify
+        self.verify_inputs = dict(verify_inputs) if verify_inputs else None
+        self.tolerance = tolerance
+        self.validate = validate
+        self.symbol_default = symbol_default
+        self.seed = seed
+        self.report = GuardReport(sdfg=sdfg.name)
+
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> Dict[str, Any]:
+        return sdfg_to_json(self.sdfg)
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        restore_sdfg_inplace(self.sdfg, snap)
+
+    # -------------------------------------------------------------- applying
+    def apply(
+        self,
+        xform: XformLike,
+        options: Optional[Mapping[str, Any]] = None,
+        strict: bool = False,
+    ) -> bool:
+        """Apply the first match of ``xform`` transactionally.
+
+        Returns True when the transformation was applied *and* survived
+        validation (and differential verification, when enabled); False
+        when there was no match or the application was rolled back.  The
+        outcome is appended to :attr:`report` either way.
+        """
+        cls = _resolve(xform)
+        name = cls.__name__
+        snap = self.snapshot()
+        start = time.perf_counter()
+
+        try:
+            self.sdfg.propagate()
+            inst = next(iter(cls.matches(self.sdfg, strict)), None)
+            if inst is None:
+                self._record(name, "no_match", start=start)
+                return False
+            for k, v in (options or {}).items():
+                setattr(inst, k, v)
+            inst.apply_and_record()
+            self.sdfg.propagate()
+            if self.validate:
+                self.sdfg.validate()
+        except Exception as err:  # noqa: BLE001 - any failure rolls back
+            self.restore(snap)
+            from repro.sdfg.validation import InvalidSDFGError
+
+            code = "G102" if isinstance(err, InvalidSDFGError) else "G101"
+            self._record(
+                name,
+                "rolled_back",
+                reason=f"{type(err).__name__}: {err}",
+                code=getattr(err, "code", None) or code,
+                start=start,
+            )
+            return False
+
+        verified: Optional[str] = None
+        max_err: Optional[float] = None
+        if self.verify:
+            failure, max_err = self._differential_check(snap)
+            if failure is VERIFY_SKIPPED:
+                verified = VERIFY_SKIPPED
+            elif failure is not None:
+                self.restore(snap)
+                self._record(
+                    name,
+                    "rolled_back",
+                    reason=failure,
+                    code="G103",
+                    max_abs_error=max_err,
+                    start=start,
+                )
+                return False
+            else:
+                verified = "ok"
+
+        self._record(name, "applied", verified=verified, max_abs_error=max_err, start=start)
+        return True
+
+    def apply_to_fixpoint(
+        self,
+        xforms: Optional[Sequence[XformLike]] = None,
+        max_applications: int = 1000,
+    ) -> int:
+        """Apply the given transformations (default: the strict set)
+        repeatedly until none matches or every remaining candidate has
+        been rolled back.  A transformation whose application rolls back
+        is retired from the pool — a corrupting rewrite is contained
+        once, not retried forever.  Returns the number applied.
+        """
+        if xforms is None:
+            classes = [cls for cls in REGISTRY.values() if cls.strict]
+        else:
+            classes = [_resolve(x) for x in xforms]
+        applied = 0
+        retired: set = set()
+        progress = True
+        while progress and applied < max_applications:
+            progress = False
+            for cls in classes:
+                if cls in retired:
+                    continue
+                if self.apply(cls):
+                    applied += 1
+                    progress = True
+                elif self.report.attempts[-1].status == "rolled_back":
+                    retired.add(cls)
+        return applied
+
+    # -------------------------------------------------- differential checks
+    def _differential_check(self, pre_snapshot: Dict[str, Any]):
+        """Execute pre- and post-transformation SDFGs on identical inputs
+        via the interpreter and compare outputs.
+
+        Returns ``(failure_reason_or_None_or_VERIFY_SKIPPED, max_abs_error)``.
+        """
+        baseline = sdfg_from_json(pre_snapshot)
+        inputs = self.verify_inputs
+        if inputs is None:
+            inputs = synthesize_inputs(baseline, self.symbol_default, self.seed)
+
+        try:
+            ref = _run_via_interpreter(baseline, inputs)
+        except Exception as err:  # noqa: BLE001 - baseline unrunnable
+            return VERIFY_SKIPPED, None
+        try:
+            out = _run_via_interpreter(self.sdfg, inputs)
+        except Exception as err:  # noqa: BLE001 - transformed run crashed
+            return f"transformed SDFG failed to execute: {type(err).__name__}: {err}", None
+
+        max_err = 0.0
+        for name in sorted(set(ref) & set(out)):
+            a, b = np.asarray(ref[name]), np.asarray(out[name])
+            if a.shape != b.shape:
+                return f"output {name!r} shape changed: {a.shape} -> {b.shape}", None
+            if a.size == 0:
+                continue
+            diff = float(np.max(np.abs(a.astype(np.float64) - b.astype(np.float64))))
+            max_err = max(max_err, diff)
+            if diff > self.tolerance:
+                return (
+                    f"output {name!r} diverged: max abs error {diff:.3e} "
+                    f"> tolerance {self.tolerance:.1e}",
+                    diff,
+                )
+        return None, max_err
+
+    # ------------------------------------------------------------- recording
+    def _record(
+        self,
+        name: str,
+        status: str,
+        reason: str = "",
+        code: Optional[str] = None,
+        verified: Optional[str] = None,
+        max_abs_error: Optional[float] = None,
+        start: float = 0.0,
+    ) -> None:
+        self.report.attempts.append(
+            AttemptRecord(
+                transformation=name,
+                status=status,
+                reason=reason,
+                code=code,
+                verified=verified,
+                max_abs_error=max_abs_error,
+                duration=time.perf_counter() - start,
+            )
+        )
+
+
+# =====================================================================
+# Differential-execution helpers
+# =====================================================================
+
+
+def synthesize_inputs(sdfg, symbol_default: int = 6, seed: int = 0) -> Dict[str, Any]:
+    """Small random arguments for an SDFG: every free size symbol bound
+    to ``symbol_default``, float containers filled uniformly at random,
+    integer containers zeroed (random integers would be unsound for
+    graphs that index through them)."""
+    from repro.sdfg.data import Scalar, Stream
+
+    rng = np.random.RandomState(seed)
+    symbols = {
+        s: symbol_default
+        for s in sorted(set(sdfg.free_symbols()) | set(sdfg.symbols))
+        if s not in sdfg.constants
+    }
+    inputs: Dict[str, Any] = dict(symbols)
+    for name, desc in sorted(sdfg.arglist().items()):
+        if isinstance(desc, Stream):
+            continue  # interpreter allocates streams itself
+        np_dtype = desc.dtype.as_numpy()
+        if isinstance(desc, Scalar):
+            if np.issubdtype(np_dtype, np.floating):
+                inputs[name] = np_dtype(rng.rand())
+            else:
+                inputs[name] = np_dtype(0)
+            continue
+        shape = tuple(int(s.evaluate(symbols)) for s in desc.shape)
+        if np.issubdtype(np_dtype, np.floating):
+            inputs[name] = rng.rand(*shape).astype(np_dtype)
+        elif np.issubdtype(np_dtype, np.complexfloating):
+            inputs[name] = (rng.rand(*shape) + 1j * rng.rand(*shape)).astype(np_dtype)
+        else:
+            inputs[name] = np.zeros(shape, dtype=np_dtype)
+    return inputs
+
+
+def _run_via_interpreter(sdfg, inputs: Mapping[str, Any]) -> Dict[str, np.ndarray]:
+    """Run an SDFG through the interpreter backend on a private copy of
+    ``inputs`` and return the (possibly mutated) array arguments."""
+    from repro.codegen.compiler import compile_sdfg
+
+    local = {
+        k: (v.copy() if isinstance(v, np.ndarray) else copy.copy(v))
+        for k, v in inputs.items()
+    }
+    compiled = compile_sdfg(sdfg, backend="interpreter", validate=False)
+    compiled(**local)
+    return {k: v for k, v in local.items() if isinstance(v, np.ndarray)}

@@ -1,0 +1,125 @@
+"""Tests for the structured diagnostics layer: collect-all validation,
+stable codes, fail-fast compatibility, and the CLI self-check."""
+
+import json
+
+import pytest
+
+from repro.diagnostics import CODES, DiagnosticCollector, Severity, self_check
+from repro.sdfg import SDFG, InvalidSDFGError, Memlet, dtypes
+from repro.sdfg.validation import validate_sdfg
+
+
+def multi_error_sdfg():
+    from repro.sdfg import InterstateEdge
+
+    sdfg = SDFG("broken")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    st = sdfg.add_state("s")
+    st.add_access("ghost")                      # V201
+    st.add_tasklet("t", [], ["o"], "o = nope")  # V202 (+ V205: no out edges)
+    st2 = sdfg.add_state("s2")
+    a = st2.add_access("A")
+    b = st2.add_access("ghost2")                # V201
+    st2.add_edge(a, b, Memlet(data="ghost2", subset="0"), None, None)  # V301
+    sdfg.add_edge(st, st2, InterstateEdge())
+    return sdfg
+
+
+def test_collect_all_returns_every_diagnostic():
+    diags = validate_sdfg(multi_error_sdfg(), collect_all=True)
+    errors = [d for d in diags if d.severity >= Severity.ERROR]
+    codes = sorted(d.code for d in errors)
+    # Both states' problems are reported, not just the first error.
+    assert codes.count("V201") == 2
+    assert "V202" in codes and "V301" in codes
+    assert len(errors) >= 4
+
+
+def test_fail_fast_raises_first_error_with_code():
+    with pytest.raises(InvalidSDFGError) as exc:
+        validate_sdfg(multi_error_sdfg())
+    assert exc.value.code in CODES
+    assert exc.value.diagnostic.severity == Severity.ERROR
+    assert exc.value.diagnostic.sdfg == "broken"
+
+
+def test_sdfg_validate_method_unchanged():
+    """sdfg.validate() stays fail-fast for all existing callers."""
+    with pytest.raises(InvalidSDFGError):
+        multi_error_sdfg().validate()
+
+
+def test_valid_sdfg_collects_nothing():
+    sdfg = SDFG("ok")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "c",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="b = a",
+        outputs={"b": Memlet.simple("A", "i")},
+    )
+    assert validate_sdfg(sdfg, collect_all=True) == []
+
+
+def test_diagnostics_are_json_serializable():
+    diags = validate_sdfg(multi_error_sdfg(), collect_all=True)
+    payload = json.dumps([d.to_json() for d in diags])
+    decoded = json.loads(payload)
+    assert decoded[0]["code"] in CODES
+    assert decoded[0]["severity"] == "ERROR"
+
+
+def test_every_used_code_is_registered():
+    diags = validate_sdfg(multi_error_sdfg(), collect_all=True)
+    for d in diags:
+        assert d.code in CODES, f"unregistered diagnostic code {d.code}"
+
+
+def test_collector_severity_ordering():
+    ctx = DiagnosticCollector(collect_all=True)
+    ctx.info("V001", "i")
+    ctx.warning("W501", "w")
+    ctx.error("V002", "e")
+    assert len(ctx.diagnostics) == 3
+    assert [d.code for d in ctx.errors()] == ["V002"]
+    assert [d.code for d in ctx.warnings()] == ["W501"]
+
+
+def test_codegen_error_carries_diagnostic():
+    from repro.codegen.common import CodegenError
+
+    err = CodegenError("nope", code="CG102")
+    assert err.code == "CG102"
+    assert err.diagnostic.code == "CG102"
+    assert err.diagnostic.severity == Severity.ERROR
+
+
+def test_nested_sdfg_errors_are_collected():
+    inner = SDFG("inner")
+    inner.add_array("x", ("N",), dtypes.float64)
+    ist = inner.add_state()
+    ist.add_access("inner_ghost")  # V201 inside the nested SDFG
+    outer = SDFG("outer")
+    outer.add_array("A", ("N",), dtypes.float64)
+    st = outer.add_state()
+    node = st.add_nested_sdfg(inner, ["x"], ["x"], symbol_mapping={"N": "N"})
+    st.add_edge(st.add_read("A"), node, Memlet.simple("A", "0:N"), None, "x")
+    st.add_edge(node, st.add_write("A"), Memlet.simple("A", "0:N"), "x", None)
+    st.add_access("outer_ghost")  # V201 in the outer SDFG
+    diags = validate_sdfg(outer, collect_all=True)
+    sdfgs = {d.sdfg for d in diags if d.code == "V201"}
+    assert sdfgs == {"inner", "outer"}
+
+
+def test_self_check_passes():
+    assert self_check(verbose=False) == 0
+
+
+def test_cli_entry_point():
+    from repro.diagnostics import main
+
+    assert main(["--self-check"]) == 0
+    assert main(["--list-codes"]) == 0

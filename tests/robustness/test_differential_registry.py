@@ -1,0 +1,234 @@
+"""Differential property tests: every registered Appendix-B
+transformation, applied transactionally through ``GuardedOptimizer`` to
+a representative SDFG, preserves outputs versus the untransformed SDFG
+on random inputs (max abs error ≤ 1e-8)."""
+
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.transformations import REGISTRY, GuardedOptimizer, apply_transformations
+
+M, K, N = rp.symbol("M"), rp.symbol("K"), rp.symbol("N")
+
+
+# ------------------------------------------------------- graph builders
+def mm_sdfg():
+    @rp.program
+    def mm(A: rp.float64[M, K], B: rp.float64[K, N], C: rp.float64[M, N]):
+        C = A @ B
+
+    mm._sdfg = None
+    return mm.to_sdfg()
+
+
+def mm_inputs(rng):
+    return {
+        "A": rng.rand(6, 5),
+        "B": rng.rand(5, 4),
+        "C": np.zeros((6, 4)),
+        "M": 6,
+        "K": 5,
+        "N": 4,
+    }
+
+
+def nested_copy_sdfg():
+    sdfg = SDFG("nest2")
+    sdfg.add_array("A", ("N", "N"), dtypes.float64)
+    sdfg.add_array("B", ("N", "N"), dtypes.float64)
+    st = sdfg.add_state()
+    ome, omx = st.add_map("outer", {"i": "0:N"})
+    ime, imx = st.add_map("inner", {"j": "0:N"})
+    t = st.add_tasklet("t", ["a"], ["b"], "b = a * 2")
+    r, w = st.add_read("A"), st.add_write("B")
+    st.add_memlet_path(r, ome, ime, t, memlet=Memlet.simple("A", "i, j"), dst_conn="a")
+    st.add_memlet_path(t, imx, omx, w, memlet=Memlet.simple("B", "i, j"), src_conn="b")
+    return sdfg
+
+
+def copy2_inputs(rng):
+    return {"A": rng.rand(6, 6), "B": np.zeros((6, 6)), "N": 6}
+
+
+def flat_copy_sdfg():
+    """One 2D map (collapsible form for MapExpansion)."""
+    sdfg = SDFG("flat2")
+    sdfg.add_array("A", ("N", "N"), dtypes.float64)
+    sdfg.add_array("B", ("N", "N"), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "c",
+        {"i": "0:N", "j": "0:N"},
+        inputs={"a": Memlet.simple("A", "i, j")},
+        code="b = a * 2",
+        outputs={"b": Memlet.simple("B", "i, j")},
+    )
+    return sdfg
+
+
+def scale_sdfg():
+    @rp.program
+    def scale(A: rp.float64[N]):
+        for i in rp.map[0:N]:
+            A[i] = A[i] * 3
+
+    scale._sdfg = None
+    return scale.to_sdfg()
+
+
+def two_maps_sdfg():
+    @rp.program
+    def two_maps(A: rp.float64[N], C: rp.float64[N]):
+        tmp: rp.float64[N]
+        for i in rp.map[0:N]:
+            tmp[i] = A[i] * 2
+        for j in rp.map[0:N]:
+            C[j] = tmp[j] + 1
+
+    two_maps._sdfg = None
+    return two_maps.to_sdfg()
+
+
+def stream_filter_sdfg():
+    sdfg = SDFG("filter")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_stream("S", dtypes.float64, transient=True)
+    sdfg.add_array("out", ("N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "f",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="if a > 0.5:\n    s = a",
+        outputs={"s": Memlet(data="S", subset="0", dynamic=True)},
+    )
+    s_node = [n for n in st.data_nodes() if n.data == "S"][0]
+    o_node = st.add_write("out")
+    st.add_nedge(s_node, o_node)
+    return sdfg
+
+
+def redundant_sdfg():
+    sdfg = SDFG("red")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_transient("tmp", ("N",), dtypes.float64, find_new_name=False)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "t",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="b = a + 1",
+        outputs={"b": Memlet.simple("tmp", "i")},
+    )
+    tmp_node = [n for n in st.data_nodes() if n.data == "tmp"][0]
+    b_node = st.add_write("B")
+    st.add_edge(tmp_node, b_node, Memlet.simple("tmp", "0:N"), None, None)
+    return sdfg
+
+
+def two_state_sdfg():
+    from repro.sdfg import InterstateEdge
+
+    sdfg = SDFG("two")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_transient("t1", ("N",), dtypes.float64, find_new_name=False)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    s1 = sdfg.add_state("s1")
+    s1.add_mapped_tasklet(
+        "m1",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="b = a * 2",
+        outputs={"b": Memlet.simple("t1", "i")},
+    )
+    s2 = sdfg.add_state("s2")
+    s2.add_mapped_tasklet(
+        "m2",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("t1", "i")},
+        code="b = a + 1",
+        outputs={"b": Memlet.simple("B", "i")},
+    )
+    sdfg.add_edge(s1, s2, InterstateEdge())
+    return sdfg
+
+
+def nested_sdfg():
+    inner = SDFG("inner")
+    inner.add_array("x", ("N",), dtypes.float64)
+    ist = inner.add_state()
+    ist.add_mapped_tasklet(
+        "scale",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("x", "i")},
+        code="b = a * 5",
+        outputs={"b": Memlet.simple("x", "i")},
+    )
+    outer = SDFG("outer")
+    outer.add_array("A", ("N",), dtypes.float64)
+    st = outer.add_state()
+    node = st.add_nested_sdfg(inner, ["x"], ["x"], symbol_mapping={"N": "N"})
+    st.add_edge(st.add_read("A"), node, Memlet.simple("A", "0:N"), None, "x")
+    st.add_edge(node, st.add_write("A"), Memlet.simple("A", "0:N"), "x", None)
+    return outer
+
+
+def vec_inputs(rng):
+    return {"A": rng.rand(9), "N": 9}
+
+
+def vec2_inputs(rng):
+    return {"A": rng.rand(9), "C": np.zeros(9), "N": 9}
+
+
+def vecB_inputs(rng):
+    return {"A": rng.rand(9), "B": np.zeros(9), "N": 9}
+
+
+def filter_inputs(rng):
+    return {"A": rng.rand(9), "out": np.zeros(9), "N": 9}
+
+
+#: transformation name -> (builder, inputs builder, options, preconditions)
+CASES = {
+    "MapCollapse": (nested_copy_sdfg, copy2_inputs, None, []),
+    "MapExpansion": (flat_copy_sdfg, copy2_inputs, None, []),
+    "MapInterchange": (nested_copy_sdfg, copy2_inputs, None, []),
+    "MapTiling": (nested_copy_sdfg, copy2_inputs, {"tile_sizes": (4,)}, []),
+    "Vectorization": (mm_sdfg, mm_inputs, None, ["MapReduceFusion"]),
+    "MapToForLoop": (scale_sdfg, vec_inputs, None, []),
+    "MapFusion": (two_maps_sdfg, vec2_inputs, None, []),
+    "MapReduceFusion": (mm_sdfg, mm_inputs, None, []),
+    "LocalStorage": (nested_copy_sdfg, copy2_inputs, None, []),
+    "LocalStream": (stream_filter_sdfg, filter_inputs, None, []),
+    "DoubleBuffering": (nested_copy_sdfg, copy2_inputs, None, ["LocalStorage"]),
+    "RedundantArray": (redundant_sdfg, vecB_inputs, None, []),
+    "StateFusion": (two_state_sdfg, vecB_inputs, None, []),
+    "InlineSDFG": (nested_sdfg, vec_inputs, None, []),
+    "GPUTransform": (nested_copy_sdfg, copy2_inputs, None, []),
+    "FPGATransform": (nested_copy_sdfg, copy2_inputs, None, []),
+    "MPITransform": (nested_copy_sdfg, copy2_inputs, None, []),
+}
+
+
+def test_every_registered_transformation_has_a_case():
+    """New transformations must add a differential property case."""
+    assert set(CASES) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_transformation_preserves_outputs(name):
+    builder, make_inputs, options, preconditions = CASES[name]
+    sdfg = builder()
+    for pre in preconditions:
+        assert apply_transformations(sdfg, pre) == 1, f"precondition {pre} failed"
+    inputs = make_inputs(np.random.RandomState(0))
+    guard = GuardedOptimizer(sdfg, verify=True, verify_inputs=inputs, tolerance=1e-8)
+    assert guard.apply(name, options=options) is True, guard.report.summary()
+    att = guard.report.attempts[-1]
+    assert att.status == "applied"
+    assert att.verified == "ok", att
+    assert att.max_abs_error is not None and att.max_abs_error <= 1e-8
