@@ -13,8 +13,26 @@ Run with::
 A results summary usable for EXPERIMENTS.md is printed per module.
 """
 
+import os
+
 import numpy as np
 import pytest
+
+
+def maybe_dump_report(compiled, name: str) -> None:
+    """Write the last instrumentation report of ``compiled`` next to the
+    benchmark results when ``REPRO_BENCH_REPORTS`` names a directory.
+
+    Benchmarks call this after running an instrumented (or
+    ``REPRO_PROFILE=1``) kernel; with the variable unset this is free.
+    """
+    target = os.environ.get("REPRO_BENCH_REPORTS", "")
+    report = getattr(compiled, "last_report", None)
+    if not target or report is None:
+        return
+    os.makedirs(target, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    report.save(os.path.join(target, f"{safe}.json"))
 
 
 def run_once(benchmark, fn, *args, rounds=1, **kwargs):

@@ -27,7 +27,7 @@ from repro.transformations import (
     apply_transformations,
 )
 from repro.workloads import kernels
-from conftest import run_once
+from conftest import maybe_dump_report, run_once
 
 SIZES = {
     "matmul": 192,
@@ -50,6 +50,7 @@ class TestFig14aCPU:
         comp = sdfg.compile()
         run_once(benchmark, lambda: comp(**data), rounds=3)
         results_table.append(("fig14a", "MM", "sdfg", benchmark.stats.stats.mean))
+        maybe_dump_report(comp, "fig14a_mm_sdfg")
 
     def test_mm_mkl_role(self, benchmark, results_table):
         n = SIZES["matmul"]

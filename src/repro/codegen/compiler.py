@@ -17,6 +17,12 @@ and fall through to the next.  Every hop is recorded on the returned
 :class:`CompiledSDFG` (``requested_backend`` + ``degradation``) so
 callers — and the fault-injection harness — can see which fallbacks
 fired and why.
+
+The pipeline reports into the instrumentation event bus: each phase
+(validate, propagate, per-backend codegen) is timed into the artifact's
+``compile_report``, and executing an instrumented SDFG attaches an
+:class:`~repro.instrumentation.report.InstrumentationReport` to the
+artifact as ``last_report`` (see :mod:`repro.instrumentation`).
 """
 
 from __future__ import annotations
@@ -26,6 +32,12 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.codegen.common import CodegenError
+from repro.instrumentation import (
+    InstrumentationRecorder,
+    InstrumentationType,
+    has_instrumentation,
+    profiling_enabled,
+)
 
 #: Next backend to try when one fails; the interpreter is the terminal
 #: fallback (it executes the IR directly and cannot itself "miscompile").
@@ -44,6 +56,26 @@ DEGRADABLE_ERRORS = (
     subprocess.SubprocessError,
 )
 
+#: Default diagnostic code per degradable error type, used when the
+#: exception itself carries none (``CodegenError.code`` wins when set).
+_DEFAULT_HOP_CODES: Dict[type, str] = {
+    CodegenError: "CG000",
+    SyntaxError: "CG102",
+    AttributeError: "CG103",
+    OSError: "CG101",
+    subprocess.SubprocessError: "CG101",
+}
+
+
+def _classify_hop_code(err: BaseException) -> Optional[str]:
+    code = getattr(err, "code", None)
+    if code:
+        return code
+    for etype, default in _DEFAULT_HOP_CODES.items():
+        if isinstance(err, etype):
+            return default
+    return None
+
 
 class CompiledSDFG:
     """A callable compiled SDFG (the paper's 'compiled library')."""
@@ -57,16 +89,40 @@ class CompiledSDFG:
         #: Backend the caller asked for (== ``backend`` unless degraded).
         self.requested_backend = backend
         #: Fallback hops taken, in order: dicts with ``from``/``to``/
-        #: ``error``/``code``/``reason`` keys (empty when none fired).
+        #: ``error``/``code``/``reason``/``message`` keys (empty when
+        #: none fired).  ``code`` is the triggering diagnostic code,
+        #: ``message`` the full exception text.
         self.degradation: List[Dict[str, Optional[str]]] = []
         self.last_runtime: Optional[float] = None
+        #: Report of the most recent instrumented execution (None when
+        #: the SDFG carries no instrumentation and REPRO_PROFILE is off).
+        self.last_report = None
+        #: Report of the compilation pipeline itself (phase timings).
+        self.compile_report = None
 
     def __call__(self, **kwargs):
         from repro.runtime.arguments import split_arguments
 
         arrays, symbols = split_arguments(self.sdfg, kwargs)
+        recorder = None
+        if has_instrumentation(self.sdfg) or profiling_enabled():
+            recorder = InstrumentationRecorder()
         start = time.perf_counter()
-        result = self._entry(arrays, symbols)
+        if recorder is None:
+            result = self._entry(arrays, symbols, None)
+            self.last_report = None
+        else:
+            itype = self.sdfg.instrument
+            if itype != InstrumentationType.NONE or profiling_enabled():
+                name = itype.name if itype != InstrumentationType.NONE else "TIMER"
+                recorder.enter("sdfg", self.sdfg.name, name)
+                try:
+                    result = self._entry(arrays, symbols, recorder)
+                finally:
+                    recorder.exit()
+            else:
+                result = self._entry(arrays, symbols, recorder)
+            self.last_report = recorder.report(self.sdfg.name, backend=self.backend)
         self.last_runtime = time.perf_counter() - start
         return result
 
@@ -103,42 +159,73 @@ def generate_code(sdfg, backend: str = "cpp") -> str:
 
 
 def compile_sdfg(
-    sdfg, backend: str = "python", validate: bool = True, fallback: bool = True
+    sdfg,
+    backend: str = "python",
+    validate: bool = True,
+    fallback: bool = True,
+    recorder: Optional[InstrumentationRecorder] = None,
 ) -> CompiledSDFG:
     """Compile an SDFG into a callable.
 
     On backend failure the next backend in :data:`DEGRADATION_CHAIN` is
     tried (``fallback=False`` disables this and re-raises).  The
     returned artifact records the requested backend and every fallback
-    hop taken.
+    hop taken, and carries phase timings in ``compile_report``.  Pass a
+    ``recorder`` to additionally splice the pipeline events into an
+    external event bus (the guarded optimizer does this).
     """
-    if validate:
-        sdfg.validate()
-    sdfg.propagate()
+    crec = InstrumentationRecorder()
+    crec.enter("compile", sdfg.name)
+    try:
+        t0 = time.perf_counter()
+        if validate:
+            sdfg.validate()
+        crec.event("phase", "validate", duration=time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        sdfg.propagate()
+        crec.event("phase", "propagate", duration=time.perf_counter() - t0)
 
-    hops: List[Dict[str, Optional[str]]] = []
-    current = backend
-    while True:
-        try:
-            compiled = _compile_backend(sdfg, current)
-        except DEGRADABLE_ERRORS as err:
-            nxt = DEGRADATION_CHAIN.get(current)
-            if nxt is None or not fallback:
-                raise
-            hops.append(
-                {
-                    "from": current,
-                    "to": nxt,
-                    "error": type(err).__name__,
-                    "code": getattr(err, "code", None),
-                    "reason": str(err).splitlines()[0] if str(err) else "",
-                }
+        hops: List[Dict[str, Optional[str]]] = []
+        current = backend
+        while True:
+            t0 = time.perf_counter()
+            try:
+                compiled = _compile_backend(sdfg, current)
+            except DEGRADABLE_ERRORS as err:
+                crec.event(
+                    "phase",
+                    f"codegen[{current}]",
+                    duration=time.perf_counter() - t0,
+                )
+                nxt = DEGRADATION_CHAIN.get(current)
+                if nxt is None or not fallback:
+                    raise
+                message = str(err)
+                hops.append(
+                    {
+                        "from": current,
+                        "to": nxt,
+                        "error": type(err).__name__,
+                        "code": _classify_hop_code(err),
+                        "reason": message.splitlines()[0] if message else "",
+                        "message": message,
+                    }
+                )
+                current = nxt
+                continue
+            crec.event(
+                "phase", f"codegen[{current}]", duration=time.perf_counter() - t0
             )
-            current = nxt
-            continue
-        compiled.requested_backend = backend
-        compiled.degradation = hops
-        return compiled
+            compiled.requested_backend = backend
+            compiled.degradation = hops
+            break
+    finally:
+        crec.exit()
+    compiled.compile_report = crec.report(sdfg.name, backend=f"compile[{backend}]")
+    if recorder is not None:
+        for node in crec.root.children.values():
+            recorder.absorb(node)
+    return compiled
 
 
 def _compile_backend(sdfg, backend: str) -> CompiledSDFG:
@@ -167,10 +254,10 @@ def _compile_python(sdfg) -> CompiledSDFG:
         set(sdfg.free_symbols()) | set(sdfg.symbols) - set(sdfg.constants)
     )
 
-    def entry(arrays: Dict[str, Any], symbols: Dict[str, int]):
+    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None):
         args = [arrays[a] for a in arg_arrays]
         args += [symbols[s] for s in syms_order]
-        return main(*args)
+        return main(*args, __instr=instr)
 
     return CompiledSDFG(sdfg, entry, source, "python")
 
@@ -180,12 +267,16 @@ def _interpreter_fallback(sdfg) -> CompiledSDFG:
 
     interp = SDFGInterpreter(sdfg, validate=False)
 
-    def entry(arrays: Dict[str, Any], symbols: Dict[str, int]):
+    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None):
         mem = interp._allocate(arrays, symbols)
         sym = dict(symbols)
         for k, v in sdfg.constants.items():
             sym.setdefault(k, v)
-        interp._run_state_machine(sdfg, mem, sym)
+        interp.recorder = instr
+        try:
+            interp._run_state_machine(sdfg, mem, sym)
+        finally:
+            interp.recorder = None
         return None
 
     return CompiledSDFG(sdfg, entry, "# interpreter fallback (no source)", "interpreter")

@@ -68,6 +68,10 @@ CODES: Dict[str, str] = {
     "V401": "storage not accessible from schedule",
     # --- static race analysis (W5xx, warnings)
     "W501": "overlapping writes inside map scope without conflict resolution",
+    # --- instrumentation placement (W6xx, warnings)
+    "W601": "instrumentation attached to empty state",
+    "W602": "instrumentation attached to disconnected node",
+    "W603": "instrumentation attached to unreachable state",
     # --- code generation (CGxxx)
     "CG001": "expression not renderable as Python",
     "CG002": "expression not renderable as C++",

@@ -1,0 +1,202 @@
+"""The instrumentation event bus.
+
+Executing backends, the compilation pipeline, and the guarded optimizer
+all report into one :class:`InstrumentationRecorder`.  Events form an
+*aggregated profile tree*: ``enter``/``exit`` pairs push and pop a
+stack, and repeated executions of the same element (same kind + label
+under the same parent) merge into one :class:`EventNode`, summing
+durations, counts, iterations, and bytes moved.  The resulting tree is
+deterministic — two backends that visit the same elements in the same
+nesting produce structurally identical trees, which is what the
+backend-consistency tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.instrumentation.types import InstrumentationType
+
+#: Event kinds, part of the report schema: IR elements and pipeline phases.
+KINDS = ("sdfg", "state", "map", "consume", "tasklet", "transformation",
+         "compile", "phase")
+
+
+class EventNode:
+    """One aggregated entry of the profile tree."""
+
+    __slots__ = ("kind", "label", "itype", "count", "duration", "iterations",
+                 "volume_bytes", "children")
+
+    def __init__(self, kind: str, label: str, itype: str = "TIMER"):
+        self.kind = kind
+        self.label = label
+        self.itype = itype
+        #: Number of enter/exit pairs merged into this node.
+        self.count: int = 0
+        #: Summed wall-clock seconds (None when the type records no time).
+        self.duration: Optional[float] = None
+        #: Summed iteration counts (map scopes).
+        self.iterations: Optional[int] = None
+        #: Summed bytes moved across the element boundary.
+        self.volume_bytes: Optional[int] = None
+        self.children: Dict[Tuple[str, str], "EventNode"] = {}
+
+    def child(self, kind: str, label: str, itype: str) -> "EventNode":
+        key = (kind, label)
+        node = self.children.get(key)
+        if node is None:
+            node = EventNode(kind, label, itype)
+            self.children[key] = node
+        return node
+
+    # ------------------------------------------------------------ merging
+    def add(
+        self,
+        duration: Optional[float] = None,
+        iterations: Optional[int] = None,
+        volume_bytes: Optional[int] = None,
+        count: int = 1,
+    ) -> None:
+        self.count += count
+        if duration is not None:
+            self.duration = (self.duration or 0.0) + float(duration)
+        if iterations is not None:
+            self.iterations = (self.iterations or 0) + int(iterations)
+        if volume_bytes is not None:
+            self.volume_bytes = (self.volume_bytes or 0) + int(volume_bytes)
+
+    def merge(self, other: "EventNode") -> None:
+        """Fold another node's measurements (and subtree) into this one."""
+        self.add(
+            duration=other.duration,
+            iterations=other.iterations,
+            volume_bytes=other.volume_bytes,
+            count=other.count,
+        )
+        for child in other.children.values():
+            self.child(child.kind, child.label, child.itype).merge(child)
+
+    # ------------------------------------------------------------- queries
+    def total_duration(self) -> float:
+        """This node's duration, or the sum of its children's when it has
+        no clock of its own."""
+        if self.duration is not None:
+            return self.duration
+        return sum(c.total_duration() for c in self.children.values())
+
+    def structure(self) -> tuple:
+        """Backend-independent projection: everything except wall-clock."""
+        return (
+            self.kind,
+            self.label,
+            self.itype,
+            self.count,
+            self.iterations,
+            self.volume_bytes,
+            tuple(c.structure() for c in self.children.values()),
+        )
+
+    # -------------------------------------------------------------- (de)ser
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "itype": self.itype,
+            "count": self.count,
+            "duration": self.duration,
+            "iterations": self.iterations,
+            "volume_bytes": self.volume_bytes,
+            "children": [c.to_json() for c in self.children.values()],
+        }
+
+    @staticmethod
+    def from_json(obj: Dict[str, Any]) -> "EventNode":
+        node = EventNode(obj["kind"], obj["label"], obj.get("itype", "TIMER"))
+        node.count = int(obj.get("count", 0))
+        node.duration = obj.get("duration")
+        node.iterations = obj.get("iterations")
+        node.volume_bytes = obj.get("volume_bytes")
+        for c in obj.get("children", ()):
+            child = EventNode.from_json(c)
+            node.children[(child.kind, child.label)] = child
+        return node
+
+    def __repr__(self) -> str:
+        return f"EventNode({self.kind}:{self.label}, count={self.count})"
+
+
+class InstrumentationRecorder:
+    """Collects enter/exit events into an aggregated profile tree.
+
+    The recorder is the shared event bus: the interpreter, generated
+    Python modules, the compilation driver, and the guarded optimizer
+    all call the same three methods.  Generated code receives the
+    recorder as the ``__instr`` argument of its entry function.
+    """
+
+    def __init__(self):
+        self._root = EventNode("root", "")
+        self._stack: List[EventNode] = [self._root]
+        self._starts: List[Optional[float]] = [None]
+
+    # ----------------------------------------------------------- recording
+    def enter(self, kind: str, label: str, itype: str = "TIMER") -> EventNode:
+        """Open a nested event; must be paired with :meth:`exit`."""
+        node = self._stack[-1].child(kind, label, itype)
+        self._stack.append(node)
+        timed = InstrumentationType[itype].records_time()
+        self._starts.append(time.perf_counter() if timed else None)
+        return node
+
+    def exit(
+        self,
+        iterations: Optional[int] = None,
+        volume: Optional[int] = None,
+    ) -> None:
+        """Close the innermost open event, folding in its measurements."""
+        if len(self._stack) <= 1:
+            raise RuntimeError("InstrumentationRecorder.exit without enter")
+        node = self._stack.pop()
+        start = self._starts.pop()
+        duration = time.perf_counter() - start if start is not None else None
+        node.add(duration=duration, iterations=iterations, volume_bytes=volume)
+
+    def event(
+        self,
+        kind: str,
+        label: str,
+        itype: str = "TIMER",
+        duration: Optional[float] = None,
+        iterations: Optional[int] = None,
+        volume: Optional[int] = None,
+    ) -> EventNode:
+        """Record a leaf event with pre-measured values (pipeline phases)."""
+        node = self._stack[-1].child(kind, label, itype)
+        node.add(duration=duration, iterations=iterations, volume_bytes=volume)
+        return node
+
+    def absorb(self, node: EventNode) -> None:
+        """Graft an externally-built event tree under the current node
+        (used to splice a compile pipeline's local tree into a caller's
+        recorder)."""
+        self._stack[-1].child(node.kind, node.label, node.itype).merge(node)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def root(self) -> EventNode:
+        return self._root
+
+    def is_balanced(self) -> bool:
+        return len(self._stack) == 1
+
+    def report(self, sdfg: str, backend: str = ""):
+        """Snapshot the collected tree into an immutable report."""
+        from repro.instrumentation.report import InstrumentationReport
+
+        return InstrumentationReport(
+            sdfg=sdfg,
+            backend=backend,
+            events=list(self._root.children.values()),
+        )

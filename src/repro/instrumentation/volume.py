@@ -1,0 +1,104 @@
+"""Symbolic data-movement volumes for instrumented elements.
+
+``MEMLET_VOLUME`` instrumentation reports *bytes moved across an
+element's boundary*, derived from propagated memlet volumes
+(:mod:`repro.sdfg.propagation`) rather than observed at runtime.  Both
+executing backends evaluate the **same** symbolic expression — the
+interpreter via :meth:`Expr.evaluate`, generated Python via
+:func:`repro.codegen.common.pycode` — so reported byte counts are
+identical by construction.
+
+Skipped contributions (they have no well-defined static byte count):
+
+* empty memlets (pure ordering dependencies),
+* dynamic memlets (volume is only an upper bound),
+* memlets on Stream containers (moved element count is a runtime
+  property of the queue).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.symbolic import Add, Expr, Integer, Mul
+
+# NOTE: repro.sdfg imports are deferred to call time — sdfg.nodes imports
+# repro.instrumentation.types, so a module-level import here would cycle.
+
+
+def _memlet_bytes(sdfg, memlet) -> Optional[Expr]:
+    """Bytes moved by one memlet, or None when statically unknown."""
+    from repro.sdfg.data import Stream
+
+    if memlet.is_empty() or memlet.dynamic or memlet.data is None:
+        return None
+    desc = sdfg.arrays.get(memlet.data)
+    if desc is None or isinstance(desc, Stream):
+        return None
+    return Mul.make(memlet.volume, Integer(desc.dtype.bytes))
+
+
+def scope_volume_expr(sdfg, state, entry) -> Optional[Expr]:
+    """Bytes crossing a map/consume scope boundary per scope execution.
+
+    Sums the propagated memlets entering the entry node and leaving the
+    matching exit node.  Returns None when nothing is statically
+    countable (e.g. a pure-stream consume scope).
+    """
+    exit_ = state.exit_node(entry)
+    total: Optional[Expr] = None
+    for edge in list(state.in_edges(entry)) + list(state.out_edges(exit_)):
+        term = _memlet_bytes(sdfg, edge.data)
+        if term is None:
+            continue
+        total = term if total is None else Add.make(total, term)
+    return total
+
+
+def tasklet_volume_expr(sdfg, state, node) -> Optional[Expr]:
+    """Bytes touched by one tasklet firing (sum over adjacent memlets)."""
+    total: Optional[Expr] = None
+    for edge in list(state.in_edges(node)) + list(state.out_edges(node)):
+        term = _memlet_bytes(sdfg, edge.data)
+        if term is None:
+            continue
+        total = term if total is None else Add.make(total, term)
+    return total
+
+
+def state_volume_expr(sdfg, state) -> Optional[Expr]:
+    """Bytes touching top-level data containers in one state execution.
+
+    Counts each edge adjacent to a top-level (outside any scope)
+    AccessNode once; edges internal to scopes are already summarized by
+    the propagated scope-boundary memlets.
+    """
+    from repro.sdfg.nodes import AccessNode
+
+    sd = state.scope_dict()
+    seen = set()
+    total: Optional[Expr] = None
+    for node in state.nodes():
+        if not isinstance(node, AccessNode) or sd.get(node) is not None:
+            continue
+        for edge in list(state.in_edges(node)) + list(state.out_edges(node)):
+            if id(edge) in seen:
+                continue
+            seen.add(id(edge))
+            term = _memlet_bytes(sdfg, edge.data)
+            if term is None:
+                continue
+            total = term if total is None else Add.make(total, term)
+    return total
+
+
+def evaluate_volume(expr: Optional[Expr], bindings) -> Optional[int]:
+    """Runtime evaluation used by the interpreter; mirrors the
+    ``_instr_eval`` guard emitted into generated Python modules (returns
+    None when a referenced symbol is unbound)."""
+    if expr is None:
+        return None
+    try:
+        return int(expr.evaluate(dict(bindings)))
+    except Exception:
+        return None

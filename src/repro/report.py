@@ -1,0 +1,172 @@
+"""Command-line front end for instrumentation reports.
+
+Usage (``python -m repro.report``):
+
+* ``python -m repro.report report.json`` — render a saved report as the
+  per-element hot-spot table;
+* ``python -m repro.report --diff naive.json optimized.json`` — align
+  two reports by event path and show per-element deltas/speedups;
+* ``python -m repro.report --polybench gemm [--optimize] [--save f]`` —
+  run one PolyBench kernel with whole-SDFG timing plus per-map
+  TIMER instrumentation, then render (and optionally save) its report.
+
+``--check-nonempty`` makes the command fail (exit code 1) when a report
+has no events or does not parse — CI uses this to assert that the
+instrumentation pipeline actually produced data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.instrumentation import (
+    InstrumentationReport,
+    InstrumentationType,
+    instrument_map_scopes,
+    render_diff,
+)
+
+
+def load_report(path: str) -> InstrumentationReport:
+    """Load and schema-check one report file; raises ValueError on
+    malformed input (including non-JSON files)."""
+    try:
+        with open(path) as f:
+            obj = json.load(f)
+    except json.JSONDecodeError as err:
+        raise ValueError(f"{path}: not valid JSON ({err})") from err
+    return InstrumentationReport.from_json(obj)
+
+
+def run_polybench(
+    name: str, optimize: bool = False, backend: str = "python"
+) -> InstrumentationReport:
+    """Run one PolyBench kernel instrumented and return its report.
+
+    The kernel SDFG gets whole-SDFG timing plus a TIMER on every map and
+    consume scope (so the hot-spot table shows per-scope time,
+    iterations, and bytes moved).  With ``optimize=True`` the
+    ``auto_optimize`` schedule runs first — saving both variants and
+    diffing them shows where the transformations moved the time.
+    """
+    from repro.transformations.auto import auto_optimize
+    from repro.workloads.polybench import get
+
+    kernel = get(name)
+    sdfg = kernel.make_sdfg()
+    if optimize:
+        auto_optimize(sdfg)
+    sdfg.instrument = InstrumentationType.TIMER
+    instrument_map_scopes(sdfg, InstrumentationType.TIMER)
+    compiled = sdfg.compile(backend=backend)
+    kernel.run_sdfg(kernel.data(), compiled=compiled)
+    report = compiled.last_report
+    if report is None:  # defensive: instrumented runs always attach one
+        report = InstrumentationReport(sdfg=sdfg.name, backend=compiled.backend)
+    return report
+
+
+def _check(report: InstrumentationReport, origin: str) -> int:
+    if report.is_empty():
+        print(f"error: report from {origin} contains no events", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report",
+        description="Render, diff, and generate SDFG instrumentation reports.",
+    )
+    parser.add_argument(
+        "reports", nargs="*", help="saved report JSON files to render"
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BEFORE", "AFTER"),
+        help="diff two saved reports (e.g. naive vs auto-optimized)",
+    )
+    parser.add_argument(
+        "--polybench",
+        metavar="KERNEL",
+        help="run one PolyBench kernel instrumented and report on it",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run auto_optimize before compiling (--polybench only)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="python",
+        help="execution backend for --polybench (default: python)",
+    )
+    parser.add_argument(
+        "--save", metavar="FILE", help="save the generated report as JSON"
+    )
+    parser.add_argument(
+        "--check-nonempty",
+        action="store_true",
+        help="exit with status 1 when a report is empty or malformed",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list available PolyBench kernel names and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        from repro.workloads.polybench import all_kernels
+
+        print("\n".join(all_kernels()))
+        return 0
+
+    status = 0
+    did_something = False
+
+    if args.polybench:
+        did_something = True
+        report = run_polybench(
+            args.polybench, optimize=args.optimize, backend=args.backend
+        )
+        if args.save:
+            report.save(args.save)
+            print(f"saved report to {args.save}", file=sys.stderr)
+        print(report.render())
+        if args.check_nonempty:
+            status |= _check(report, f"polybench kernel {args.polybench!r}")
+
+    if args.diff:
+        did_something = True
+        try:
+            before, after = (load_report(p) for p in args.diff)
+        except (OSError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
+        print(render_diff(before, after))
+
+    for path in args.reports:
+        did_something = True
+        try:
+            report = load_report(path)
+        except (OSError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            status = 1
+            continue
+        print(report.render())
+        if args.check_nonempty:
+            status |= _check(report, path)
+
+    if not did_something:
+        parser.print_usage()
+        return 2
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

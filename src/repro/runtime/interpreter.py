@@ -19,6 +19,15 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.graph import topological_sort
+from repro.instrumentation import (
+    InstrumentationRecorder,
+    InstrumentationType,
+    has_instrumentation,
+    profiling_enabled,
+    scope_volume_expr,
+    state_volume_expr,
+    tasklet_volume_expr,
+)
 from repro.sdfg.data import Scalar, Stream
 from repro.sdfg.memlet import Memlet
 from repro.sdfg.nodes import (
@@ -51,12 +60,17 @@ def _compile_wcr(wcr: str) -> Callable:
 class SDFGInterpreter:
     """Executes an SDFG directly on NumPy arrays."""
 
-    def __init__(self, sdfg, validate: bool = True):
+    def __init__(self, sdfg, validate: bool = True, recorder=None):
         self.sdfg = sdfg
         if validate:
             sdfg.validate()
         self._tasklet_code_cache: Dict[int, Any] = {}
         self._wcr_cache: Dict[str, Callable] = {}
+        #: Shared event bus; set externally (CompiledSDFG, nested runs) or
+        #: created per-call when the SDFG carries instrumentation.
+        self.recorder = recorder
+        #: Report of the most recent standalone ``__call__``.
+        self.last_report = None
 
     # ------------------------------------------------------------------ entry
     def __call__(self, **kwargs):
@@ -65,7 +79,29 @@ class SDFGInterpreter:
         sym: Dict[str, Any] = dict(symbols)
         for k, v in self.sdfg.constants.items():
             sym.setdefault(k, v)
-        self._run_state_machine(self.sdfg, mem, sym)
+        own_recorder = self.recorder is None and (
+            has_instrumentation(self.sdfg) or profiling_enabled()
+        )
+        if not own_recorder:
+            self._run_state_machine(self.sdfg, mem, sym)
+            return None
+        self.recorder = InstrumentationRecorder()
+        try:
+            itype = self.sdfg.instrument
+            if itype != InstrumentationType.NONE or profiling_enabled():
+                name = itype.name if itype != InstrumentationType.NONE else "TIMER"
+                self.recorder.enter("sdfg", self.sdfg.name, name)
+                try:
+                    self._run_state_machine(self.sdfg, mem, sym)
+                finally:
+                    self.recorder.exit()
+            else:
+                self._run_state_machine(self.sdfg, mem, sym)
+            self.last_report = self.recorder.report(
+                self.sdfg.name, backend="interpreter"
+            )
+        finally:
+            self.recorder = None
         return None
 
     def run_on(self, mem: Dict[str, Any], sym: Dict[str, Any]) -> None:
@@ -130,12 +166,37 @@ class SDFGInterpreter:
                 return edge.dst
         return None
 
+    # ---------------------------------------------------------- instrumentation
+    @staticmethod
+    def _instr_value(expr, bindings) -> Optional[int]:
+        """Evaluate a symbolic instrumentation quantity; None when a
+        referenced symbol is unbound (mirrors generated code's
+        ``_instr_eval`` guard)."""
+        if expr is None:
+            return None
+        try:
+            return int(expr.evaluate({k: v for k, v in bindings.items()
+                                      if isinstance(k, str)}))
+        except Exception:
+            return None
+
     # ----------------------------------------------------------------- states
     def _execute_state(self, sdfg, state, mem, sym) -> None:
         order = topological_sort(state)
         scope_dict = state.scope_dict()
         top_level = [n for n in order if scope_dict.get(n) is None]
-        self._execute_nodes(sdfg, state, top_level, mem, sym, order, scope_dict)
+        itype = state.instrument
+        if self.recorder is None or itype == InstrumentationType.NONE:
+            self._execute_nodes(sdfg, state, top_level, mem, sym, order, scope_dict)
+            return
+        self.recorder.enter("state", state.name, itype.name)
+        try:
+            self._execute_nodes(sdfg, state, top_level, mem, sym, order, scope_dict)
+        finally:
+            volume = None
+            if itype.records_volume():
+                volume = self._instr_value(state_volume_expr(sdfg, state), sym)
+            self.recorder.exit(volume=volume)
 
     def _execute_nodes(
         self, sdfg, state, nodes: List[Node], mem, sym, full_order, scope_dict
@@ -205,7 +266,22 @@ class SDFGInterpreter:
                 recurse(level + 1, local_sym)
             local_sym.pop(param, None)
 
-        recurse(0, dict(bindings))
+        itype = entry.map.instrument
+        if self.recorder is None or itype == InstrumentationType.NONE:
+            recurse(0, dict(bindings))
+            return
+        self.recorder.enter("map", entry.map.label, itype.name)
+        try:
+            recurse(0, dict(bindings))
+        finally:
+            iterations = volume = None
+            if itype.records_iterations():
+                iterations = self._instr_value(entry.map.num_iterations(), bindings)
+            if itype.records_volume():
+                volume = self._instr_value(
+                    scope_volume_expr(sdfg, state, entry), bindings
+                )
+            self.recorder.exit(iterations=iterations, volume=volume)
 
     def _execute_consume(
         self, sdfg, state, entry: ConsumeEntry, body, mem, sym, full_order, scope_dict
@@ -227,25 +303,59 @@ class SDFGInterpreter:
             bindings[f"len_{stream_name}"] = len(queue)
             return bool(cond_expr.evaluate(bindings))
 
-        fuel = 10_000_000
-        while not quiescent():
-            # One round: each PE pops and processes one element if available.
-            for pe in range(num_pes):
-                if not queue:
-                    break
-                fuel -= 1
-                if fuel <= 0:
-                    raise InterpreterError("consume scope exceeded execution budget")
-                element = queue.pop()
-                local = dict(sym)
-                local[consume.pe_param] = pe
-                local[("__stream_element__", stream_name)] = element
-                self._execute_nodes(
-                    sdfg, state, body, mem, local, full_order, scope_dict
-                )
+        itype = consume.instrument
+        instrumented = self.recorder is not None and itype != InstrumentationType.NONE
+        if instrumented:
+            self.recorder.enter("consume", consume.label, itype.name)
+        processed = 0
+        try:
+            fuel = 10_000_000
+            while not quiescent():
+                # One round: each PE pops and processes one element if available.
+                for pe in range(num_pes):
+                    if not queue:
+                        break
+                    fuel -= 1
+                    if fuel <= 0:
+                        raise InterpreterError(
+                            "consume scope exceeded execution budget"
+                        )
+                    element = queue.pop()
+                    processed += 1
+                    local = dict(sym)
+                    local[consume.pe_param] = pe
+                    local[("__stream_element__", stream_name)] = element
+                    self._execute_nodes(
+                        sdfg, state, body, mem, local, full_order, scope_dict
+                    )
+        finally:
+            if instrumented:
+                iterations = processed if itype.records_iterations() else None
+                volume = None
+                if itype.records_volume():
+                    volume = self._instr_value(
+                        scope_volume_expr(sdfg, state, entry), sym
+                    )
+                self.recorder.exit(iterations=iterations, volume=volume)
 
     # ---------------------------------------------------------------- tasklets
     def _execute_tasklet(self, sdfg, state, node: Tasklet, mem, sym) -> None:
+        itype = node.instrument
+        if self.recorder is None or itype == InstrumentationType.NONE:
+            self._execute_tasklet_body(sdfg, state, node, mem, sym)
+            return
+        self.recorder.enter("tasklet", node.name, itype.name)
+        try:
+            self._execute_tasklet_body(sdfg, state, node, mem, sym)
+        finally:
+            volume = None
+            if itype.records_volume():
+                volume = self._instr_value(
+                    tasklet_volume_expr(sdfg, state, node), sym
+                )
+            self.recorder.exit(volume=volume)
+
+    def _execute_tasklet_body(self, sdfg, state, node: Tasklet, mem, sym) -> None:
         if node.language != Language.Python:
             raise InterpreterError(
                 f"interpreter can only run Python tasklets, not {node.language}"
@@ -383,7 +493,7 @@ class SDFGInterpreter:
             if s not in inner_sym and s in sym:
                 inner_sym[s] = sym[s]
         # Allocate the nested SDFG's transients.
-        inner = SDFGInterpreter(node.sdfg, validate=False)
+        inner = SDFGInterpreter(node.sdfg, validate=False, recorder=self.recorder)
         for name, desc in node.sdfg.arrays.items():
             if name not in inner_mem:
                 if isinstance(desc, Stream):
@@ -394,7 +504,15 @@ class SDFGInterpreter:
                 else:
                     shape = tuple(int(s.evaluate(inner_sym)) for s in desc.shape)
                     inner_mem[name] = np.zeros(shape, dtype=desc.dtype.as_numpy())
-        inner.run_on(inner_mem, inner_sym)
+        itype = node.sdfg.instrument
+        if self.recorder is not None and itype != InstrumentationType.NONE:
+            self.recorder.enter("sdfg", node.sdfg.name, itype.name)
+            try:
+                inner.run_on(inner_mem, inner_sym)
+            finally:
+                self.recorder.exit()
+        else:
+            inner.run_on(inner_mem, inner_sym)
 
     # ------------------------------------------------------------------ copies
     def _execute_copies(self, sdfg, state, node: AccessNode, mem, sym) -> None:

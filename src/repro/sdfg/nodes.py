@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from repro.instrumentation.types import InstrumentationType
 from repro.sdfg.dtypes import Language, ScheduleType, canonicalize_wcr, typeclass
 from repro.symbolic import Expr, Range, Subset, parse_expr, sympify
 
@@ -105,6 +106,8 @@ class Tasklet(Node):
         #: Preamble emitted at global scope (e.g. ``#include <mkl.h>``,
         #: paper Fig. 5's external-code support).
         self.code_global = code_global
+        #: Instrumentation attached to this tasklet (timed per firing).
+        self.instrument = InstrumentationType.NONE
 
     @property
     def label(self) -> str:
@@ -172,6 +175,8 @@ class Map:
         #: Set by the Vectorization transformation: permits backends to use
         #: stronger lowerings (contraction/einsum, wide vector loads).
         self.vectorized = vectorized
+        #: Instrumentation of the whole scope (shared by entry and exit).
+        self.instrument = InstrumentationType.NONE
 
     def param_ranges(self) -> Dict[str, Range]:
         return dict(zip(self.params, self.range.ranges))
@@ -239,6 +244,8 @@ class Consume:
         self.num_pes = sympify(num_pes)
         self.condition = condition  # None = run until stream is empty
         self.schedule = schedule
+        #: Instrumentation of the whole scope (shared by entry and exit).
+        self.instrument = InstrumentationType.NONE
 
     def __repr__(self) -> str:
         cond = self.condition or "len(stream) == 0"

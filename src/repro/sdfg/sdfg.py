@@ -13,6 +13,7 @@ import re
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.graph import Edge, OrderedMultiDiGraph
+from repro.instrumentation.types import InstrumentationType
 from repro.sdfg import dtypes
 from repro.sdfg.data import Array, Data, Scalar, Stream
 from repro.sdfg.dtypes import StorageType, typeclass
@@ -89,6 +90,8 @@ class SDFG(OrderedMultiDiGraph[SDFGState, InterstateEdge]):
         #: History of applied transformations (DIODE's "optimization
         #: version control", §4.2).
         self.transformation_history: List[str] = []
+        #: Instrumentation attached to the whole SDFG (timed per call).
+        self.instrument = InstrumentationType.NONE
         self._compiled_cache = None
 
     # ------------------------------------------------------------------ states

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.instrumentation.types import InstrumentationType
 from repro.sdfg import dtypes
 from repro.sdfg.data import Array, Data, Scalar, Stream
 from repro.sdfg.dtypes import Language, ScheduleType, StorageType, dtype_from_name
@@ -28,6 +29,10 @@ from repro.sdfg.nodes import (
 )
 from repro.sdfg.state import SDFGState
 from repro.symbolic import Subset
+
+
+def _instrument_from_json(obj: Dict[str, Any]) -> InstrumentationType:
+    return InstrumentationType[obj.get("instrument", "NONE")]
 
 
 def _subset_to_json(s):
@@ -104,6 +109,7 @@ def node_to_json(node: Node) -> Dict[str, Any]:
             "code": node.code,
             "language": node.language.name,
             "code_global": node.code_global,
+            "instrument": node.instrument.name,
             **base,
         }
     if isinstance(node, (MapEntry, MapExit)):
@@ -115,6 +121,7 @@ def node_to_json(node: Node) -> Dict[str, Any]:
             "schedule": node.map.schedule.name,
             "unroll": node.map.unroll,
             "vectorized": node.map.vectorized,
+            "instrument": node.map.instrument.name,
             **base,
         }
     if isinstance(node, (ConsumeEntry, ConsumeExit)):
@@ -125,6 +132,7 @@ def node_to_json(node: Node) -> Dict[str, Any]:
             "num_pes": str(node.consume.num_pes),
             "condition": node.consume.condition,
             "schedule": node.consume.schedule.name,
+            "instrument": node.consume.instrument.name,
             **base,
         }
     if isinstance(node, Reduce):
@@ -158,15 +166,14 @@ def node_from_json(obj: Dict[str, Any], scope_cache: Dict[str, Any]) -> Node:
     if kind == "AccessNode":
         return _restore_connectors(AccessNode(obj["data"]), obj)
     if kind == "Tasklet":
-        return _restore_connectors(
-            Tasklet(
-                obj["name"],
-                code=obj["code"],
-                language=Language[obj["language"]],
-                code_global=obj.get("code_global", ""),
-            ),
-            obj,
+        t = Tasklet(
+            obj["name"],
+            code=obj["code"],
+            language=Language[obj["language"]],
+            code_global=obj.get("code_global", ""),
         )
+        t.instrument = _instrument_from_json(obj)
+        return _restore_connectors(t, obj)
     if kind in ("MapEntry", "MapExit"):
         # Entry/exit pairs must share one Map object; key on label+range.
         key = ("map", obj["label"], obj["range"], tuple(obj["params"]))
@@ -179,6 +186,7 @@ def node_from_json(obj: Dict[str, Any], scope_cache: Dict[str, Any]) -> Node:
                 obj.get("unroll", False),
                 obj.get("vectorized", False),
             )
+            scope_cache[key].instrument = _instrument_from_json(obj)
         cls = MapEntry if kind == "MapEntry" else MapExit
         return _restore_connectors(cls(scope_cache[key]), obj)
     if kind in ("ConsumeEntry", "ConsumeExit"):
@@ -191,6 +199,7 @@ def node_from_json(obj: Dict[str, Any], scope_cache: Dict[str, Any]) -> Node:
                 obj.get("condition"),
                 ScheduleType[obj["schedule"]],
             )
+            scope_cache[key].instrument = _instrument_from_json(obj)
         cls = ConsumeEntry if kind == "ConsumeEntry" else ConsumeExit
         return _restore_connectors(cls(scope_cache[key]), obj)
     if kind == "Reduce":
@@ -216,6 +225,7 @@ def state_to_json(state: SDFGState) -> Dict[str, Any]:
     index = {id(n): i for i, n in enumerate(nodes)}
     return {
         "name": state.name,
+        "instrument": state.instrument.name,
         "nodes": [node_to_json(n) for n in nodes],
         "edges": [
             {
@@ -232,6 +242,7 @@ def state_to_json(state: SDFGState) -> Dict[str, Any]:
 
 def state_from_json(obj: Dict[str, Any], sdfg) -> SDFGState:
     state = SDFGState(obj["name"], sdfg)
+    state.instrument = _instrument_from_json(obj)
     scope_cache: Dict[str, Any] = {}
     nodes = [node_from_json(n, scope_cache) for n in obj["nodes"]]
     for n in nodes:
@@ -252,6 +263,7 @@ def sdfg_to_json(sdfg) -> Dict[str, Any]:
     index = {id(s): i for i, s in enumerate(states)}
     return {
         "name": sdfg.name,
+        "instrument": sdfg.instrument.name,
         "arrays": {name: data_to_json(d) for name, d in sdfg.arrays.items()},
         "symbols": {name: t.name for name, t in sdfg.symbols.items()},
         "constants": dict(sdfg.constants),
@@ -286,6 +298,7 @@ def restore_sdfg_inplace(sdfg, obj: Dict[str, Any]) -> None:
     for state in list(sdfg.nodes()):
         sdfg.remove_node(state)
     sdfg.name = fresh.name
+    sdfg.instrument = fresh.instrument
     sdfg.arrays = fresh.arrays
     sdfg.symbols = fresh.symbols
     sdfg.constants = fresh.constants
@@ -307,6 +320,7 @@ def sdfg_from_json(obj: Dict[str, Any]):
         symbols={k: dtype_from_name(v) for k, v in obj["symbols"].items()},
         constants=obj.get("constants", {}),
     )
+    sdfg.instrument = _instrument_from_json(obj)
     for name, dobj in obj["arrays"].items():
         sdfg.arrays[name] = data_from_json(dobj)
     states = [state_from_json(s, sdfg) for s in obj["states"]]

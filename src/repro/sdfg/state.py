@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.graph import Edge, OrderedMultiDiGraph, topological_sort
+from repro.instrumentation.types import InstrumentationType
 from repro.sdfg.dtypes import Language, ScheduleType
 from repro.sdfg.memlet import Memlet
 from repro.sdfg.nodes import (
@@ -40,6 +41,8 @@ class SDFGState(OrderedMultiDiGraph[Node, Memlet]):
         super().__init__()
         self.name = name
         self.sdfg = sdfg
+        #: Instrumentation attached to this state (timed per execution).
+        self.instrument = InstrumentationType.NONE
 
     # ------------------------------------------------------------------ builders
     def add_access(self, data: str) -> AccessNode:

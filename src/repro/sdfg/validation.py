@@ -107,6 +107,7 @@ def _validate_sdfg_into(sdfg, ctx: DiagnosticCollector) -> None:
                 )
 
     detect_write_conflicts(sdfg, ctx)
+    check_instrumentation_placement(sdfg, ctx)
 
 
 def validate_state(
@@ -367,6 +368,85 @@ def _validate_storage(
                 node=node,
                 data=node.data,
             )
+
+
+# =====================================================================
+# Instrumentation placement lint (W6xx)
+# =====================================================================
+
+
+def check_instrumentation_placement(
+    sdfg, ctx: Optional[DiagnosticCollector] = None
+) -> List[Diagnostic]:
+    """Warn when instrumentation is attached to elements that can never
+    produce meaningful events: empty states (W601), disconnected nodes
+    (W602), and states unreachable from the start state (W603).
+
+    These placements are legal — the report simply stays empty or
+    trivial — but they almost always indicate a tag left behind by a
+    transformation or attached to the wrong element, so ``validate_sdfg``
+    surfaces them as warnings (collect them with ``collect_all=True``).
+    """
+    from repro.instrumentation.types import InstrumentationType
+
+    if ctx is None:
+        ctx = DiagnosticCollector(collect_all=True)
+
+    # Reachability over the state machine, from the start state.
+    reachable: Set = set()
+    if sdfg.start_state is not None and sdfg.start_state in sdfg:
+        frontier = [sdfg.start_state]
+        while frontier:
+            state = frontier.pop()
+            if state in reachable:
+                continue
+            reachable.add(state)
+            frontier.extend(e.dst for e in sdfg.out_edges(state))
+
+    for state in sdfg.nodes():
+        if state.instrument != InstrumentationType.NONE:
+            if state.number_of_nodes() == 0:
+                ctx.warning(
+                    "W601",
+                    f"state {state.name!r} is instrumented "
+                    f"({state.instrument.name}) but contains no nodes; "
+                    "it will never record iterations or data movement",
+                    sdfg=sdfg,
+                    state=state,
+                )
+            if state not in reachable:
+                ctx.warning(
+                    "W603",
+                    f"state {state.name!r} is instrumented "
+                    f"({state.instrument.name}) but unreachable from the "
+                    "start state; it will never execute",
+                    sdfg=sdfg,
+                    state=state,
+                )
+        for node in state.nodes():
+            if isinstance(node, Tasklet):
+                itype = node.instrument
+            elif isinstance(node, MapEntry):
+                itype = node.map.instrument
+            elif isinstance(node, ConsumeEntry):
+                itype = node.consume.instrument
+            else:
+                continue
+            if itype == InstrumentationType.NONE:
+                continue
+            if not state.in_edges(node) and not state.out_edges(node):
+                ctx.warning(
+                    "W602",
+                    f"instrumented ({itype.name}) node {node!r} is "
+                    "disconnected from the dataflow graph",
+                    sdfg=sdfg,
+                    state=state,
+                    node=node,
+                )
+        for node in state.nodes():
+            if isinstance(node, NestedSDFG) and node.sdfg is not sdfg:
+                check_instrumentation_placement(node.sdfg, ctx)
+    return ctx.warnings()
 
 
 # =====================================================================

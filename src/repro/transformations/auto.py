@@ -56,6 +56,7 @@ def auto_optimize_guarded(
     verify: bool = False,
     verify_inputs: Optional[Mapping[str, Any]] = None,
     tolerance: float = 1e-8,
+    recorder=None,
 ):
     """Run the :func:`auto_optimize` schedule transactionally.
 
@@ -63,12 +64,18 @@ def auto_optimize_guarded(
     differentially verified, and rolled back on failure — the unattended
     form of auto-optimization.  Returns the :class:`~repro.
     transformations.guard.GuardReport` with every attempt recorded; the
-    number applied is ``len(report.applied())``.
+    number applied is ``len(report.applied())``.  Pass an
+    :class:`~repro.instrumentation.recorder.InstrumentationRecorder` to
+    collect per-attempt phase timings on an external event bus.
     """
     from repro.transformations.guard import GuardedOptimizer
 
     guard = GuardedOptimizer(
-        sdfg, verify=verify, verify_inputs=verify_inputs, tolerance=tolerance
+        sdfg,
+        verify=verify,
+        verify_inputs=verify_inputs,
+        tolerance=tolerance,
+        recorder=recorder,
     )
     guard.apply_to_fixpoint()  # strict cleanup set
     guard.apply_to_fixpoint(["MapReduceFusion", "MapFusion"], max_applications=50)

@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.instrumentation import InstrumentationRecorder
 from repro.sdfg.serialize import restore_sdfg_inplace, sdfg_from_json, sdfg_to_json
 from repro.transformations.base import REGISTRY, Transformation
 from repro.transformations.optimizer import XformLike, _resolve
@@ -55,6 +56,8 @@ class AttemptRecord:
     verified: Optional[str] = None  # None | "ok" | "skipped"
     max_abs_error: Optional[float] = None
     duration: float = 0.0
+    #: Wall-clock seconds per phase: snapshot / apply / validate / verify.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -65,6 +68,7 @@ class AttemptRecord:
             "verified": self.verified,
             "max_abs_error": self.max_abs_error,
             "duration": self.duration,
+            "timings": dict(self.timings),
         }
 
 
@@ -111,6 +115,9 @@ class GuardedOptimizer:
     :param tolerance: Maximum absolute output difference accepted.
     :param symbol_default: Value bound to each free size symbol when
         synthesizing inputs.
+    :param recorder: Instrumentation event bus to report per-attempt
+        phase timings into; created internally when omitted (see
+        :meth:`instrumentation_report`).
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class GuardedOptimizer:
         validate: bool = True,
         symbol_default: int = 6,
         seed: int = 0,
+        recorder: Optional[InstrumentationRecorder] = None,
     ):
         self.sdfg = sdfg
         self.verify = verify
@@ -131,6 +139,7 @@ class GuardedOptimizer:
         self.symbol_default = symbol_default
         self.seed = seed
         self.report = GuardReport(sdfg=sdfg.name)
+        self.recorder = recorder if recorder is not None else InstrumentationRecorder()
 
     # ------------------------------------------------------------ snapshots
     def snapshot(self) -> Dict[str, Any]:
@@ -155,57 +164,83 @@ class GuardedOptimizer:
         """
         cls = _resolve(xform)
         name = cls.__name__
-        snap = self.snapshot()
-        start = time.perf_counter()
-
+        timings: Dict[str, float] = {}
+        if self.recorder is not None:
+            self.recorder.enter("transformation", name)
         try:
-            self.sdfg.propagate()
-            inst = next(iter(cls.matches(self.sdfg, strict)), None)
-            if inst is None:
-                self._record(name, "no_match", start=start)
-                return False
-            for k, v in (options or {}).items():
-                setattr(inst, k, v)
-            inst.apply_and_record()
-            self.sdfg.propagate()
-            if self.validate:
-                self.sdfg.validate()
-        except Exception as err:  # noqa: BLE001 - any failure rolls back
-            self.restore(snap)
-            from repro.sdfg.validation import InvalidSDFGError
+            start = time.perf_counter()
+            snap = self.snapshot()
+            timings["snapshot"] = time.perf_counter() - start
 
-            code = "G102" if isinstance(err, InvalidSDFGError) else "G101"
-            self._record(
-                name,
-                "rolled_back",
-                reason=f"{type(err).__name__}: {err}",
-                code=getattr(err, "code", None) or code,
-                start=start,
-            )
-            return False
-
-        verified: Optional[str] = None
-        max_err: Optional[float] = None
-        if self.verify:
-            failure, max_err = self._differential_check(snap)
-            if failure is VERIFY_SKIPPED:
-                verified = VERIFY_SKIPPED
-            elif failure is not None:
+            try:
+                t0 = time.perf_counter()
+                self.sdfg.propagate()
+                inst = next(iter(cls.matches(self.sdfg, strict)), None)
+                if inst is None:
+                    timings["apply"] = time.perf_counter() - t0
+                    self._record(name, "no_match", start=start, timings=timings)
+                    return False
+                for k, v in (options or {}).items():
+                    setattr(inst, k, v)
+                inst.apply_and_record()
+                self.sdfg.propagate()
+                timings["apply"] = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                if self.validate:
+                    self.sdfg.validate()
+                timings["validate"] = time.perf_counter() - t0
+            except Exception as err:  # noqa: BLE001 - any failure rolls back
                 self.restore(snap)
+                from repro.sdfg.validation import InvalidSDFGError
+
+                code = "G102" if isinstance(err, InvalidSDFGError) else "G101"
                 self._record(
                     name,
                     "rolled_back",
-                    reason=failure,
-                    code="G103",
-                    max_abs_error=max_err,
+                    reason=f"{type(err).__name__}: {err}",
+                    code=getattr(err, "code", None) or code,
                     start=start,
+                    timings=timings,
                 )
                 return False
-            else:
-                verified = "ok"
 
-        self._record(name, "applied", verified=verified, max_abs_error=max_err, start=start)
-        return True
+            verified: Optional[str] = None
+            max_err: Optional[float] = None
+            if self.verify:
+                t0 = time.perf_counter()
+                failure, max_err = self._differential_check(snap)
+                timings["verify"] = time.perf_counter() - t0
+                if failure is VERIFY_SKIPPED:
+                    verified = VERIFY_SKIPPED
+                elif failure is not None:
+                    self.restore(snap)
+                    self._record(
+                        name,
+                        "rolled_back",
+                        reason=failure,
+                        code="G103",
+                        max_abs_error=max_err,
+                        start=start,
+                        timings=timings,
+                    )
+                    return False
+                else:
+                    verified = "ok"
+
+            self._record(
+                name,
+                "applied",
+                verified=verified,
+                max_abs_error=max_err,
+                start=start,
+                timings=timings,
+            )
+            return True
+        finally:
+            if self.recorder is not None:
+                for phase, dur in timings.items():
+                    self.recorder.event("phase", phase, duration=dur)
+                self.recorder.exit()
 
     def apply_to_fixpoint(
         self,
@@ -285,6 +320,7 @@ class GuardedOptimizer:
         verified: Optional[str] = None,
         max_abs_error: Optional[float] = None,
         start: float = 0.0,
+        timings: Optional[Dict[str, float]] = None,
     ) -> None:
         self.report.attempts.append(
             AttemptRecord(
@@ -295,8 +331,16 @@ class GuardedOptimizer:
                 verified=verified,
                 max_abs_error=max_abs_error,
                 duration=time.perf_counter() - start,
+                timings=dict(timings) if timings else {},
             )
         )
+
+    def instrumentation_report(self):
+        """Per-attempt phase timings as an
+        :class:`~repro.instrumentation.report.InstrumentationReport`
+        (one ``transformation`` event per attempt, with ``phase``
+        children for snapshot / apply / validate / verify)."""
+        return self.recorder.report(self.sdfg.name, backend="guard")
 
 
 # =====================================================================

@@ -1,0 +1,160 @@
+"""Backend consistency: the interpreter and the generated-Python backend
+must produce *structurally identical* instrumentation reports (same
+event tree, same counts, same iteration totals, same bytes moved) for
+the five fundamental kernels — only wall-clock durations may differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiler import compile_sdfg
+from repro.instrumentation import (
+    InstrumentationType,
+    instrument_map_scopes,
+)
+from repro.workloads import kernels
+
+
+def _case(name):
+    """Fresh (sdfg, kwargs) for one fundamental kernel."""
+    if name == "matmul":
+        return kernels.matmul_sdfg(), kernels.matmul_data(12)
+    if name == "jacobi2d":
+        data = kernels.jacobi2d_data(8)
+        return kernels.jacobi2d_sdfg(), {"A": data["A"], "T": 3}
+    if name == "histogram":
+        return kernels.histogram_sdfg(), kernels.histogram_data(8, 10, bins=8)
+    if name == "query":
+        return kernels.query_sdfg(), kernels.query_data(50)
+    if name == "spmv":
+        return kernels.spmv_sdfg(), kernels.spmv_data(10, 4)[0]
+    raise KeyError(name)
+
+
+def _run_instrumented(name, backend, itype=InstrumentationType.TIMER):
+    sdfg, data = _case(name)
+    sdfg.instrument = itype
+    instrument_map_scopes(sdfg, itype)
+    compiled = compile_sdfg(sdfg, backend=backend)
+    assert compiled.backend == backend, compiled.degradation
+    compiled(**data)
+    return compiled.last_report
+
+
+@pytest.mark.parametrize("kernel", kernels.KERNELS)
+def test_interpreter_matches_python_backend(kernel):
+    rep_py = _run_instrumented(kernel, "python")
+    rep_interp = _run_instrumented(kernel, "interpreter")
+    assert not rep_py.is_empty()
+    assert not rep_interp.is_empty()
+    assert rep_py.structure() == rep_interp.structure()
+
+
+@pytest.mark.parametrize("kernel", kernels.KERNELS)
+def test_volumes_match_across_backends(kernel):
+    rep_py = _run_instrumented(kernel, "python")
+    rep_interp = _run_instrumented(kernel, "interpreter")
+    vols_py = {p: n.volume_bytes for p, _, n in rep_py.walk()}
+    vols_int = {p: n.volume_bytes for p, _, n in rep_interp.walk()}
+    assert vols_py == vols_int
+    assert rep_py.total_volume() == rep_interp.total_volume()
+
+
+def test_matmul_report_content():
+    """GEMM with per-map timers + volumes: non-empty on both backends,
+    identical event structure and byte counts (the PR's acceptance
+    check)."""
+    rep_py = _run_instrumented("matmul", "python")
+    rep_interp = _run_instrumented("matmul", "interpreter")
+    assert rep_py.structure() == rep_interp.structure()
+    maps = [n for _, _, n in rep_py.walk() if n.kind == "map"]
+    assert maps, "expected instrumented map scopes in the GEMM report"
+    assert any(m.volume_bytes for m in maps)
+    assert any(m.iterations for m in maps)
+    # The SDFG-level timer carries wall-clock time on both backends.
+    assert rep_py.total_duration() > 0
+    assert rep_interp.total_duration() > 0
+
+
+def test_counter_type_consistency():
+    """COUNTER records counts+iterations but no time or volume."""
+    rep_py = _run_instrumented("matmul", "python", InstrumentationType.COUNTER)
+    rep_interp = _run_instrumented(
+        "matmul", "interpreter", InstrumentationType.COUNTER
+    )
+    assert rep_py.structure() == rep_interp.structure()
+    for _, _, node in rep_py.walk():
+        assert node.duration is None
+        assert node.volume_bytes is None
+
+
+def test_memlet_volume_type_consistency():
+    """MEMLET_VOLUME records volumes but no time."""
+    rep_py = _run_instrumented(
+        "matmul", "python", InstrumentationType.MEMLET_VOLUME
+    )
+    rep_interp = _run_instrumented(
+        "matmul", "interpreter", InstrumentationType.MEMLET_VOLUME
+    )
+    assert rep_py.structure() == rep_interp.structure()
+    assert rep_py.total_volume() > 0
+    for _, _, node in rep_py.walk():
+        assert node.duration is None
+
+
+def test_instrumentation_does_not_change_results():
+    data_plain = kernels.matmul_data(12)
+    ref = kernels.matmul_reference(data_plain)
+    sdfg = kernels.matmul_sdfg()
+    sdfg.instrument = InstrumentationType.TIMER
+    instrument_map_scopes(sdfg)
+    compile_sdfg(sdfg, backend="python")(**data_plain)
+    np.testing.assert_allclose(data_plain["C"], ref)
+
+
+def test_instrumented_tasklet_disables_vectorized_path():
+    """Per-firing tasklet events require loop lowering; results and the
+    event tree must still match the interpreter."""
+    from repro.sdfg.nodes import Tasklet
+
+    def build():
+        sdfg, data = _case("matmul")
+        sdfg.instrument = InstrumentationType.COUNTER
+        for state in sdfg.nodes():
+            for node in state.nodes():
+                if isinstance(node, Tasklet):
+                    node.instrument = InstrumentationType.COUNTER
+        return sdfg, data
+
+    sdfg, data = build()
+    compiled = compile_sdfg(sdfg, backend="python")
+    compiled(**data)
+    rep_py = compiled.last_report
+
+    sdfg2, data2 = build()
+    compiled2 = compile_sdfg(sdfg2, backend="interpreter")
+    compiled2(**data2)
+    rep_interp = compiled2.last_report
+
+    assert rep_py.structure() == rep_interp.structure()
+    tasklets = [n for _, _, n in rep_py.walk() if n.kind == "tasklet"]
+    assert tasklets and all(t.count > 0 for t in tasklets)
+    np.testing.assert_allclose(data["C"], data2["C"])
+
+
+def test_uninstrumented_run_attaches_no_report():
+    sdfg, data = _case("matmul")
+    compiled = compile_sdfg(sdfg, backend="python")
+    compiled(**data)
+    assert compiled.last_report is None
+
+
+def test_profile_env_times_whole_sdfg(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    sdfg, data = _case("matmul")
+    compiled = compile_sdfg(sdfg, backend="python")
+    compiled(**data)
+    rep = compiled.last_report
+    assert rep is not None and not rep.is_empty()
+    assert rep.events[0].kind == "sdfg"
+    assert rep.total_duration() > 0

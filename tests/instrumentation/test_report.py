@@ -1,0 +1,183 @@
+"""Recorder/report mechanics: aggregation, JSON round-trips, diffing,
+serialization of instrumentation tags, and the ``repro.report`` CLI."""
+
+import json
+
+import pytest
+
+from repro import report as report_cli
+from repro.instrumentation import (
+    InstrumentationRecorder,
+    InstrumentationReport,
+    InstrumentationType,
+    diff_reports,
+    instrument_map_scopes,
+)
+from repro.sdfg.serialize import sdfg_from_json, sdfg_to_json
+from repro.workloads import kernels
+
+
+def _sample_report():
+    rec = InstrumentationRecorder()
+    rec.enter("sdfg", "prog")
+    rec.enter("map", "outer")
+    rec.exit(iterations=10, volume=80)
+    rec.enter("map", "outer")  # second execution merges into the same node
+    rec.exit(iterations=10, volume=80)
+    rec.event("phase", "validate", duration=0.25)
+    rec.exit()
+    assert rec.is_balanced()
+    return rec.report("prog", backend="test")
+
+
+class TestRecorder:
+    def test_aggregation_merges_repeat_executions(self):
+        rep = _sample_report()
+        flat = rep.flat()
+        outer = flat["sdfg:prog/map:outer"]
+        assert outer.count == 2
+        assert outer.iterations == 20
+        assert outer.volume_bytes == 160
+
+    def test_unbalanced_exit_raises(self):
+        rec = InstrumentationRecorder()
+        with pytest.raises(RuntimeError):
+            rec.exit()
+
+    def test_untimed_types_record_no_duration(self):
+        rec = InstrumentationRecorder()
+        rec.enter("map", "m", "COUNTER")
+        rec.exit(iterations=5)
+        node = next(iter(rec.root.children.values()))
+        assert node.duration is None
+        assert node.iterations == 5
+
+
+class TestReportJSON:
+    def test_round_trip_preserves_structure(self):
+        rep = _sample_report()
+        rep2 = InstrumentationReport.from_json(rep.to_json())
+        assert rep2.structure() == rep.structure()
+        assert rep2.sdfg == rep.sdfg
+        assert rep2.backend == rep.backend
+
+    def test_save_load(self, tmp_path):
+        rep = _sample_report()
+        path = tmp_path / "report.json"
+        rep.save(str(path))
+        rep2 = InstrumentationReport.load(str(path))
+        assert rep2.structure() == rep.structure()
+        # The file itself is plain JSON with a schema marker.
+        obj = json.loads(path.read_text())
+        assert obj["schema"] == 1
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            InstrumentationReport.from_json({"not": "a report"})
+
+    def test_kernel_report_round_trips(self):
+        sdfg = kernels.matmul_sdfg()
+        sdfg.instrument = InstrumentationType.TIMER
+        instrument_map_scopes(sdfg)
+        compiled = sdfg.compile()
+        compiled(**kernels.matmul_data(8))
+        rep = compiled.last_report
+        rep2 = InstrumentationReport.from_json(
+            json.loads(json.dumps(rep.to_json()))
+        )
+        assert rep2.structure() == rep.structure()
+
+
+class TestDiff:
+    def test_alignment_by_path(self):
+        before, after = _sample_report(), _sample_report()
+        rows = diff_reports(before, after)
+        paths = [r.path for r in rows]
+        assert "sdfg:prog/map:outer" in paths
+        for row in rows:
+            assert row.before is not None and row.after is not None
+
+    def test_one_sided_elements(self):
+        before = _sample_report()
+        after = InstrumentationReport(sdfg="prog", backend="test")
+        rows = diff_reports(before, after)
+        assert all(r.after is None for r in rows)
+
+
+class TestInstrumentSerialization:
+    def test_tags_survive_json_round_trip(self):
+        from repro.sdfg.nodes import MapEntry, Tasklet
+
+        sdfg = kernels.matmul_sdfg()
+        sdfg.instrument = InstrumentationType.TIMER
+        for state in sdfg.nodes():
+            state.instrument = InstrumentationType.COUNTER
+            for node in state.nodes():
+                if isinstance(node, MapEntry):
+                    node.map.instrument = InstrumentationType.MEMLET_VOLUME
+                elif isinstance(node, Tasklet):
+                    node.instrument = InstrumentationType.TIMER
+
+        restored = sdfg_from_json(sdfg_to_json(sdfg))
+        assert restored.instrument == InstrumentationType.TIMER
+        for state in restored.nodes():
+            assert state.instrument == InstrumentationType.COUNTER
+            for node in state.nodes():
+                if isinstance(node, MapEntry):
+                    assert node.map.instrument == InstrumentationType.MEMLET_VOLUME
+                elif isinstance(node, Tasklet):
+                    assert node.instrument == InstrumentationType.TIMER
+        # Round-tripping again is stable (byte-identical serialization).
+        assert sdfg_to_json(restored) == sdfg_to_json(sdfg)
+
+    def test_default_tags_absent_do_not_break_old_json(self):
+        sdfg = kernels.matmul_sdfg()
+        obj = sdfg_to_json(sdfg)
+        restored = sdfg_from_json(obj)
+        assert restored.instrument == InstrumentationType.NONE
+
+
+class TestCLI:
+    def _saved_report(self, tmp_path, name="r.json"):
+        rep = _sample_report()
+        path = tmp_path / name
+        rep.save(str(path))
+        return str(path)
+
+    def test_render_saved_report(self, tmp_path, capsys):
+        path = self._saved_report(tmp_path)
+        assert report_cli.main([path]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation report" in out
+        assert "map outer" in out
+
+    def test_diff_command(self, tmp_path, capsys):
+        a = self._saved_report(tmp_path, "a.json")
+        b = self._saved_report(tmp_path, "b.json")
+        assert report_cli.main(["--diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "report diff" in out
+        assert "speedup" in out
+
+    def test_check_nonempty_fails_on_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        InstrumentationReport(sdfg="x", backend="t").save(str(path))
+        assert report_cli.main([str(path), "--check-nonempty"]) == 1
+
+    def test_malformed_file_fails(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert report_cli.main([str(path)]) == 1
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert report_cli.main([]) == 2
+
+    def test_polybench_run(self, tmp_path, capsys):
+        out_file = tmp_path / "gemm.json"
+        rc = report_cli.main(
+            ["--polybench", "gemm", "--save", str(out_file), "--check-nonempty"]
+        )
+        assert rc == 0
+        rep = InstrumentationReport.load(str(out_file))
+        assert not rep.is_empty()
+        assert rep.total_duration() > 0
