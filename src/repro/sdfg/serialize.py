@@ -3,10 +3,19 @@
 Serialized SDFGs are what DIODE-style tooling exchanges and what
 "optimization version control" snapshots; the format is a plain
 dictionary so it can be stored, diffed, and inspected.
+
+A *canonical* form (``sdfg_to_json(sdfg, canonical=True)``) additionally
+fixes every source of incidental order — edges sorted by endpoint
+indices and connectors, transitions sorted, dictionary keys sorted at
+dump time — and omits the transformation history, so that two SDFGs
+with identical structure serialize to identical bytes.  That form backs
+:func:`content_hash`, the content address used by the tuning cache.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Dict, List
 
 from repro.instrumentation.types import InstrumentationType
@@ -95,7 +104,7 @@ def data_from_json(obj: Dict[str, Any]) -> Data:
     raise ValueError(f"unknown descriptor type {kind!r}")
 
 
-def node_to_json(node: Node) -> Dict[str, Any]:
+def node_to_json(node: Node, canonical: bool = False) -> Dict[str, Any]:
     base = {
         "in_connectors": sorted(node.in_connectors),
         "out_connectors": sorted(node.out_connectors),
@@ -148,7 +157,7 @@ def node_to_json(node: Node) -> Dict[str, Any]:
         return {
             "type": "NestedSDFG",
             "name": node.name,
-            "sdfg": sdfg_to_json(node.sdfg),
+            "sdfg": sdfg_to_json(node.sdfg, canonical),
             "symbol_mapping": {k: str(v) for k, v in node.symbol_mapping.items()},
             **base,
         }
@@ -220,23 +229,34 @@ def node_from_json(obj: Dict[str, Any], scope_cache: Dict[str, Any]) -> Node:
     raise ValueError(f"unknown node type {kind!r}")
 
 
-def state_to_json(state: SDFGState) -> Dict[str, Any]:
+def state_to_json(state: SDFGState, canonical: bool = False) -> Dict[str, Any]:
     nodes = state.nodes()
     index = {id(n): i for i, n in enumerate(nodes)}
+    edges = [
+        {
+            "src": index[id(e.src)],
+            "dst": index[id(e.dst)],
+            "src_conn": e.src_conn,
+            "dst_conn": e.dst_conn,
+            "memlet": memlet_to_json(e.data),
+        }
+        for e in state.edges()
+    ]
+    if canonical:
+        edges.sort(
+            key=lambda e: (
+                e["src"],
+                e["dst"],
+                e["src_conn"] or "",
+                e["dst_conn"] or "",
+                json.dumps(e["memlet"], sort_keys=True),
+            )
+        )
     return {
         "name": state.name,
         "instrument": state.instrument.name,
-        "nodes": [node_to_json(n) for n in nodes],
-        "edges": [
-            {
-                "src": index[id(e.src)],
-                "dst": index[id(e.dst)],
-                "src_conn": e.src_conn,
-                "dst_conn": e.dst_conn,
-                "memlet": memlet_to_json(e.data),
-            }
-            for e in state.edges()
-        ],
+        "nodes": [node_to_json(n, canonical) for n in nodes],
+        "edges": edges,
     }
 
 
@@ -258,10 +278,28 @@ def state_from_json(obj: Dict[str, Any], sdfg) -> SDFGState:
     return state
 
 
-def sdfg_to_json(sdfg) -> Dict[str, Any]:
+def sdfg_to_json(sdfg, canonical: bool = False) -> Dict[str, Any]:
+    """Serialize an SDFG to a plain dictionary.
+
+    With ``canonical=True`` the result is order-normalized for content
+    hashing: state edges and interstate transitions are sorted, and the
+    (semantically irrelevant) transformation history is omitted, so two
+    structurally identical SDFGs produce identical canonical dumps.
+    """
     states = sdfg.nodes()
     index = {id(s): i for i, s in enumerate(states)}
-    return {
+    transitions = [
+        {
+            "src": index[id(e.src)],
+            "dst": index[id(e.dst)],
+            "condition": str(e.data.condition),
+            "assignments": {k: str(v) for k, v in e.data.assignments.items()},
+        }
+        for e in sdfg.edges()
+    ]
+    if canonical:
+        transitions.sort(key=lambda t: (t["src"], t["dst"], t["condition"]))
+    out = {
         "name": sdfg.name,
         "instrument": sdfg.instrument.name,
         "arrays": {name: data_to_json(d) for name, d in sdfg.arrays.items()},
@@ -270,18 +308,33 @@ def sdfg_to_json(sdfg) -> Dict[str, Any]:
         "start_state": (
             index[id(sdfg.start_state)] if sdfg.start_state is not None else None
         ),
-        "states": [state_to_json(s) for s in states],
-        "transitions": [
-            {
-                "src": index[id(e.src)],
-                "dst": index[id(e.dst)],
-                "condition": str(e.data.condition),
-                "assignments": {k: str(v) for k, v in e.data.assignments.items()},
-            }
-            for e in sdfg.edges()
-        ],
-        "transformation_history": list(sdfg.transformation_history),
+        "states": [state_to_json(s, canonical) for s in states],
+        "transitions": transitions,
     }
+    if not canonical:
+        out["transformation_history"] = list(sdfg.transformation_history)
+    return out
+
+
+def canonical_sdfg_json(sdfg) -> str:
+    """The canonical serialized form as one deterministic string."""
+    return json.dumps(
+        sdfg_to_json(sdfg, canonical=True),
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+
+
+def content_hash(sdfg) -> str:
+    """Content address of an SDFG: SHA-256 over the canonical form.
+
+    Structurally identical graphs hash identically regardless of how
+    they were built or what transformation history they carry; any
+    change to dataflow, descriptors, symbols, or instrumentation
+    changes the hash.  This is the cache key the tuning subsystem uses.
+    """
+    return hashlib.sha256(canonical_sdfg_json(sdfg).encode("utf-8")).hexdigest()
 
 
 def restore_sdfg_inplace(sdfg, obj: Dict[str, Any]) -> None:

@@ -57,11 +57,13 @@ from repro.transformations.guard import (
     canonical_snapshot,
 )
 from repro.transformations.optimizer import (
+    apply_match,
     apply_strict_transformations,
     apply_transformations,
     apply_transformations_repeated,
     enumerate_matches,
     replay,
+    sort_matches,
 )
 
 __all__ = [
@@ -88,6 +90,7 @@ __all__ = [
     "StateFusion",
     "Transformation",
     "Vectorization",
+    "apply_match",
     "apply_strict_transformations",
     "auto_optimize",
     "auto_optimize_guarded",
@@ -98,4 +101,5 @@ __all__ = [
     "path_graph",
     "register_transformation",
     "replay",
+    "sort_matches",
 ]

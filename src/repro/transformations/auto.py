@@ -23,12 +23,31 @@ from repro.transformations.optimizer import (
     apply_strict_transformations,
     apply_transformations,
     apply_transformations_repeated,
+    replay,
 )
 
 
-def auto_optimize(sdfg, device: Optional[str] = None, validate: bool = True) -> int:
-    """Greedy automatic optimization pass.  Returns the number of
-    transformations applied.  ``device`` may be ``"gpu"`` or ``"fpga"``."""
+def auto_optimize(
+    sdfg,
+    device: Optional[str] = None,
+    validate: bool = True,
+    strategy: str = "fixed",
+    **tune_kwargs,
+) -> int:
+    """Automatic optimization pass.  Returns the number of
+    transformations applied.  ``device`` may be ``"gpu"`` or ``"fpga"``.
+
+    ``strategy`` selects between the fixed greedy recipe below
+    (``"fixed"``, the default) and the cost-guided search of
+    :func:`repro.tuning.tune` (``"search"``), which explores legal
+    transformation sequences and applies the best-scoring one in place.
+    Extra keyword arguments (``cost``, ``depth``, ``budget``,
+    ``cache_dir``, ...) are forwarded to ``tune``.
+    """
+    if strategy == "search":
+        return _auto_optimize_search(sdfg, device, validate, **tune_kwargs)
+    if strategy != "fixed":
+        raise ValueError(f"unknown auto-optimize strategy {strategy!r}")
     applied = 0
     applied += apply_strict_transformations(sdfg, validate=False)
     applied += apply_transformations_repeated(
@@ -40,6 +59,26 @@ def auto_optimize(sdfg, device: Optional[str] = None, validate: bool = True) -> 
     applied += apply_transformations_repeated(
         sdfg, "Vectorization", validate=False, max_applications=50
     )
+    if device == "gpu":
+        applied += apply_transformations(sdfg, "GPUTransform", validate=False)
+    elif device == "fpga":
+        applied += apply_transformations(sdfg, "FPGATransform", validate=False)
+    if validate:
+        sdfg.propagate()
+        sdfg.validate()
+    return applied
+
+
+def _auto_optimize_search(
+    sdfg, device: Optional[str], validate: bool, **tune_kwargs
+) -> int:
+    """The ``strategy="search"`` body: tune on a copy, then replay the
+    winning history onto the caller's SDFG in place (callers of
+    ``auto_optimize`` expect in-place optimization)."""
+    from repro.tuning import tune
+
+    result = tune(sdfg, **tune_kwargs)
+    applied = replay(sdfg, result.history) if result.history else 0
     if device == "gpu":
         applied += apply_transformations(sdfg, "GPUTransform", validate=False)
     elif device == "fpga":

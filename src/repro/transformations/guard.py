@@ -32,7 +32,7 @@ import numpy as np
 from repro.instrumentation import InstrumentationRecorder
 from repro.sdfg.serialize import restore_sdfg_inplace, sdfg_from_json, sdfg_to_json
 from repro.transformations.base import REGISTRY, Transformation
-from repro.transformations.optimizer import XformLike, _resolve
+from repro.transformations.optimizer import XformLike, _resolve, sort_matches
 
 #: Sentinel reason when differential verification could not run (e.g.
 #: the *baseline* already fails on synthesized inputs): the application
@@ -154,8 +154,12 @@ class GuardedOptimizer:
         xform: XformLike,
         options: Optional[Mapping[str, Any]] = None,
         strict: bool = False,
+        match_index: int = 0,
     ) -> bool:
-        """Apply the first match of ``xform`` transactionally.
+        """Apply the ``match_index``-th match of ``xform`` transactionally
+        (matches are deterministically ordered, so the index identifies
+        the same candidate across runs — the auto-tuner's search steps
+        rely on this).
 
         Returns True when the transformation was applied *and* survived
         validation (and differential verification, when enabled); False
@@ -175,7 +179,8 @@ class GuardedOptimizer:
             try:
                 t0 = time.perf_counter()
                 self.sdfg.propagate()
-                inst = next(iter(cls.matches(self.sdfg, strict)), None)
+                matches = sort_matches(self.sdfg, cls.matches(self.sdfg, strict))
+                inst = matches[match_index] if match_index < len(matches) else None
                 if inst is None:
                     timings["apply"] = time.perf_counter() - t0
                     self._record(name, "no_match", start=start, timings=timings)

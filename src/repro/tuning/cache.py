@@ -1,0 +1,159 @@
+"""Persistent content-addressed tuning cache.
+
+A tuning run is expensive (every candidate is compiled and measured, or
+simulated); its *result* — the winning transformation history — is a few
+hundred bytes.  The cache stores that result on disk keyed by content:
+
+    key = SHA-256( canonical SDFG hash ‖ tuner config key ‖ cost key )
+
+so a hit is only possible when the input graph, the search parameters,
+and the cost provider setup are all identical.  On a hit the search is
+skipped entirely and the history is replayed through
+:func:`repro.transformations.optimizer.replay`.
+
+The store is one JSON file per entry in ``cache_dir``, with:
+
+* **LRU eviction** — reads touch the entry's mtime; writes evict the
+  stalest entries beyond ``max_entries``;
+* **corrupt-entry tolerance** — unreadable or schema-mismatched files
+  count as misses and are deleted rather than raised;
+* **hit/miss counters** — kept on the object and surfaced as
+  ``cache`` instrumentation events on the recorder the tuner shares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.instrumentation import InstrumentationRecorder
+from repro.sdfg.serialize import content_hash
+
+#: Bump when the entry layout changes; mismatched entries are evicted.
+CACHE_SCHEMA_VERSION = 1
+
+
+class TuningCache:
+    """On-disk LRU cache of winning transformation histories."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        max_entries: int = 256,
+        recorder: Optional[InstrumentationRecorder] = None,
+    ):
+        self.cache_dir = cache_dir
+        self.max_entries = max(1, max_entries)
+        self.recorder = recorder
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        os.makedirs(cache_dir, exist_ok=True)
+
+    # ---------------------------------------------------------------- keys
+    def key(self, sdfg, config_key: str, cost_key: str) -> str:
+        """Content address of one tuning problem."""
+        h = hashlib.sha256()
+        h.update(content_hash(sdfg).encode())
+        h.update(b"\x00")
+        h.update(config_key.encode())
+        h.update(b"\x00")
+        h.update(cost_key.encode())
+        return h.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    # ------------------------------------------------------------- get/put
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look up an entry; None on miss.  Corrupt or stale-schema files
+        are deleted and counted as misses, never raised."""
+        path = self._path(key)
+        try:
+            with open(path) as f:
+                entry = json.load(f)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != CACHE_SCHEMA_VERSION
+                or entry.get("key") != key
+                or not isinstance(entry.get("history"), list)
+            ):
+                raise ValueError("malformed cache entry")
+        except FileNotFoundError:
+            self._count("miss")
+            return None
+        except (OSError, ValueError):
+            self._count("corrupt")
+            self._count("miss")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self._count("hit")
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return entry
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        """Store an entry (atomically via rename) and evict LRU overflow."""
+        record = dict(entry)
+        record["schema"] = CACHE_SCHEMA_VERSION
+        record["key"] = key
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as f:
+            json.dump(record, f, indent=1, sort_keys=True, default=str)
+        os.replace(tmp, path)
+        self._count("store")
+        self._evict()
+
+    # ------------------------------------------------------------ eviction
+    def _entries(self):
+        out = []
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return out
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                out.append((os.path.getmtime(path), path))
+            except OSError:
+                continue
+        return out
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        if len(entries) <= self.max_entries:
+            return
+        entries.sort()  # oldest mtime first
+        for _, path in entries[: len(entries) - self.max_entries]:
+            try:
+                os.remove(path)
+                self.evictions += 1
+                self._count("evict")
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------ counters
+    def _count(self, what: str) -> None:
+        if what == "hit":
+            self.hits += 1
+        elif what == "miss":
+            self.misses += 1
+        if self.recorder is not None:
+            self.recorder.event("cache", what, itype="COUNTER")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

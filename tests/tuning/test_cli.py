@@ -1,0 +1,89 @@
+"""The ``python -m repro.tune`` command-line front end."""
+
+import json
+import os
+
+from repro.tune import main
+
+
+def _run(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr()
+    return code, out.out + out.err
+
+
+def test_run_analytic_writes_report(tmp_path, capsys):
+    report = str(tmp_path / "report.json")
+    code, text = _run(
+        [
+            "run",
+            "matmul",
+            "--cost",
+            "analytic",
+            "--depth",
+            "2",
+            "--budget",
+            "12",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--report",
+            report,
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert os.path.exists(report)
+    payload = json.loads(open(report).read())
+    assert payload["sdfg"] == "mm"
+    assert payload["strategy"] == "greedy"
+    assert "candidates" in payload and payload["candidates"]
+    assert "baseline" in text
+
+
+def test_second_run_hits_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    common = ["run", "matmul", "--cost", "analytic", "--depth", "2",
+              "--budget", "12", "--cache-dir", cache]
+    assert _run(common, capsys)[0] == 0
+    code, text = _run(common + ["--assert-cache-hit"], capsys)
+    assert code == 0
+    assert "hit" in text
+
+
+def test_assert_cache_hit_fails_cold(tmp_path, capsys):
+    code, _ = _run(
+        ["run", "matmul", "--cost", "analytic", "--depth", "1",
+         "--budget", "4", "--cache-dir", str(tmp_path / "cold"),
+         "--assert-cache-hit"],
+        capsys,
+    )
+    assert code == 1
+
+
+def test_compare_renders_provider_table(tmp_path, capsys):
+    code, text = _run(
+        ["compare", "matmul", "--cost", "analytic", "--depth", "2",
+         "--budget", "12", "--cache-dir", str(tmp_path / "cache")],
+        capsys,
+    )
+    assert code == 0
+    for token in ("measured", "analytic[cpu]", "analytic[gpu]", "analytic[fpga]"):
+        assert token in text
+
+
+def test_list_kernels(capsys):
+    code, text = _run(["--list"], capsys)
+    assert code == 0
+    for name in ("matmul", "jacobi2d", "histogram", "query", "spmv", "gemm"):
+        assert name in text
+
+
+def test_no_command_is_usage_error(capsys):
+    code, _ = _run([], capsys)
+    assert code == 2
+
+
+def test_unknown_kernel_fails(capsys):
+    code, text = _run(["run", "nosuchkernel"], capsys)
+    assert code == 1
+    assert "nosuchkernel" in text

@@ -1,0 +1,79 @@
+"""Cost providers: measured and analytic scoring behind one interface."""
+
+import pytest
+
+from repro.sdfg.serialize import content_hash
+from repro.tuning import AnalyticCost, CostProvider, MeasuredCost, resolve_provider
+from repro.workloads import kernels
+
+
+class TestAnalyticCost:
+    def test_deterministic_and_positive(self):
+        sdfg = kernels.matmul_sdfg()
+        provider = AnalyticCost(machine="cpu", symbols={"M": 64, "N": 64, "K": 64})
+        a, b = provider.score(sdfg), provider.score(sdfg)
+        assert a == b > 0
+
+    def test_scores_unrunnable_machines(self):
+        """The analytic provider tunes for targets we cannot execute."""
+        sdfg = kernels.matmul_sdfg()
+        for machine in ("cpu", "gpu", "fpga"):
+            assert AnalyticCost(machine=machine).score(sdfg) > 0
+
+    def test_ranks_fused_below_naive(self):
+        naive = kernels.matmul_sdfg()
+        fused = kernels.matmul_sdfg()
+        from repro.transformations import apply_match
+
+        assert apply_match(fused, "MapReduceFusion")
+        provider = AnalyticCost(machine="cpu")
+        assert provider.score(fused) < provider.score(naive)
+
+    def test_key_reflects_configuration(self):
+        assert AnalyticCost("cpu").key() != AnalyticCost("gpu").key()
+        assert (
+            AnalyticCost("cpu", symbols={"N": 8}).key()
+            != AnalyticCost("cpu", symbols={"N": 9}).key()
+        )
+
+
+class TestMeasuredCost:
+    def test_positive_and_non_mutating(self):
+        sdfg = kernels.matmul_sdfg()
+        before = content_hash(sdfg)
+        score = MeasuredCost(symbol_default=8, repeats=2).score(sdfg)
+        assert score > 0
+        assert content_hash(sdfg) == before
+        assert sdfg.instrument.name == "NONE"  # instrumented only the copy
+
+    def test_explicit_inputs_change_key(self):
+        data = kernels.matmul_data(8)
+        base = MeasuredCost()
+        with_inputs = MeasuredCost(inputs=data)
+        assert base.key() != with_inputs.key()
+        data2 = kernels.matmul_data(8, seed=1)
+        assert MeasuredCost(inputs=data2).key() != with_inputs.key()
+
+    def test_scores_with_explicit_inputs(self):
+        data = kernels.matmul_data(8)
+        score = MeasuredCost(inputs=data, repeats=2).score(kernels.matmul_sdfg())
+        assert score > 0
+        # Measurement must not consume the caller's arrays.
+        assert (data["C"] == 0).all()
+
+
+class TestResolveProvider:
+    def test_names_and_instances(self):
+        assert isinstance(resolve_provider("measured"), MeasuredCost)
+        assert isinstance(resolve_provider("analytic", machine="gpu"), AnalyticCost)
+        custom = AnalyticCost("fpga")
+        assert resolve_provider(custom) is custom
+        with pytest.raises(ValueError):
+            resolve_provider("oracle")
+
+    def test_base_interface_is_abstract(self):
+        provider = CostProvider()
+        with pytest.raises(NotImplementedError):
+            provider.key()
+        with pytest.raises(NotImplementedError):
+            provider.score(None)

@@ -1,0 +1,115 @@
+"""Determinism substrate of the tuner: stable match enumeration and
+content-addressed canonical serialization."""
+
+import json
+
+import pytest
+
+from repro.sdfg.serialize import (
+    canonical_sdfg_json,
+    content_hash,
+    sdfg_from_json,
+    sdfg_to_json,
+)
+from repro.transformations import apply_match, enumerate_matches
+from repro.workloads import kernels
+
+
+def _structural_keys(sdfg, matches):
+    """(state index, node indices) per instance — object-identity-free."""
+    state_index = {id(s): i for i, s in enumerate(sdfg.nodes())}
+    node_index = {}
+    for s in sdfg.nodes():
+        for ni, n in enumerate(s.nodes()):
+            node_index[id(n)] = ni
+    out = []
+    for inst in matches:
+        si = state_index.get(id(inst.state), -1)
+        out.append((si, tuple(node_index[id(v)] for v in inst.candidate.values())))
+    return out
+
+
+class TestEnumerateMatchesOrder:
+    @pytest.mark.parametrize(
+        "xform", ["MapTiling", "MapExpansion", "Vectorization", "MapReduceFusion"]
+    )
+    def test_identical_across_independent_builds(self, xform):
+        a, b = kernels.matmul_sdfg(), kernels.matmul_sdfg()
+        ka = _structural_keys(a, enumerate_matches(a, xform))
+        kb = _structural_keys(b, enumerate_matches(b, xform))
+        assert ka == kb
+
+    def test_sorted_by_state_and_node_ids(self):
+        sdfg = kernels.jacobi2d_sdfg()
+        for xform in ("MapTiling", "MapExpansion"):
+            keys = _structural_keys(sdfg, enumerate_matches(sdfg, xform))
+            assert keys == sorted(keys)
+
+    def test_stable_across_serialization_round_trip(self):
+        """The k-th match means the same candidate on a deserialized
+        copy — what cached-history replay depends on."""
+        sdfg = kernels.matmul_sdfg()
+        copy = sdfg_from_json(sdfg_to_json(sdfg))
+        ka = _structural_keys(sdfg, enumerate_matches(sdfg, "MapExpansion"))
+        kb = _structural_keys(copy, enumerate_matches(copy, "MapExpansion"))
+        assert ka == kb
+
+    def test_apply_match_indices_give_distinct_graphs(self):
+        base = sdfg_to_json(kernels.jacobi2d_sdfg())
+        n = len(enumerate_matches(sdfg_from_json(base), "MapTiling"))
+        assert n >= 1
+        hashes = set()
+        for k in range(n):
+            work = sdfg_from_json(base)
+            assert apply_match(work, "MapTiling", match_index=k)
+            hashes.add(content_hash(work))
+        # Each candidate index rewrites a different site (or at least a
+        # well-defined one); out-of-range indices apply nothing.
+        assert len(hashes) == n
+        work = sdfg_from_json(base)
+        assert not apply_match(work, "MapTiling", match_index=n)
+        assert content_hash(work) == content_hash(sdfg_from_json(base))
+
+
+class TestCanonicalSerialization:
+    @pytest.mark.parametrize("kernel", kernels.KERNELS)
+    def test_hash_stable_after_round_trip(self, kernel):
+        sdfg = getattr(kernels, f"{kernel}_sdfg")()
+        h = content_hash(sdfg)
+        via_canonical = sdfg_from_json(sdfg_to_json(sdfg, canonical=True))
+        via_plain = sdfg_from_json(sdfg_to_json(sdfg))
+        assert content_hash(via_canonical) == h
+        assert content_hash(via_plain) == h
+        assert canonical_sdfg_json(via_plain) == canonical_sdfg_json(sdfg)
+
+    def test_hash_identical_across_builds(self):
+        assert content_hash(kernels.matmul_sdfg()) == content_hash(
+            kernels.matmul_sdfg()
+        )
+
+    def test_hash_ignores_transformation_history(self):
+        sdfg = kernels.matmul_sdfg()
+        h = content_hash(sdfg)
+        sdfg.transformation_history.append("SomethingIrrelevant")
+        assert content_hash(sdfg) == h
+        # ... but the non-canonical snapshot still records it.
+        assert "SomethingIrrelevant" in sdfg_to_json(sdfg)["transformation_history"]
+
+    def test_hash_changes_with_structure(self):
+        sdfg = kernels.matmul_sdfg()
+        h = content_hash(sdfg)
+        apply_match(sdfg, "MapReduceFusion")
+        assert content_hash(sdfg) != h
+
+    def test_canonical_form_has_sorted_edges_and_no_history(self):
+        obj = sdfg_to_json(kernels.matmul_sdfg(), canonical=True)
+        assert "transformation_history" not in obj
+        for state in obj["states"]:
+            keys = [
+                (e["src"], e["dst"], e["src_conn"] or "", e["dst_conn"] or "")
+                for e in state["edges"]
+            ]
+            assert keys == sorted(keys)
+        # Canonical dumps are valid JSON with deterministic key order.
+        dump = json.dumps(obj, sort_keys=True)
+        assert json.loads(dump) == obj

@@ -1,0 +1,98 @@
+"""Satellite 3: winning tuner histories replay onto fresh SDFG copies and
+the replayed variant matches the naive kernel through the interpreter
+backend at 1e-8 — for all five fundamental kernels."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiler import compile_sdfg
+from repro.sdfg.serialize import content_hash
+from repro.transformations import replay
+from repro.tuning import AnalyticCost, tune
+from repro.workloads import kernels
+
+#: Pool of structural rewrites that are legal across the kernel zoo.
+POOL = [
+    "MapReduceFusion",
+    "MapFusion",
+    "MapCollapse",
+    "MapExpansion",
+    "MapTiling",
+    "Vectorization",
+]
+
+TUNE_KWARGS = dict(
+    cost=AnalyticCost(machine="cpu", symbol_default=64),
+    strategy="greedy",
+    depth=2,
+    budget=24,
+    transformations=POOL,
+)
+
+
+def _tuned_history(kernel):
+    sdfg = getattr(kernels, f"{kernel}_sdfg")()
+    return tune(sdfg, **TUNE_KWARGS)
+
+
+def _run(sdfg, data):
+    """Execute through the interpreter backend on a private copy of data;
+    returns the mutated arrays."""
+    args = {k: copy.deepcopy(v) for k, v in data.items()}
+    compile_sdfg(sdfg, backend="interpreter")(**args)
+    return args
+
+
+def _kernel_case(kernel):
+    """(factory, data dict, extra scalars, output array names)."""
+    if kernel == "matmul":
+        return kernels.matmul_sdfg, kernels.matmul_data(8), {}, ["C"]
+    if kernel == "jacobi2d":
+        return kernels.jacobi2d_sdfg, kernels.jacobi2d_data(8), {"T": 3}, ["A"]
+    if kernel == "histogram":
+        return (
+            kernels.histogram_sdfg,
+            kernels.histogram_data(8, 10, bins=8),
+            {},
+            ["hist"],
+        )
+    if kernel == "query":
+        return kernels.query_sdfg, kernels.query_data(40), {}, ["out", "size"]
+    if kernel == "spmv":
+        data, _csr = kernels.spmv_data(12, 3)
+        return kernels.spmv_sdfg, data, {}, ["b"]
+    raise KeyError(kernel)
+
+
+@pytest.mark.parametrize("kernel", kernels.KERNELS)
+def test_winning_history_replays_and_matches(kernel):
+    factory, data, scalars, outputs = _kernel_case(kernel)
+    result = _tuned_history(kernel)
+
+    # Replaying the winner on a *fresh* copy reproduces the tuned graph.
+    fresh = factory()
+    replay(fresh, result.history)
+    assert content_hash(fresh) == content_hash(result.sdfg)
+    assert len(fresh.transformation_history) == len(result.history)
+
+    naive_out = _run(factory(), {**data, **scalars})
+    tuned_out = _run(fresh, {**data, **scalars})
+    for name in outputs:
+        np.testing.assert_allclose(
+            tuned_out[name], naive_out[name], atol=1e-8, rtol=1e-8
+        )
+
+
+def test_search_finds_rewrites_somewhere():
+    """The replay tests above are vacuous if every winner is empty; at
+    least matmul must tune to a non-trivial sequence."""
+    assert _tuned_history("matmul").history
+
+
+def test_replay_accepts_plain_names_and_dict_entries():
+    a, b = kernels.matmul_sdfg(), kernels.matmul_sdfg()
+    replay(a, ["MapReduceFusion"])
+    replay(b, [{"transformation": "MapReduceFusion", "match": 0}])
+    assert content_hash(a) == content_hash(b)

@@ -1,0 +1,232 @@
+"""Search drivers and the tune() entry point — including the acceptance
+path: measured tuning finds a matmul variant that beats the naive SDFG,
+and a repeated invocation with the same cache dir short-circuits."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import InstrumentationRecorder
+from repro.sdfg.serialize import content_hash
+from repro.transformations import auto_optimize, replay
+from repro.tuning import (
+    AnalyticCost,
+    MeasuredCost,
+    TuningConfig,
+    TuningReport,
+    tune,
+)
+from repro.workloads import kernels
+
+#: Search pool for matmul-shaped graphs: small, but contains the
+#: known-good chain (fusion + vectorization) and known-bad moves.
+POOL = ["MapReduceFusion", "MapFusion", "MapCollapse", "MapToForLoop", "Vectorization"]
+
+
+class TestMeasuredAcceptance:
+    def test_measured_tuning_beats_naive_and_caches(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        provider = MeasuredCost(symbol_default=24, repeats=3)
+        first = tune(
+            kernels.matmul_sdfg(),
+            cost=provider,
+            strategy="greedy",
+            depth=3,
+            budget=12,
+            transformations=POOL,
+            cache_dir=cache_dir,
+        )
+        assert not first.cache_hit
+        assert first.history, "search found no improving sequence"
+        assert first.best_score < first.baseline_score
+        assert first.improved
+
+        # The tuned variant still computes a correct matmul.
+        data = kernels.matmul_data(16)
+        ref = kernels.matmul_reference(data)
+        first.sdfg.compile()(**data)
+        np.testing.assert_allclose(data["C"], ref)
+
+        # Same problem, same cache dir: the search is short-circuited.
+        second = tune(
+            kernels.matmul_sdfg(),
+            cost=MeasuredCost(symbol_default=24, repeats=3),
+            strategy="greedy",
+            depth=3,
+            budget=12,
+            transformations=POOL,
+            cache_dir=cache_dir,
+        )
+        assert second.cache_hit
+        assert second.history == first.history
+        assert second.report.cache["hit"] is True
+        assert second.report.budget_used == 0  # no evaluations ran
+
+    def test_different_config_misses_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        kwargs = dict(
+            cost=AnalyticCost(machine="cpu"),
+            transformations=POOL,
+            budget=8,
+            cache_dir=cache_dir,
+        )
+        first = tune(kernels.matmul_sdfg(), depth=2, **kwargs)
+        assert not first.cache_hit
+        again = tune(kernels.matmul_sdfg(), depth=3, **kwargs)
+        assert not again.cache_hit  # depth is part of the config key
+
+
+class TestSearchDrivers:
+    def test_greedy_deterministic_trace(self):
+        def run():
+            return tune(
+                kernels.matmul_sdfg(),
+                cost=AnalyticCost(machine="cpu"),
+                strategy="greedy",
+                depth=2,
+                budget=16,
+                transformations=POOL,
+            )
+
+        a, b = run(), run()
+        assert a.history == b.history
+        assert [c.to_json() for c in a.report.candidates] == [
+            c.to_json() for c in b.report.candidates
+        ]
+
+    def test_beam_at_least_as_good_as_greedy(self):
+        kwargs = dict(
+            cost=AnalyticCost(machine="cpu"),
+            depth=2,
+            budget=32,
+            transformations=POOL,
+        )
+        greedy = tune(kernels.matmul_sdfg(), strategy="greedy", **kwargs)
+        beam = tune(
+            kernels.matmul_sdfg(), strategy="beam", beam_width=3, **kwargs
+        )
+        assert beam.best_score <= greedy.best_score
+
+    def test_budget_is_respected(self):
+        result = tune(
+            kernels.matmul_sdfg(),
+            cost=AnalyticCost(machine="cpu"),
+            strategy="beam",
+            depth=4,
+            beam_width=4,
+            budget=5,
+            transformations=POOL,
+        )
+        assert result.report.budget_used <= 5
+        assert len(result.report.scored()) <= 5
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            tune(kernels.matmul_sdfg(), cost=AnalyticCost(), strategy="anneal")
+
+    def test_input_sdfg_never_mutated(self):
+        sdfg = kernels.matmul_sdfg()
+        before = content_hash(sdfg)
+        tune(sdfg, cost=AnalyticCost(), depth=2, budget=8, transformations=POOL)
+        assert content_hash(sdfg) == before
+        assert sdfg.transformation_history == []
+
+    def test_duplicate_variants_pruned(self):
+        """Variants that converge to the same canonical content hash are
+        scored once (MapExpansion rebuilds maps, erasing a prior
+        Vectorization mark, so both orders collapse)."""
+        result = tune(
+            kernels.matmul_sdfg(),
+            cost=AnalyticCost(machine="cpu"),
+            strategy="beam",
+            depth=2,
+            beam_width=4,
+            budget=40,
+            transformations=["MapExpansion", "Vectorization"],
+        )
+        assert any(
+            c.status == "pruned_duplicate" for c in result.report.candidates
+        )
+
+
+class TestReportAndInstrumentation:
+    def test_report_json_round_trip(self, tmp_path):
+        result = tune(
+            kernels.matmul_sdfg(),
+            cost=AnalyticCost(machine="cpu"),
+            depth=2,
+            budget=8,
+            transformations=POOL,
+        )
+        path = str(tmp_path / "report.json")
+        result.report.save(path)
+        loaded = TuningReport.load(path)
+        assert loaded.to_json() == result.report.to_json()
+        assert loaded.render() == result.report.render()
+        assert loaded.speedup() == result.report.speedup()
+
+    def test_tuning_and_cache_events_on_recorder(self, tmp_path):
+        rec = InstrumentationRecorder()
+        tune(
+            kernels.matmul_sdfg(),
+            cost=AnalyticCost(machine="cpu"),
+            depth=1,
+            budget=4,
+            transformations=POOL,
+            cache_dir=str(tmp_path / "c"),
+            recorder=rec,
+        )
+        kinds = {k for (k, _label) in rec.root.children}
+        assert "tuning" in kinds
+        assert "cache" in kinds
+        assert rec.is_balanced()
+
+
+class TestAutoOptimizeIntegration:
+    def test_search_strategy_applies_in_place(self):
+        sdfg = kernels.matmul_sdfg()
+        applied = auto_optimize(
+            sdfg,
+            strategy="search",
+            cost=AnalyticCost(machine="cpu"),
+            depth=2,
+            budget=12,
+            transformations=POOL,
+        )
+        assert applied == len(sdfg.transformation_history) > 0
+        data = kernels.matmul_data(12)
+        ref = kernels.matmul_reference(data)
+        sdfg.compile()(**data)
+        np.testing.assert_allclose(data["C"], ref)
+
+    def test_search_result_replayable_through_optimizer(self):
+        result = tune(
+            kernels.matmul_sdfg(),
+            cost=AnalyticCost(machine="cpu"),
+            depth=2,
+            budget=12,
+            transformations=POOL,
+        )
+        fresh = kernels.matmul_sdfg()
+        replay(fresh, result.history)
+        assert content_hash(fresh) == content_hash(result.sdfg)
+
+    def test_rejects_unknown_auto_strategy(self):
+        with pytest.raises(ValueError):
+            auto_optimize(kernels.matmul_sdfg(), strategy="mystery")
+
+
+class TestConfig:
+    def test_config_key_stable_and_sensitive(self):
+        a = TuningConfig(strategy="greedy", depth=3)
+        b = TuningConfig(strategy="greedy", depth=3)
+        assert a.key() == b.key()
+        assert a.key() != TuningConfig(strategy="beam", depth=3).key()
+        assert a.key() != TuningConfig(strategy="greedy", depth=4).key()
+
+    def test_default_pool_excludes_hardware_offloads(self):
+        cfg = TuningConfig()
+        pool = cfg.pool()
+        assert "GPUTransform" not in pool
+        assert "FPGATransform" not in pool
+        assert "MapFusion" in pool
+        assert pool == sorted(pool)
