@@ -99,11 +99,30 @@ class CompiledSDFG:
         self.last_report = None
         #: Report of the compilation pipeline itself (phase timings).
         self.compile_report = None
+        #: True when this artifact was rebuilt from the program cache.
+        self.cache_hit = False
+        #: Program-cache key of this artifact (None when caching is off).
+        self.cache_key: Optional[str] = None
+        #: Non-fatal diagnostics raised during code generation (e.g. a
+        #: custom WCR reduction degraded to the scalar loop path).
+        self.codegen_warnings: List[Any] = []
+        #: Cached argument-marshaling plan (built on the first call).
+        self._marshal_plan = None
 
     def __call__(self, **kwargs):
-        from repro.runtime.arguments import split_arguments
+        from repro.runtime.arguments import MarshalingPlan, split_arguments
 
-        arrays, symbols = split_arguments(self.sdfg, kwargs)
+        # Fast path: after the first call, re-marshaling the same argument
+        # signature reuses the cached plan and skips re-validation.
+        marshaled = None
+        plan = self._marshal_plan
+        if plan is not None and plan.matches(kwargs):
+            marshaled = plan.apply(kwargs)
+        if marshaled is None:
+            arrays, symbols = split_arguments(self.sdfg, kwargs)
+            self._marshal_plan = MarshalingPlan.build(self.sdfg, kwargs, arrays, symbols)
+        else:
+            arrays, symbols = marshaled
         recorder = None
         if has_instrumentation(self.sdfg) or profiling_enabled():
             recorder = InstrumentationRecorder()
@@ -164,6 +183,7 @@ def compile_sdfg(
     validate: bool = True,
     fallback: bool = True,
     recorder: Optional[InstrumentationRecorder] = None,
+    cache: Any = None,
 ) -> CompiledSDFG:
     """Compile an SDFG into a callable.
 
@@ -173,52 +193,100 @@ def compile_sdfg(
     hop taken, and carries phase timings in ``compile_report``.  Pass a
     ``recorder`` to additionally splice the pipeline events into an
     external event bus (the guarded optimizer does this).
+
+    ``cache`` selects the program cache (``"disk"``, ``"memory"``,
+    ``"off"``, or a :class:`~repro.codegen.progcache.ProgramCache`);
+    ``None`` consults ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` and defaults
+    to off.  A warm hit skips validation, propagation, and codegen — the
+    content hash guarantees the cached program came from an identical
+    (already validated) graph — and appears as a ``progcache[hit]`` phase
+    in ``compile_report`` instead of the codegen phases.
     """
+    from repro.codegen.progcache import program_key, resolve_cache
+    from repro.symbolic import memo as _symmemo
+
+    store = resolve_cache(cache)
     crec = InstrumentationRecorder()
     crec.enter("compile", sdfg.name)
+    sym_before = _symmemo.snapshot()
+    compiled: Optional[CompiledSDFG] = None
+    key_pre: Optional[str] = None
     try:
-        t0 = time.perf_counter()
-        if validate:
-            sdfg.validate()
-        crec.event("phase", "validate", duration=time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        sdfg.propagate()
-        crec.event("phase", "propagate", duration=time.perf_counter() - t0)
+        if store is not None and backend == "python":
+            from repro.sdfg.serialize import content_hash
 
-        hops: List[Dict[str, Optional[str]]] = []
-        current = backend
-        while True:
             t0 = time.perf_counter()
-            try:
-                compiled = _compile_backend(sdfg, current)
-            except DEGRADABLE_ERRORS as err:
-                crec.event(
-                    "phase",
-                    f"codegen[{current}]",
-                    duration=time.perf_counter() - t0,
-                )
-                nxt = DEGRADATION_CHAIN.get(current)
-                if nxt is None or not fallback:
-                    raise
-                message = str(err)
-                hops.append(
-                    {
-                        "from": current,
-                        "to": nxt,
-                        "error": type(err).__name__,
-                        "code": _classify_hop_code(err),
-                        "reason": message.splitlines()[0] if message else "",
-                        "message": message,
-                    }
-                )
-                current = nxt
-                continue
+            key_pre = program_key(content_hash(sdfg), backend)
+            cached = store.lookup(key_pre)
             crec.event(
-                "phase", f"codegen[{current}]", duration=time.perf_counter() - t0
+                "phase", "progcache[lookup]", duration=time.perf_counter() - t0
             )
-            compiled.requested_backend = backend
-            compiled.degradation = hops
-            break
+            if cached is not None:
+                t0 = time.perf_counter()
+                compiled = _rebuild_from_cache(sdfg, cached[0], cached[1], store, key_pre)
+                crec.event(
+                    "phase", "progcache[hit]", duration=time.perf_counter() - t0
+                )
+            else:
+                crec.event("phase", "progcache[miss]")
+
+        if compiled is None:
+            t0 = time.perf_counter()
+            if validate:
+                sdfg.validate()
+            crec.event("phase", "validate", duration=time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            sdfg.propagate()
+            crec.event("phase", "propagate", duration=time.perf_counter() - t0)
+
+            hops: List[Dict[str, Optional[str]]] = []
+            current = backend
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    compiled = _compile_backend(sdfg, current)
+                except DEGRADABLE_ERRORS as err:
+                    crec.event(
+                        "phase",
+                        f"codegen[{current}]",
+                        duration=time.perf_counter() - t0,
+                    )
+                    nxt = DEGRADATION_CHAIN.get(current)
+                    if nxt is None or not fallback:
+                        raise
+                    message = str(err)
+                    hops.append(
+                        {
+                            "from": current,
+                            "to": nxt,
+                            "error": type(err).__name__,
+                            "code": _classify_hop_code(err),
+                            "reason": message.splitlines()[0] if message else "",
+                            "message": message,
+                        }
+                    )
+                    current = nxt
+                    continue
+                crec.event(
+                    "phase", f"codegen[{current}]", duration=time.perf_counter() - t0
+                )
+                compiled.requested_backend = backend
+                compiled.degradation = hops
+                break
+
+            if (
+                store is not None
+                and key_pre is not None
+                and compiled.backend == "python"
+                and not hops
+            ):
+                t0 = time.perf_counter()
+                _store_in_cache(sdfg, compiled, store, key_pre, backend)
+                crec.event(
+                    "phase", "progcache[store]", duration=time.perf_counter() - t0
+                )
+
+        _emit_symcache_events(crec, sym_before, _symmemo.snapshot())
     finally:
         crec.exit()
     compiled.compile_report = crec.report(sdfg.name, backend=f"compile[{backend}]")
@@ -226,6 +294,77 @@ def compile_sdfg(
         for node in crec.root.children.values():
             recorder.absorb(node)
     return compiled
+
+
+def _emit_symcache_events(crec, before, after) -> None:
+    """Emit symbolic-engine cache hit/miss deltas as COUNTER events."""
+    for name in sorted(after):
+        h0, m0 = before.get(name, (0, 0))
+        h1, m1 = after[name]
+        if h1 > h0:
+            crec.event("symcache", f"{name}[hit]", itype="COUNTER", iterations=h1 - h0)
+        if m1 > m0:
+            crec.event("symcache", f"{name}[miss]", itype="COUNTER", iterations=m1 - m0)
+
+
+def _rebuild_from_cache(sdfg, entry_rec, main, store, key) -> CompiledSDFG:
+    """Rebuild a CompiledSDFG from a cache entry.  Memory-tier hits reuse
+    the already-``exec``'d callable; disk hits ``exec`` once and promote."""
+    from repro.diagnostics import Diagnostic
+
+    if main is None:
+        main = _exec_python_source(entry_rec.source, entry_rec.sdfg_name)
+        store.attach_callable(key, main)
+    compiled = CompiledSDFG(
+        sdfg,
+        _python_entry(main, entry_rec.arg_arrays, entry_rec.symbol_order),
+        entry_rec.source,
+        "python",
+    )
+    compiled.cache_hit = True
+    compiled.cache_key = key
+    warnings = []
+    for w in entry_rec.warnings:
+        try:
+            warnings.append(Diagnostic.from_json(w))
+        except Exception:
+            continue
+    compiled.codegen_warnings = warnings
+    return compiled
+
+
+def _store_in_cache(sdfg, compiled, store, key_pre, backend) -> None:
+    """Store a freshly compiled python program under both the
+    pre-propagation key (computed before ``sdfg.propagate()`` rewrote the
+    outer memlets) and the post-propagation key, so both the original and
+    the propagated form of the same graph hit on the next compile."""
+    from repro.codegen.progcache import ProgramCacheEntry, program_key
+    from repro.sdfg.serialize import content_hash
+
+    main = getattr(compiled, "_py_main", None)
+    orders = getattr(compiled, "_py_orders", None)
+    if main is None or orders is None:
+        return
+    warnings = []
+    for w in compiled.codegen_warnings:
+        try:
+            warnings.append(w.to_json())
+        except Exception:
+            continue
+    entry = ProgramCacheEntry(
+        key=key_pre,
+        backend="python",
+        sdfg_name=sdfg.name,
+        source=compiled.source,
+        arg_arrays=orders[0],
+        symbol_order=orders[1],
+        warnings=warnings,
+    )
+    compiled.cache_key = key_pre
+    store.store(key_pre, entry, main)
+    key_post = program_key(content_hash(sdfg), backend)
+    if key_post != key_pre:
+        store.store(key_post, entry, main)
 
 
 def _compile_backend(sdfg, backend: str) -> CompiledSDFG:
@@ -240,26 +379,40 @@ def _compile_backend(sdfg, backend: str) -> CompiledSDFG:
     raise ValueError(f"backend {backend!r} is not executable; use generate_code")
 
 
+def _exec_python_source(source: str, name: str) -> Callable:
+    namespace: Dict[str, Any] = {}
+    code = compile(source, f"<sdfg {name}>", "exec")
+    exec(code, namespace)
+    return namespace["main"]
+
+
+def _python_entry(main: Callable, arg_arrays, syms_order) -> Callable:
+    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None):
+        args = [arrays[a] for a in arg_arrays]
+        args += [symbols[s] for s in syms_order]
+        return main(*args, __instr=instr)
+
+    return entry
+
+
 def _compile_python(sdfg) -> CompiledSDFG:
     from repro.codegen.python_gen import PythonGenerator
 
-    source = PythonGenerator(sdfg).generate()
-    namespace: Dict[str, Any] = {}
-    code = compile(source, f"<sdfg {sdfg.name}>", "exec")
-    exec(code, namespace)
-    main = namespace["main"]
+    gen = PythonGenerator(sdfg)
+    source = gen.generate()
+    main = _exec_python_source(source, sdfg.name)
 
     arg_arrays = sorted(sdfg.arglist())
     syms_order = sorted(
         set(sdfg.free_symbols()) | set(sdfg.symbols) - set(sdfg.constants)
     )
 
-    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None):
-        args = [arrays[a] for a in arg_arrays]
-        args += [symbols[s] for s in syms_order]
-        return main(*args, __instr=instr)
-
-    return CompiledSDFG(sdfg, entry, source, "python")
+    compiled = CompiledSDFG(sdfg, _python_entry(main, arg_arrays, syms_order), source, "python")
+    compiled.codegen_warnings = list(getattr(gen, "diagnostics", []))
+    # Kept for the program cache: the raw module entry plus argument order.
+    compiled._py_main = main
+    compiled._py_orders = (arg_arrays, syms_order)
+    return compiled
 
 
 def _interpreter_fallback(sdfg) -> CompiledSDFG:

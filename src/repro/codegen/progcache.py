@@ -1,0 +1,322 @@
+"""Persistent compiled-program cache (execution fast path).
+
+``compile_sdfg`` re-generates and re-``exec``s the backend module on
+every call even when the SDFG is byte-identical to one compiled a moment
+(or a process) ago.  This module stores generated programs keyed by
+content:
+
+    key = SHA-256( content_hash(sdfg) ‖ backend ‖ codegen version )
+
+so a warm compile skips validation, propagation, codegen, and — on an
+in-process hit — even ``exec``.  The cache is two-tier:
+
+* an in-memory LRU (``OrderedDict``) holding the entry *and* the already
+  ``exec``'d entry callable, and
+* an optional on-disk tier (one JSON file per entry) following the
+  :class:`repro.tuning.cache.TuningCache` conventions: schema-versioned
+  entries, **atomic writes** via ``os.replace``, **mtime-LRU eviction**,
+  and **corrupt-entry quarantine** (unreadable or mismatched files are
+  deleted and counted as misses, never raised).
+
+Selection is explicit: the cache is *off* by default so existing
+pipelines (and the fault-injection harness, which relies on backends
+actually running) are unaffected.  Enable with ``compile_sdfg(...,
+cache="memory"|"disk")``, a :class:`ProgramCache` instance, or the
+``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` environment knobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Bump whenever generated-code semantics change; part of every key, so
+#: old entries become unreachable (and age out by LRU) rather than stale.
+CODEGEN_VERSION = 1
+
+#: Entry file layout version; mismatched files are quarantined as misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+def program_key(sdfg_hash: str, backend: str) -> str:
+    """Content address of one generated program."""
+    h = hashlib.sha256()
+    h.update(sdfg_hash.encode())
+    h.update(b"\x00")
+    h.update(backend.encode())
+    h.update(b"\x00")
+    h.update(str(CODEGEN_VERSION).encode())
+    return h.hexdigest()
+
+
+class ProgramCacheEntry:
+    """One cached generated program plus the metadata needed to rebuild a
+    :class:`~repro.codegen.compiler.CompiledSDFG` without re-running the
+    pipeline."""
+
+    __slots__ = (
+        "key",
+        "backend",
+        "sdfg_name",
+        "source",
+        "arg_arrays",
+        "symbol_order",
+        "codegen_version",
+        "warnings",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        backend: str,
+        sdfg_name: str,
+        source: str,
+        arg_arrays: List[str],
+        symbol_order: List[str],
+        codegen_version: int = CODEGEN_VERSION,
+        warnings: Optional[List[Dict[str, Any]]] = None,
+    ):
+        self.key = key
+        self.backend = backend
+        self.sdfg_name = sdfg_name
+        self.source = source
+        self.arg_arrays = list(arg_arrays)
+        self.symbol_order = list(symbol_order)
+        self.codegen_version = codegen_version
+        self.warnings = list(warnings or [])
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": self.key,
+            "backend": self.backend,
+            "sdfg_name": self.sdfg_name,
+            "source": self.source,
+            "arg_arrays": self.arg_arrays,
+            "symbol_order": self.symbol_order,
+            "codegen_version": self.codegen_version,
+            "warnings": self.warnings,
+        }
+
+    @staticmethod
+    def from_json(obj: Any) -> "ProgramCacheEntry":
+        if (
+            not isinstance(obj, dict)
+            or obj.get("schema") != CACHE_SCHEMA_VERSION
+            or obj.get("codegen_version") != CODEGEN_VERSION
+            or not isinstance(obj.get("key"), str)
+            or not isinstance(obj.get("source"), str)
+            or not isinstance(obj.get("arg_arrays"), list)
+            or not isinstance(obj.get("symbol_order"), list)
+        ):
+            raise ValueError("malformed program cache entry")
+        return ProgramCacheEntry(
+            key=obj["key"],
+            backend=obj.get("backend", "python"),
+            sdfg_name=obj.get("sdfg_name", "sdfg"),
+            source=obj["source"],
+            arg_arrays=obj["arg_arrays"],
+            symbol_order=obj["symbol_order"],
+            codegen_version=obj["codegen_version"],
+            warnings=obj.get("warnings") or [],
+        )
+
+
+class ProgramCache:
+    """Two-tier (memory + optional disk) LRU cache of generated programs."""
+
+    def __init__(self, cache_dir: Optional[str] = None, max_entries: int = 256):
+        self.cache_dir = cache_dir
+        self.max_entries = max(1, max_entries)
+        #: key -> (entry, exec'd entry callable or None)
+        self._memory: "OrderedDict[str, Tuple[ProgramCacheEntry, Optional[Callable]]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ---------------------------------------------------------------- paths
+    def _path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, key: str) -> Optional[Tuple[ProgramCacheEntry, Optional[Callable]]]:
+        """Return ``(entry, callable_or_None)`` on a hit, None on a miss.
+
+        Memory hits carry the already-``exec``'d callable; disk hits are
+        promoted into the memory tier with ``callable=None`` (the caller
+        ``exec``s once and attaches it via :meth:`attach_callable`).
+        Corrupt disk entries are deleted and counted as misses.
+        """
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return cached
+        if self.cache_dir is None:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as f:
+                entry = ProgramCacheEntry.from_json(json.load(f))
+            if entry.key != key:
+                raise ValueError("key mismatch in program cache entry")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, json.JSONDecodeError):
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        self._remember(key, entry, None)
+        return self._memory[key]
+
+    def attach_callable(self, key: str, fn: Callable) -> None:
+        """Attach the ``exec``'d entry callable to a memory-tier entry so
+        subsequent in-process hits skip ``exec`` entirely."""
+        cached = self._memory.get(key)
+        if cached is not None and cached[1] is None:
+            self._memory[key] = (cached[0], fn)
+
+    # ---------------------------------------------------------------- store
+    def store(self, key: str, entry: ProgramCacheEntry, fn: Optional[Callable] = None) -> None:
+        """Store an entry in both tiers (disk write is atomic)."""
+        self._remember(key, entry, fn)
+        self.stores += 1
+        if self.cache_dir is None:
+            return
+        record = entry.to_json()
+        record["key"] = key  # aliases store under their own key
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(record, f, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        self._evict_disk()
+
+    def _remember(self, key: str, entry: ProgramCacheEntry, fn: Optional[Callable]) -> None:
+        self._memory[key] = (entry, fn)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------- eviction
+    def _evict_disk(self) -> None:
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return
+        entries = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                entries.append((os.path.getmtime(path), path))
+            except OSError:
+                continue
+        if len(entries) <= self.max_entries:
+            return
+        entries.sort()  # oldest mtime first
+        for _, path in entries[: len(entries) - self.max_entries]:
+            try:
+                os.remove(path)
+                self.evictions += 1
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------- counters
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "memory_entries": len(self._memory),
+        }
+
+
+#: Process-wide shared in-memory cache (``cache="memory"`` and the tuner).
+_SHARED: Optional[ProgramCache] = None
+
+#: Disk caches by resolved directory, so repeated ``cache="disk"`` calls
+#: share a memory tier (and thus exec'd callables) per directory.
+_DISK: Dict[str, ProgramCache] = {}
+
+
+def shared_cache() -> ProgramCache:
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = ProgramCache()
+    return _SHARED
+
+
+def _disk_cache(cache_dir: str) -> ProgramCache:
+    key = os.path.realpath(cache_dir)
+    cache = _DISK.get(key)
+    if cache is None:
+        cache = _DISK[key] = ProgramCache(cache_dir=key)
+    return cache
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro", "progcache"
+    )
+
+
+def resolve_cache(cache: Any) -> Optional[ProgramCache]:
+    """Resolve the ``cache=`` knob of ``compile_sdfg``.
+
+    Accepts ``None`` (consult ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``; off
+    when neither is set), ``"off"``, ``"memory"``, ``"disk"``, or a
+    :class:`ProgramCache` instance.
+    """
+    if isinstance(cache, ProgramCache):
+        return cache
+    if cache is None:
+        env = os.environ.get("REPRO_CACHE", "").strip().lower()
+        if env:
+            cache = env
+        elif os.environ.get("REPRO_CACHE_DIR"):
+            cache = "disk"
+        else:
+            return None
+    if cache == "off":
+        return None
+    if cache == "memory":
+        return shared_cache()
+    if cache == "disk":
+        return _disk_cache(default_cache_dir())
+    raise ValueError(
+        f"unknown program cache mode {cache!r}; expected 'disk', 'memory', "
+        "'off', or a ProgramCache instance"
+    )

@@ -32,6 +32,13 @@ _NP_FUNCS = {
     "conj": "np.conj",
 }
 
+#: Scalar casts with an exact elementwise equivalent (``int()`` truncates
+#: toward zero, as does ``astype`` from float to a signed integer type).
+_CASTS = {
+    "int": "np.int64",
+    "float": "np.float64",
+}
+
 
 def parse_tasklet(code: str) -> ast.Module:
     try:
@@ -109,6 +116,8 @@ def _expr_vectorizable(node: ast.expr) -> bool:
         )
     if isinstance(node, ast.Call):
         fname = _call_name(node)
+        if fname in _CASTS and len(node.args) == 1:
+            return _expr_vectorizable(node.args[0])
         if fname is None or fname not in _NP_FUNCS:
             return False
         return all(_expr_vectorizable(a) for a in node.args)
@@ -141,6 +150,12 @@ class _Vectorize(ast.NodeTransformer):
     def visit_Call(self, node: ast.Call):
         self.generic_visit(node)
         fname = _call_name(node)
+        if fname in _CASTS and len(node.args) == 1:
+            cast = ast.parse(
+                f"np.asarray(__x).astype({_CASTS[fname]})", mode="eval"
+            ).body
+            cast.func.value.args[0] = node.args[0]  # type: ignore[attr-defined]
+            return ast.copy_location(ast.fix_missing_locations(cast), node)
         if fname is None or fname not in _NP_FUNCS:
             raise CodegenError(f"call {ast.dump(node.func)} not vectorizable")
         target = _NP_FUNCS[fname]
@@ -265,3 +280,113 @@ def detect_pure_product(code: str, inputs: Sequence[str], output: str) -> bool:
     if not collect(stmt.value):
         return False
     return sorted(factors) == sorted(inputs)
+
+
+def _references(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(n, ast.Name) and n.id == name for n in ast.walk(node)
+    )
+
+
+def detect_indexed_update(code: str, view_conn: str) -> Optional[Tuple[str, str]]:
+    """Detect the indirect-update ("scatter") tasklet pattern::
+
+        [prelude assignments]
+        view[idx] += val                      # or *=, or
+        view[idx] = min(view[idx], val)       # or max
+
+    where ``view_conn`` is the connector holding a view of the output
+    container.  These bodies fail ``is_vectorizable_tasklet`` (the
+    subscripted store) yet have an exact whole-domain lowering through
+    the unbuffered ``np.<ufunc>.at`` scatter ufuncs.
+
+    Returns ``(op, mini_code)`` with ``op`` in ``{"sum", "product",
+    "min", "max"}`` and ``mini_code`` a rewritten tasklet body computing
+    ``__scatter_idx`` and ``__scatter_val`` (prelude preserved), suitable
+    for :func:`vectorize_tasklet`.  Returns None when the code does not
+    match the pattern.
+    """
+    try:
+        tree = parse_tasklet(code)
+    except CodegenError:
+        return None
+    stmts = [
+        s
+        for s in tree.body
+        if not (
+            isinstance(s, ast.Pass)
+            or (isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant))
+        )
+    ]
+    if not stmts:
+        return None
+    prelude, update = stmts[:-1], stmts[-1]
+    # Prelude: plain vectorizable assignments that never touch the view.
+    for s in prelude:
+        if (
+            not isinstance(s, ast.Assign)
+            or len(s.targets) != 1
+            or not isinstance(s.targets[0], ast.Name)
+            or s.targets[0].id == view_conn
+            or not _expr_vectorizable(s.value)
+            or _references(s.value, view_conn)
+        ):
+            return None
+
+    def match_subscript(node: ast.expr) -> Optional[ast.expr]:
+        """``view_conn[idx]`` with a scalar (rank-1) index → idx."""
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == view_conn
+            and not isinstance(node.slice, (ast.Tuple, ast.Slice))
+        ):
+            return node.slice
+        return None
+
+    op: Optional[str] = None
+    idx: Optional[ast.expr] = None
+    val: Optional[ast.expr] = None
+    if isinstance(update, ast.AugAssign):
+        idx = match_subscript(update.target)
+        if idx is None:
+            return None
+        if isinstance(update.op, ast.Add):
+            op = "sum"
+        elif isinstance(update.op, ast.Mult):
+            op = "product"
+        else:
+            return None
+        val = update.value
+    elif (
+        isinstance(update, ast.Assign)
+        and len(update.targets) == 1
+        and isinstance(update.value, ast.Call)
+        and _call_name(update.value) in ("min", "max")
+        and len(update.value.args) == 2
+        and not update.value.keywords
+    ):
+        idx = match_subscript(update.targets[0])
+        if idx is None:
+            return None
+        target_src = ast.unparse(update.targets[0])
+        a, b = update.value.args
+        if isinstance(a, ast.Subscript) and ast.unparse(a) == target_src:
+            val = b
+        elif isinstance(b, ast.Subscript) and ast.unparse(b) == target_src:
+            val = a
+        else:
+            return None
+        op = _call_name(update.value)
+    else:
+        return None
+    # Index and value must be elementwise over map parameters and must not
+    # read back through the view (order-dependent otherwise).
+    if not _expr_vectorizable(idx) or not _expr_vectorizable(val):
+        return None
+    if _references(idx, view_conn) or _references(val, view_conn):
+        return None
+    lines = [ast.unparse(s) for s in prelude]
+    lines.append(f"__scatter_idx = {ast.unparse(idx)}")
+    lines.append(f"__scatter_val = {ast.unparse(val)}")
+    return op, "\n".join(lines)

@@ -72,6 +72,8 @@ CODES: Dict[str, str] = {
     "W601": "instrumentation attached to empty state",
     "W602": "instrumentation attached to disconnected node",
     "W603": "instrumentation attached to unreachable state",
+    # --- codegen performance degradations (W7xx, warnings)
+    "W701": "custom WCR reduction lowered through the scalar loop path",
     # --- code generation (CGxxx)
     "CG001": "expression not renderable as Python",
     "CG002": "expression not renderable as C++",
@@ -124,6 +126,18 @@ class Diagnostic:
             "node": self.node,
             "data": self.data,
         }
+
+    @staticmethod
+    def from_json(obj: Dict[str, Optional[str]]) -> "Diagnostic":
+        return Diagnostic(
+            code=str(obj["code"]),
+            severity=Severity[str(obj.get("severity", "WARNING"))],
+            message=str(obj.get("message", "")),
+            sdfg=obj.get("sdfg"),
+            state=obj.get("state"),
+            node=obj.get("node"),
+            data=obj.get("data"),
+        )
 
 
 def make_diagnostic(

@@ -100,6 +100,125 @@ def validate_arguments(sdfg, arrays: Mapping[str, Any], symbols: Mapping[str, in
             raise ArgumentError(f"unbound symbol {sym!r}; pass it as a keyword")
 
 
+class MarshalingPlan:
+    """Cached per-SDFG argument-marshaling recipe (execution fast path).
+
+    ``CompiledSDFG.__call__`` re-splits, re-infers, and re-validates its
+    keyword arguments on every invocation.  After the first (fully
+    validated) call, the work is a pure function of the argument
+    *signature*: which names are arrays, how scalars are wrapped, and how
+    each symbol is obtained (passed explicitly, or solved from one array
+    dimension).  This plan records those recipes so subsequent calls with
+    the same signature marshal in O(#args) without re-running
+    ``infer_symbols``/``validate_arguments``.
+
+    The fast path still cheap-checks dtype and rank per array; any
+    mismatch (or any surprise at all) returns ``None`` from
+    :meth:`apply`, sending the call back through the slow, fully
+    validated path.
+    """
+
+    __slots__ = ("key_set", "array_items", "symbol_recipes", "needs_slow")
+
+    def __init__(self, key_set, array_items, symbol_recipes, needs_slow):
+        self.key_set = key_set
+        self.array_items = array_items
+        self.symbol_recipes = symbol_recipes
+        self.needs_slow = needs_slow
+
+    @staticmethod
+    def build(sdfg, kwargs, arrays, symbols) -> "MarshalingPlan":
+        """Derive a plan from one successful ``split_arguments`` run."""
+        key_set = frozenset(kwargs)
+        needs_slow = False
+        array_items = []
+        for name in kwargs:
+            desc = sdfg.arrays.get(name)
+            if desc is None:
+                continue
+            if isinstance(desc, Stream):
+                needs_slow = True  # streams keep full handling
+                continue
+            if isinstance(desc, Scalar):
+                array_items.append((name, True, desc.dtype.as_numpy(), None, None))
+            else:
+                arr = arrays.get(name)
+                if not isinstance(arr, np.ndarray):
+                    needs_slow = True
+                    continue
+                array_items.append((name, False, None, arr.dtype, arr.ndim))
+
+        symbol_recipes = []
+        for sym in symbols:
+            if sym in kwargs:
+                symbol_recipes.append(("explicit", sym, None))
+                continue
+            recipe = MarshalingPlan._shape_recipe(sdfg, sym, kwargs)
+            if recipe is None:
+                needs_slow = True
+            else:
+                symbol_recipes.append(("shape", sym, recipe))
+        return MarshalingPlan(key_set, array_items, symbol_recipes, needs_slow)
+
+    @staticmethod
+    def _shape_recipe(sdfg, sym: str, kwargs):
+        """Find (array, dim, coeff, offset) so that
+        ``sym = (array.shape[dim] - offset) // coeff``."""
+        for name, desc in sdfg.arrays.items():
+            if name not in kwargs or isinstance(desc, (Scalar, Stream)):
+                continue
+            for dim, expr in enumerate(desc.shape):
+                free = expr.free_symbols
+                if len(free) != 1 or next(iter(free)).name != sym:
+                    continue
+                s = next(iter(free))
+                coeff = linear_coefficient(expr, s)
+                if coeff is None or not coeff.is_constant():
+                    continue
+                c = coeff.as_int()
+                if c == 0:
+                    continue
+                offset = expr.subs({s: 0})
+                if not offset.is_constant():
+                    continue
+                return (name, dim, c, int(offset.evaluate({})))
+        return None
+
+    def matches(self, kwargs) -> bool:
+        return not self.needs_slow and frozenset(kwargs) == self.key_set
+
+    def apply(self, kwargs):
+        """Marshal ``kwargs`` into (arrays, symbols) along the recorded
+        recipes; returns None when anything is off (caller falls back)."""
+        try:
+            arrays: Dict[str, Any] = {}
+            for name, is_scalar, scalar_dtype, exp_dtype, exp_ndim in self.array_items:
+                v = kwargs[name]
+                if is_scalar:
+                    if not isinstance(v, np.ndarray):
+                        v = np.full((1,), v, dtype=scalar_dtype)
+                elif (
+                    not isinstance(v, np.ndarray)
+                    or v.dtype != exp_dtype
+                    or v.ndim != exp_ndim
+                ):
+                    return None
+                arrays[name] = v
+            symbols: Dict[str, int] = {}
+            for kind, sym, recipe in self.symbol_recipes:
+                if kind == "explicit":
+                    symbols[sym] = int(kwargs[sym])
+                else:
+                    name, dim, c, offset = recipe
+                    num = int(arrays[name].shape[dim]) - offset
+                    if num % c != 0:
+                        return None
+                    symbols[sym] = num // c
+            return arrays, symbols
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError):
+            return None
+
+
 def split_arguments(sdfg, kwargs: Mapping[str, Any]):
     """Split keyword arguments into (arrays, symbols), inferring symbols."""
     arrays: Dict[str, Any] = {}

@@ -91,10 +91,34 @@ def _scope_param_ranges(entry: EntryNode) -> Dict:
 def _propagate_union(
     memlets: List[Memlet], params: Dict, entry: EntryNode
 ) -> Optional[Memlet]:
-    """Union of internal memlets, swept over the scope parameters."""
+    """Union of internal memlets, swept over the scope parameters.
+
+    The result is a pure function of the memlet contents, the parameter
+    ranges, and whether the scope is a consume (dynamic), so it is
+    memoized on those; callers ``clone()`` the returned prototype before
+    attaching it to an edge.
+    """
+    from repro.symbolic import memo
+
     non_empty = [m for m in memlets if not m.is_empty()]
     if not non_empty:
         return None
+    try:
+        key = (
+            tuple((m.data, m.subset, m.volume, m.dynamic, m.wcr) for m in non_empty),
+            tuple(sorted(params.items())),
+            isinstance(entry, ConsumeEntry),
+        )
+    except TypeError:
+        return _propagate_union_uncached(non_empty, params, entry)
+    return memo.memoized(
+        "propagate", key, lambda: _propagate_union_uncached(non_empty, params, entry)
+    )
+
+
+def _propagate_union_uncached(
+    non_empty: List[Memlet], params: Dict, entry: EntryNode
+) -> Optional[Memlet]:
     data = non_empty[0].data
     images = []
     total_volume: Expr = Integer(0)

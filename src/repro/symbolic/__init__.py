@@ -41,9 +41,13 @@ from repro.symbolic.expr import (
     Pow,
     Real,
     Symbol,
+    simplify,
     sympify,
     symbols,
 )
+from repro.symbolic.memo import clear as clear_caches
+from repro.symbolic.memo import snapshot as cache_snapshot
+from repro.symbolic.memo import stats as cache_stats
 from repro.symbolic.parser import parse_expr
 from repro.symbolic.sets import Indices, Range, Subset
 
@@ -74,7 +78,11 @@ __all__ = [
     "Real",
     "Subset",
     "Symbol",
+    "cache_snapshot",
+    "cache_stats",
+    "clear_caches",
     "parse_expr",
+    "simplify",
     "symbols",
     "sympify",
 ]

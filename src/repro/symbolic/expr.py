@@ -19,6 +19,8 @@ import math
 from fractions import Fraction
 from typing import Any, Callable, Dict, Iterable, Mapping, Sequence, Tuple, Union
 
+from repro.symbolic import memo
+
 Numeric = Union[int, float, Fraction]
 
 #: Order classes for deterministic sorting of commutative arguments.
@@ -46,9 +48,14 @@ class Expr:
     """Base class of all symbolic expressions.
 
     Instances are immutable and hashable; equality is structural.
+
+    Immutability is what makes the hot-path caches sound: the hash, the
+    rendered string, and the free-symbol set are each computed once and
+    stored on the instance, and :meth:`subs` results are memoized on
+    structural identity in :mod:`repro.symbolic.memo`.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_str", "_free")
 
     # -- construction helpers ------------------------------------------------
     def __add__(self, other: Any) -> "Expr":
@@ -143,12 +150,51 @@ class Expr:
     # -- core protocol -------------------------------------------------------
     @property
     def free_symbols(self) -> frozenset:
-        """Set of :class:`Symbol` objects occurring in the expression."""
+        """Set of :class:`Symbol` objects occurring in the expression
+        (computed once per instance, then cached)."""
+        fs = getattr(self, "_free", None)
+        if fs is None:
+            fs = self._free_symbols()
+            object.__setattr__(self, "_free", fs)
+        return fs
+
+    def _free_symbols(self) -> frozenset:
         raise NotImplementedError
 
     def subs(self, mapping: Mapping[Any, Any]) -> "Expr":
-        """Substitute symbols (by object or name) with expressions/values."""
+        """Substitute symbols (by object or name) with expressions/values.
+
+        Results are memoized on (expression, normalized mapping) identity;
+        closed expressions short-circuit to ``self``.
+        """
+        if not mapping or not self.free_symbols:
+            return self
+        try:
+            key = (self, _mapping_key(mapping))
+        except (TypeError, ValueError):  # unhashable/odd mapping — bypass
+            return self._subs(mapping)
+        return memo.memoized("subs", key, lambda: self._subs(mapping))
+
+    def _subs(self, mapping: Mapping[Any, Any]) -> "Expr":
         raise NotImplementedError
+
+    def __str__(self) -> str:
+        s = getattr(self, "_str", None)
+        if s is None:
+            s = self._to_str()
+            object.__setattr__(self, "_str", s)
+        return s
+
+    def _to_str(self) -> str:
+        raise NotImplementedError
+
+    # Expressions are immutable: copies are the object itself.  (This also
+    # keeps interned Symbols/Integers unique under copy.deepcopy.)
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, _memo) -> "Expr":
+        return self
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         """Evaluate to a concrete number; raises ``KeyError`` on free symbols."""
@@ -169,28 +215,42 @@ class Expr:
         return f"<{type(self).__name__} {self!s}>"
 
 
+#: Small-integer interning window (covers the constants the IR churns on).
+_SMALL_INT_MIN, _SMALL_INT_MAX = -64, 1024
+
+
 class Integer(Expr):
-    """Integer literal."""
+    """Integer literal.  Small values are interned."""
 
     __slots__ = ("value",)
+    _interned: Dict[int, "Integer"] = {}
+
+    def __new__(cls, value: int = 0):
+        if cls is Integer and isinstance(value, int):
+            cached = Integer._interned.get(value)
+            if cached is not None:
+                return cached
+        return object.__new__(cls)
 
     def __init__(self, value: int):
-        object.__setattr__(self, "value", int(value))
+        v = int(value)
+        object.__setattr__(self, "value", v)
+        if type(self) is Integer and _SMALL_INT_MIN <= v <= _SMALL_INT_MAX:
+            Integer._interned.setdefault(v, self)
 
     def _key(self) -> Tuple:
         return (self.value,)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return frozenset()
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return self
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return self.value
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return str(self.value)
 
     def __setattr__(self, *a):  # immutability guard
@@ -208,17 +268,16 @@ class Real(Expr):
     def _key(self) -> Tuple:
         return (self.value,)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return frozenset()
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return self
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return self.value
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return repr(self.value)
 
     def __setattr__(self, *a):
@@ -226,23 +285,37 @@ class Real(Expr):
 
 
 class Symbol(Expr):
-    """A named scalar unknown (array size, map parameter, loop variable)."""
+    """A named scalar unknown (array size, map parameter, loop variable).
+
+    Symbols are interned by name: ``Symbol("N") is Symbol("N")``.
+    """
 
     __slots__ = ("name",)
+    _interned: Dict[str, "Symbol"] = {}
+
+    def __new__(cls, name: str = ""):
+        if cls is Symbol and isinstance(name, str):
+            cached = Symbol._interned.get(name)
+            if cached is not None:
+                return cached
+        return object.__new__(cls)
 
     def __init__(self, name: str):
         if not name or not (name[0].isalpha() or name[0] == "_"):
             raise ValueError(f"invalid symbol name: {name!r}")
         object.__setattr__(self, "name", name)
+        if type(self) is Symbol:
+            if len(Symbol._interned) > 4096:  # unbounded-name backstop
+                Symbol._interned.clear()
+            Symbol._interned.setdefault(name, self)
 
     def _key(self) -> Tuple:
         return (self.name,)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return frozenset((self,))
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         for key, val in mapping.items():
             kname = key.name if isinstance(key, Symbol) else key
             if kname == self.name:
@@ -254,7 +327,7 @@ class Symbol(Expr):
             raise KeyError(f"unbound symbol {self.name!r}")
         return bindings[self.name]
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return self.name
 
     def __setattr__(self, *a):
@@ -277,8 +350,7 @@ class _NAry(Expr):
     def _key(self) -> Tuple:
         return self.args
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         out: frozenset = frozenset()
         for a in self.args:
             out |= a.free_symbols
@@ -323,13 +395,13 @@ class Add(_NAry):
             return out[0]
         return Add(tuple(out))
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Add.make(*(a.subs(mapping) for a in self.args))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return sum(a.evaluate(bindings) for a in self.args)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         parts = []
         for i, a in enumerate(self.args):
             s = str(a)
@@ -385,7 +457,7 @@ class Mul(_NAry):
             return out[0]
         return Mul(tuple(out))
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Mul.make(*(a.subs(mapping) for a in self.args))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
@@ -394,7 +466,7 @@ class Mul(_NAry):
             r *= a.evaluate(bindings)
         return r
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         def paren(a: Expr) -> str:
             s = str(a)
             # Parenthesize any infix operand of lower precedence.
@@ -429,17 +501,16 @@ class Pow(Expr):
     def _key(self) -> Tuple:
         return (self.base, self.exp)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.base.free_symbols | self.exp.free_symbols
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Pow.make(self.base.subs(mapping), self.exp.subs(mapping))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return self.base.evaluate(bindings) ** self.exp.evaluate(bindings)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         def paren(e: Expr) -> str:
             s = str(e)
             if isinstance(e, Symbol) or (isinstance(e, Integer) and e.value >= 0):
@@ -468,17 +539,16 @@ class _BinOp(Expr):
     def _key(self) -> Tuple:
         return (self.a, self.b)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.a.free_symbols | self.b.free_symbols
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return type(self).make(self.a.subs(mapping), self.b.subs(mapping))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return type(self)._pyfunc(self.a.evaluate(bindings), self.b.evaluate(bindings))
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return f"{type(self)._render(self.a, self.b)}"
 
     @classmethod
@@ -541,7 +611,7 @@ class CeilDiv(_BinOp):
             return Integer(1)
         return CeilDiv(a, b)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return f"ceil({self.a}, {self.b})"
 
 
@@ -585,13 +655,13 @@ class Min(_NAry):
             return uniq[0]
         return Min(tuple(uniq))
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Min.make(*(a.subs(mapping) for a in self.args))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return min(a.evaluate(bindings) for a in self.args)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return "min(" + ", ".join(str(a) for a in self.args) + ")"
 
 
@@ -617,13 +687,13 @@ class Max(_NAry):
             return uniq[0]
         return Max(tuple(uniq))
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Max.make(*(a.subs(mapping) for a in self.args))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return max(a.evaluate(bindings) for a in self.args)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return "max(" + ", ".join(str(a) for a in self.args) + ")"
 
 
@@ -644,17 +714,16 @@ class Abs(Expr):
     def _key(self) -> Tuple:
         return (self.arg,)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.arg.free_symbols
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Abs.make(self.arg.subs(mapping))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> Numeric:
         return abs(self.arg.evaluate(bindings))
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return f"abs({self.arg})"
 
     def __setattr__(self, *a):
@@ -684,17 +753,16 @@ class BoolConst(BoolExpr):
     def _key(self) -> Tuple:
         return (self.value,)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return frozenset()
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return self
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> bool:
         return self.value
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return "True" if self.value else "False"
 
     def __setattr__(self, *a):
@@ -724,17 +792,16 @@ class _Relational(BoolExpr):
     def _key(self) -> Tuple:
         return (self.a, self.b)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.a.free_symbols | self.b.free_symbols
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return type(self).make(self.a.subs(mapping), self.b.subs(mapping))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> bool:
         return type(self)._pyfunc(self.a.evaluate(bindings), self.b.evaluate(bindings))
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return f"{self.a} {type(self)._symbol} {self.b}"
 
     def __setattr__(self, *a):
@@ -803,20 +870,19 @@ class And(BoolExpr):
     def _key(self) -> Tuple:
         return self.args
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         out: frozenset = frozenset()
         for a in self.args:
             out |= a.free_symbols
         return out
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return And.make(*(a.subs(mapping) for a in self.args))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> bool:
         return all(a.evaluate(bindings) for a in self.args)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return " and ".join(f"({a})" for a in self.args)
 
     def __setattr__(self, *a):
@@ -849,20 +915,19 @@ class Or(BoolExpr):
     def _key(self) -> Tuple:
         return self.args
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         out: frozenset = frozenset()
         for a in self.args:
             out |= a.free_symbols
         return out
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Or.make(*(a.subs(mapping) for a in self.args))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> bool:
         return any(a.evaluate(bindings) for a in self.args)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return " or ".join(f"({a})" for a in self.args)
 
     def __setattr__(self, *a):
@@ -891,17 +956,16 @@ class Not(BoolExpr):
     def _key(self) -> Tuple:
         return (self.arg,)
 
-    @property
-    def free_symbols(self) -> frozenset:
+    def _free_symbols(self) -> frozenset:
         return self.arg.free_symbols
 
-    def subs(self, mapping: Mapping[Any, Any]) -> Expr:
+    def _subs(self, mapping: Mapping[Any, Any]) -> Expr:
         return Not.make(self.arg.subs(mapping))
 
     def evaluate(self, bindings: Mapping[str, Numeric] | None = None) -> bool:
         return not self.arg.evaluate(bindings)
 
-    def __str__(self) -> str:
+    def _to_str(self) -> str:
         return f"not ({self.arg})"
 
     def __setattr__(self, *a):
@@ -1017,3 +1081,49 @@ def evaluate_to_int(x: Any, bindings: Mapping[str, Numeric] | None = None) -> in
     e = sympify(x)
     v = e.evaluate(bindings or {})
     return int(v)
+
+
+def _mapping_key(mapping: Mapping[Any, Any]) -> Tuple:
+    """Normalize a substitution mapping into a hashable, order-independent
+    key: symbol keys become names, values are sympified, entries sorted."""
+    items = []
+    for k, v in mapping.items():
+        kname = k.name if isinstance(k, Symbol) else k
+        if not isinstance(v, Expr):
+            v = sympify(v)
+        items.append((kname, v))
+    items.sort(key=lambda kv: kv[0])
+    return tuple(items)
+
+
+def simplify(x: Any) -> Expr:
+    """Canonicalize an expression bottom-up through the ``make``
+    constructors (constant folding, flattening, like-term collection).
+
+    Construction already canonicalizes, so this is close to a no-op for
+    freshly built trees; it matters for deserialized or hand-assembled
+    nodes, and its results are memoized on structural identity so repeated
+    pipeline passes over the same expressions are O(1).
+    """
+    e = sympify(x)
+    return memo.memoized("simplify", e, lambda: _simplify(e))
+
+
+def _simplify(e: Expr) -> Expr:
+    if isinstance(e, (Integer, Real, Symbol, BoolConst)):
+        return e
+    if isinstance(e, (Add, Mul, Min, Max)):
+        return type(e).make(*(simplify(a) for a in e.args))
+    if isinstance(e, Pow):
+        return Pow.make(simplify(e.base), simplify(e.exp))
+    if isinstance(e, _BinOp):
+        return type(e).make(simplify(e.a), simplify(e.b))
+    if isinstance(e, _Relational):
+        return type(e).make(simplify(e.a), simplify(e.b))
+    if isinstance(e, (And, Or)):
+        return type(e).make(*(simplify(a) for a in e.args))
+    if isinstance(e, Not):
+        return Not.make(simplify(e.arg))
+    if isinstance(e, Abs):
+        return Abs.make(simplify(e.arg))
+    return e

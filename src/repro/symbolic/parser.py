@@ -13,6 +13,7 @@ import ast
 from typing import Mapping
 
 from repro.symbolic import expr as E
+from repro.symbolic import memo
 
 
 class SymbolicSyntaxError(ValueError):
@@ -38,6 +39,18 @@ def parse_expr(text: str, local_symbols: Mapping[str, E.Expr] | None = None) -> 
     """
     if not isinstance(text, str):
         raise TypeError(f"expected str, got {type(text).__name__}")
+    # Parsed expressions are interned: the same (text, local symbols) pair
+    # always yields the same immutable Expr object.
+    try:
+        key = (text.strip(), tuple(sorted((local_symbols or {}).items())))
+    except TypeError:
+        return _parse_uncached(text, local_symbols)
+    return memo.memoized("parse", key, lambda: _parse_uncached(text, local_symbols))
+
+
+def _parse_uncached(
+    text: str, local_symbols: Mapping[str, E.Expr] | None = None
+) -> E.Expr:
     try:
         tree = ast.parse(text.strip(), mode="eval")
     except SyntaxError as err:

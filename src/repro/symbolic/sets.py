@@ -350,7 +350,19 @@ class Subset:
         bounds are the expression evaluated at the parameter's first/last
         value (monotone in each variable); nonlinear dimensions fall back
         to Min/Max envelopes over the parameter endpoints.
+
+        Subsets and ranges are immutable, so results are memoized on
+        (subset, parameter ranges) identity.
         """
+        from repro.symbolic import memo
+
+        try:
+            key = (self, tuple(sorted(params.items())))
+        except TypeError:
+            return self._image(params)
+        return memo.memoized("image", key, lambda: self._image(params))
+
+    def _image(self, params: Mapping[str, Range]) -> "Subset":
         out = []
         for r in self.ranges:
             lo, hi_incl = r.min_element(), r.max_element()

@@ -69,12 +69,18 @@ class MeasuredCost(CostProvider):
         seed: int = 0,
         repeats: int = 3,
         backend: str = "python",
+        program_cache: Any = "memory",
     ):
         self.inputs = dict(inputs) if inputs is not None else None
         self.symbol_default = symbol_default
         self.seed = seed
         self.repeats = max(1, repeats)
         self.backend = backend
+        #: Search loops re-score identical candidates (revisits, repeated
+        #: tune() calls); routing compilation through the shared program
+        #: cache makes those re-scores skip codegen entirely.  Pass
+        #: ``"off"`` to opt out, or a ProgramCache instance to isolate.
+        self.program_cache = program_cache
 
     def key(self) -> str:
         if self.inputs is None:
@@ -94,7 +100,9 @@ class MeasuredCost(CostProvider):
         inputs = self.inputs
         if inputs is None:
             inputs = synthesize_inputs(work, self.symbol_default, self.seed)
-        compiled = compile_sdfg(work, backend=self.backend, validate=True)
+        compiled = compile_sdfg(
+            work, backend=self.backend, validate=True, cache=self.program_cache
+        )
         best = float("inf")
         for _ in range(self.repeats):
             local = {

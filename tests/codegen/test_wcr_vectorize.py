@@ -1,0 +1,180 @@
+"""WCR-aware vectorization: histogram-shaped indirect updates lower to
+unbuffered ufunc scatters (``np.add.at``), custom-WCR reductions degrade
+to the loop path with a W701 diagnostic, and every lowering stays
+bit-faithful to the reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_sdfg
+from repro.codegen.python_gen import PythonGenerator
+from repro.codegen import pytranslate
+from repro.library.sparse import CSRMatrix
+from repro.runtime import SDFGInterpreter
+from repro.sdfg import SDFG, Memlet, dtypes
+from repro.sdfg.propagation import propagate_memlets_sdfg
+from repro.sdfg.serialize import sdfg_from_json, sdfg_to_json
+from repro.workloads import kernels
+
+
+def generated_source(sdfg) -> str:
+    work = sdfg_from_json(sdfg_to_json(sdfg))
+    propagate_memlets_sdfg(work)
+    return PythonGenerator(work).generate()
+
+
+class TestDetector:
+    def test_histogram_shape(self):
+        code = "hh[min(int(v * B), B - 1)] += 1"
+        det = pytranslate.detect_indexed_update(code, "hh")
+        assert det is not None
+        op, mini = det
+        assert op == "sum"
+        assert "__scatter_idx" in mini and "__scatter_val" in mini
+
+    def test_min_assign_form(self):
+        det = pytranslate.detect_indexed_update("hh[k] = min(hh[k], v)", "hh")
+        assert det is not None and det[0] == "min"
+        det = pytranslate.detect_indexed_update("hh[k] = max(v, hh[k])", "hh")
+        assert det is not None and det[0] == "max"
+
+    def test_rejects(self):
+        # Value read back through the view: order-dependent.
+        assert pytranslate.detect_indexed_update("hh[k] += hh[0]", "hh") is None
+        # Multi-dimensional subscript.
+        assert pytranslate.detect_indexed_update("hh[i, j] += 1", "hh") is None
+        # Slice store.
+        assert pytranslate.detect_indexed_update("hh[0:4] += 1", "hh") is None
+        # Unsupported operator.
+        assert pytranslate.detect_indexed_update("hh[k] -= 1", "hh") is None
+        # Not the view connector.
+        assert pytranslate.detect_indexed_update("zz[k] += 1", "hh") is None
+
+    def test_cast_vectorization(self):
+        out = pytranslate.vectorize_tasklet("y = int(x * 4.0)", {"x": "__x"})
+        assert out == [("y", "np.asarray(__x * 4.0).astype(np.int64)")]
+        vals = np.array([0.4, 1.9, -1.9])
+        ns = {"np": np, "__x": vals}
+        exec(f"y = {out[0][1]}", ns)
+        assert np.array_equal(ns["y"], np.array([int(v * 4.0) for v in vals]))
+
+
+class TestHistogramScatter:
+    def test_scatter_in_generated_source(self):
+        src = generated_source(kernels.histogram_sdfg())
+        assert "np.add.at" in src
+        assert "for i in range" not in src.split("def main")[1].split("np.add.at")[0]
+
+    def test_vectorize_flag_off_uses_loop(self):
+        work = sdfg_from_json(sdfg_to_json(kernels.histogram_sdfg()))
+        propagate_memlets_sdfg(work)
+        src = PythonGenerator(work, vectorize=False).generate()
+        assert "np.add.at" not in src
+
+    def test_matches_reference_and_interpreter(self):
+        data = kernels.histogram_data(64, 48)
+        ref = kernels.histogram_reference(data["img"], len(data["hist"]))
+        compiled = compile_sdfg(kernels.histogram_sdfg())
+        compiled(H=64, W=48, **data)
+        assert np.array_equal(data["hist"], ref)
+
+        d2 = kernels.histogram_data(64, 48)
+        SDFGInterpreter(kernels.histogram_sdfg())(H=64, W=48, **d2)
+        assert np.array_equal(d2["hist"], data["hist"])
+
+
+class TestMinMaxScatter:
+    def _minmax_sdfg(self, fn: str) -> SDFG:
+        sdfg = SDFG(f"scatter_{fn}")
+        sdfg.add_array("A", ("N",), dtypes.float64)
+        sdfg.add_array("out", ("K",), dtypes.float64)
+        st = sdfg.add_state()
+        st.add_mapped_tasklet(
+            "mm",
+            {"i": "0:N"},
+            inputs={
+                "v": Memlet.simple("A", "i"),
+                "acc": Memlet.simple("out", "0:K"),
+            },
+            code=f"b = int(v * K) % K\nacc[b] = {fn}(acc[b], v)",
+            outputs={
+                "accout": Memlet(
+                    data="out", subset="0:K", volume=1, dynamic=True
+                )
+            },
+            external_edges=True,
+        )
+        return sdfg
+
+    @pytest.mark.parametrize("fn", ["min", "max"])
+    def test_matches_interpreter(self, fn):
+        sdfg = self._minmax_sdfg(fn)
+        src = generated_source(sdfg)
+        assert f"np.{'minimum' if fn == 'min' else 'maximum'}.at" in src
+        rng = np.random.RandomState(0)
+        A = rng.rand(256)
+        init = np.full(8, 1e9 if fn == "min" else -1e9)
+        cg = {"A": A.copy(), "out": init.copy()}
+        it = {"A": A.copy(), "out": init.copy()}
+        compile_sdfg(self._minmax_sdfg(fn))(N=256, K=8, **cg)
+        SDFGInterpreter(self._minmax_sdfg(fn))(N=256, K=8, **it)
+        np.testing.assert_allclose(cg["out"], it["out"], rtol=0, atol=0)
+
+
+class TestCustomWCRReduce:
+    def _sdfg(self) -> SDFG:
+        sdfg = SDFG("customred")
+        sdfg.add_array("A", ("M", "N"), dtypes.float64)
+        sdfg.add_array("out", ("M",), dtypes.float64)
+        st = sdfg.add_state()
+        r = st.add_reduce("lambda a, b: a + 2 * b", axes=(1,))
+        st.add_edge(st.add_read("A"), r, Memlet.simple("A", "0:M, 0:N"), None, "IN_1")
+        st.add_edge(r, st.add_write("out"), Memlet.simple("out", "0:M"), "OUT_1", None)
+        return sdfg
+
+    def test_degrades_with_w701_instead_of_raising(self):
+        compiled = compile_sdfg(self._sdfg())
+        assert compiled.backend == "python", "must not fall back to interpreter"
+        codes = [w.code for w in compiled.codegen_warnings]
+        assert "W701" in codes
+
+    def test_matches_interpreter(self):
+        A = np.random.RandomState(1).rand(5, 7)
+        cg = {"A": A.copy(), "out": np.zeros(5)}
+        it = {"A": A.copy(), "out": np.zeros(5)}
+        compile_sdfg(self._sdfg())(**cg)
+        SDFGInterpreter(self._sdfg())(**it)
+        np.testing.assert_allclose(cg["out"], it["out"], rtol=1e-12)
+
+
+class TestFundamentalKernelsStillMatch:
+    """The five fundamental kernels stay faithful to the interpreter."""
+
+    def _run_both(self, sdfg, syms, data):
+        cg = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in data.items()}
+        it = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in data.items()}
+        compile_sdfg(sdfg)(**syms, **cg)
+        SDFGInterpreter(sdfg)(**syms, **it)
+        for k, v in cg.items():
+            if isinstance(v, np.ndarray):
+                np.testing.assert_allclose(v, it[k], rtol=0, atol=1e-8, err_msg=k)
+
+    def test_matmul(self):
+        self._run_both(kernels.matmul_sdfg(), {}, kernels.matmul_data(24))
+
+    def test_jacobi2d(self):
+        self._run_both(
+            kernels.jacobi2d_sdfg(), {"T": 4}, kernels.jacobi2d_data(16)
+        )
+
+    def test_histogram(self):
+        self._run_both(
+            kernels.histogram_sdfg(), {"H": 32, "W": 24}, kernels.histogram_data(32, 24)
+        )
+
+    def test_query(self):
+        self._run_both(kernels.query_sdfg(), {}, kernels.query_data(512))
+
+    def test_spmv(self):
+        data, _csr = kernels.spmv_data(64, 8)
+        self._run_both(kernels.spmv_sdfg(), {}, data)

@@ -1,0 +1,102 @@
+"""Marshaling-plan fast path: after a first validated call,
+``CompiledSDFG.__call__`` must not re-run symbol inference or argument
+validation for an identical signature — and must fall back to the slow
+path the moment anything about the arguments changes."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import compile_sdfg
+from repro.runtime import arguments
+from repro.runtime.arguments import MarshalingPlan
+from repro.workloads import kernels
+
+
+@pytest.fixture
+def counters(monkeypatch):
+    """Count invocations of the slow-path validators."""
+    counts = {"validate": 0, "infer": 0}
+    orig_validate = arguments.validate_arguments
+    orig_infer = arguments.infer_symbols
+
+    def counting_validate(*a, **kw):
+        counts["validate"] += 1
+        return orig_validate(*a, **kw)
+
+    def counting_infer(*a, **kw):
+        counts["infer"] += 1
+        return orig_infer(*a, **kw)
+
+    monkeypatch.setattr(arguments, "validate_arguments", counting_validate)
+    monkeypatch.setattr(arguments, "infer_symbols", counting_infer)
+    return counts
+
+
+class TestFastPath:
+    def test_no_revalidation_on_second_call(self, counters):
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(**data)
+        assert counters["validate"] == 1
+        assert counters["infer"] == 1
+
+        data2 = kernels.matmul_data(16, seed=1)
+        compiled(**data2)
+        assert counters["validate"] == 1, "second call must skip validation"
+        assert counters["infer"] == 1, "second call must skip inference"
+        np.testing.assert_allclose(
+            data2["C"], kernels.matmul_reference(data2), rtol=1e-12
+        )
+
+    def test_new_shape_through_plan_is_correct(self, counters):
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        compiled(**kernels.matmul_data(16))
+        # Same signature, different concrete size: the plan re-derives the
+        # symbols from the array shapes, so results stay correct.
+        big = kernels.matmul_data(24)
+        compiled(**big)
+        assert counters["validate"] == 1
+        np.testing.assert_allclose(
+            big["C"], kernels.matmul_reference(big), rtol=1e-12
+        )
+
+    def test_dtype_change_falls_back_to_slow_path(self, counters):
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(**data)
+        bad = {k: v.astype(np.float32) for k, v in data.items()}
+        with pytest.raises(arguments.ArgumentError):
+            compiled(**bad)
+        assert counters["validate"] == 2, "surprise must re-enter validation"
+
+    def test_signature_change_rebuilds_plan(self, counters):
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(**data)
+        # Passing N explicitly changes the keyword set -> plan mismatch.
+        compiled(N=16, **data)
+        assert counters["validate"] == 2
+        compiled(N=16, **kernels.matmul_data(16))
+        assert counters["validate"] == 2, "rebuilt plan must serve repeat calls"
+
+
+class TestPlanUnit:
+    def test_plan_records_shape_recipes(self):
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(**data)
+        plan = compiled._marshal_plan
+        assert isinstance(plan, MarshalingPlan)
+        assert not plan.needs_slow
+        kinds = {sym: kind for kind, sym, _ in plan.symbol_recipes}
+        assert set(kinds) == {"M", "N", "K"}
+        assert all(k == "shape" for k in kinds.values())
+
+    def test_apply_rejects_rank_change(self):
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(**data)
+        plan = compiled._marshal_plan
+        bad = dict(data)
+        bad["A"] = bad["A"].ravel()
+        assert plan.apply(bad) is None

@@ -1,0 +1,122 @@
+"""Property tests for the symbolic engine's memoization layer: cached
+results must be indistinguishable from uncached recomputation, and the
+hit/miss counters must be monotonic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    Integer,
+    Symbol,
+    cache_snapshot,
+    cache_stats,
+    clear_caches,
+    parse_expr,
+    simplify,
+)
+from repro.symbolic import memo
+
+SYMS = ("N", "M", "K", "TSTEPS")
+
+
+def exprs(max_leaves: int = 10) -> st.SearchStrategy:
+    base = st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Integer),
+        st.sampled_from(SYMS).map(Symbol),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: ab[0] + ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] - ab[1]),
+            st.tuples(children, children).map(lambda ab: ab[0] * ab[1]),
+            st.tuples(children, st.integers(min_value=1, max_value=7)).map(
+                lambda ab: ab[0] // ab[1]
+            ),
+            children.map(lambda a: -a),
+        )
+
+    return st.recursive(base, extend, max_leaves=max_leaves)
+
+
+#: Polybench-style size bindings: every size symbol in [1, 128].
+bindings = st.fixed_dictionaries({s: st.integers(1, 128) for s in SYMS})
+
+
+class TestMemoizedEqualsUncached:
+    @settings(max_examples=200, deadline=None)
+    @given(e=exprs(), env=bindings)
+    def test_simplify(self, e, env):
+        cached = simplify(e)  # may hit a previous iteration's entry
+        clear_caches()
+        fresh = simplify(e)
+        assert cached == fresh
+        assert cached.evaluate(env) == fresh.evaluate(env) == e.evaluate(env)
+
+    @settings(max_examples=200, deadline=None)
+    @given(e=exprs(), env=bindings)
+    def test_subs(self, e, env):
+        mapping = {Symbol(k): Integer(v) for k, v in env.items()}
+        cached = e.subs(mapping)
+        clear_caches()
+        fresh = e.subs(mapping)
+        assert cached == fresh
+        assert cached.evaluate({}) == e.evaluate(env)
+
+    @settings(max_examples=100, deadline=None)
+    @given(env=bindings)
+    def test_parse(self, env):
+        text = "N * M + K // 2 - TSTEPS"
+        cached = parse_expr(text)
+        clear_caches()
+        fresh = parse_expr(text)
+        assert cached == fresh
+        assert cached.evaluate(env) == fresh.evaluate(env)
+
+
+class TestCounters:
+    def test_hit_on_second_identical_call(self):
+        clear_caches(reset_counters=True)
+        e = parse_expr("N * 4 + M")
+        before = cache_snapshot().get("simplify", (0, 0))
+        simplify(e)
+        simplify(e)
+        hits, misses = cache_snapshot().get("simplify", (0, 0))
+        assert misses >= before[1] + 1
+        assert hits >= before[0] + 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(e=exprs(max_leaves=6))
+    def test_monotonic(self, e):
+        before = cache_snapshot()
+        simplify(e)
+        e.subs({Symbol("N"): Integer(3)})
+        after = cache_snapshot()
+        for name, (h0, m0) in before.items():
+            h1, m1 = after.get(name, (h0, m0))
+            assert h1 >= h0 and m1 >= m0
+
+    def test_stats_shape(self):
+        clear_caches(reset_counters=True)
+        simplify(parse_expr("N + 1"))
+        stats = cache_stats()
+        assert "simplify" in stats
+        rec = stats["simplify"]
+        assert set(rec) == {"hits", "misses", "entries"}
+        assert rec["hits"] + rec["misses"] >= 1
+
+    def test_clear_preserves_counters_by_default(self):
+        clear_caches(reset_counters=True)
+        simplify(parse_expr("N + 2"))
+        snap = cache_snapshot()
+        clear_caches()
+        assert cache_snapshot() == snap
+        assert cache_stats()["simplify"]["entries"] == 0
+
+    def test_unhashable_key_bypasses(self):
+        # Bypass path: compute runs, nothing stored, miss counted.
+        before = memo.stats().get("adhoc", {"hits": 0, "misses": 0, "entries": 0})
+        out = memo.memoized("adhoc", ["not", "hashable"], lambda: 42)
+        assert out == 42
+        rec = memo.stats()["adhoc"]
+        assert rec["misses"] == before["misses"] + 1
+        assert rec["entries"] == before["entries"]

@@ -1,0 +1,48 @@
+"""The tuner's measured scoring shares the compiled-program cache:
+re-scoring an identical candidate (revisits, repeated tune() calls)
+skips codegen entirely."""
+
+import numpy as np
+
+from repro.codegen.progcache import ProgramCache
+from repro.tuning import MeasuredCost
+from repro.tuning.search import tune
+from repro.workloads import kernels
+
+
+class TestMeasuredCostSharesCache:
+    def test_rescore_hits_program_cache(self):
+        cache = ProgramCache()
+        provider = MeasuredCost(repeats=1, program_cache=cache)
+        sdfg = kernels.matmul_sdfg()
+        a = provider.score(sdfg)
+        assert cache.stats()["stores"] == 1
+        b = provider.score(sdfg)
+        assert cache.stats()["hits"] >= 1, "identical candidate must hit"
+        assert a > 0 and b > 0
+
+    def test_cache_off_opt_out(self):
+        provider = MeasuredCost(repeats=1, program_cache="off")
+        assert provider.score(kernels.matmul_sdfg()) > 0
+
+    def test_distinct_candidates_do_not_collide(self):
+        cache = ProgramCache()
+        provider = MeasuredCost(repeats=1, program_cache=cache)
+        provider.score(kernels.matmul_sdfg())
+        provider.score(kernels.histogram_sdfg())
+        assert cache.stats()["stores"] == 2
+        assert cache.stats()["hits"] == 0
+
+
+class TestTuneTwice:
+    def test_second_tune_reuses_programs(self):
+        cache = ProgramCache()
+        provider = MeasuredCost(repeats=1, program_cache=cache)
+        sdfg = kernels.matmul_sdfg()
+        tune(sdfg, cost=provider, depth=1, budget=4)
+        stores_after_first = cache.stats()["stores"]
+        assert stores_after_first >= 1
+        tune(sdfg, cost=provider, depth=1, budget=4)
+        stats = cache.stats()
+        # Every candidate of the second run was already compiled once.
+        assert stats["hits"] >= stores_after_first
