@@ -106,8 +106,133 @@ class CompiledSDFG:
         #: Non-fatal diagnostics raised during code generation (e.g. a
         #: custom WCR reduction degraded to the scalar loop path).
         self.codegen_warnings: List[Any] = []
+        #: Sanitizer mode this artifact was built with (None, ``"raise"``,
+        #: or ``"collect"``); set by ``compile_sdfg``.
+        self.sanitize: Optional[str] = None
+        #: Watchdog policy: per-call wall-clock deadline (seconds) and
+        #: transient-memory budget (bytes); set by ``compile_sdfg``.
+        self.deadline: Optional[float] = None
+        self.memory_budget: Optional[int] = None
+        #: Sanitizer findings of the most recent call (collect mode), or
+        #: None when the sanitizer was off.
+        self.last_findings: Optional[List[Any]] = None
         #: Cached argument-marshaling plan (built on the first call).
         self._marshal_plan = None
+
+    def _make_guard(self):
+        """Build the per-call GuardContext, or None when neither the
+        sanitizer nor the watchdog is armed."""
+        if self.sanitize is None and self.deadline is None and self.memory_budget is None:
+            return None
+        from repro.runtime.sanitizer import GuardContext, Sanitizer
+        from repro.runtime.watchdog import Watchdog
+
+        san = Sanitizer(self.sanitize) if self.sanitize else None
+        dog = None
+        if self.deadline is not None or self.memory_budget is not None:
+            dog = Watchdog(self.deadline, self.memory_budget, self.sdfg.name)
+        return GuardContext(san, dog)
+
+    def _call_entry(self, arrays, symbols, recorder, guard):
+        """One attempt of the entry function, with instrumentation
+        scoping (the backend-retry policy lives in :meth:`_invoke`)."""
+        if guard is not None and guard.watchdog is not None:
+            guard.watchdog.arm()
+            # Entry checkpoint: fully vectorized programs have no loop
+            # checkpoints, and an already-expired deadline fails fast.
+            guard.watchdog.checkpoint()
+        if recorder is None:
+            if guard is None:
+                return self._entry(arrays, symbols, None)
+            return self._entry(arrays, symbols, None, guard)
+        itype = self.sdfg.instrument
+        if itype != InstrumentationType.NONE or profiling_enabled():
+            name = itype.name if itype != InstrumentationType.NONE else "TIMER"
+            recorder.enter("sdfg", self.sdfg.name, name)
+            try:
+                if guard is None:
+                    return self._entry(arrays, symbols, recorder)
+                return self._entry(arrays, symbols, recorder, guard)
+            finally:
+                recorder.exit()
+        if guard is None:
+            return self._entry(arrays, symbols, recorder)
+        return self._entry(arrays, symbols, recorder, guard)
+
+    def _invoke(self, arrays, symbols, recorder, guard):
+        """Run the entry with crash containment: contained backend
+        crashes are retried with backoff, then degrade to the next
+        backend in the chain at call time; watchdog violations feed the
+        circuit breaker and re-raise."""
+        from repro.runtime.isolation import BackendCrashError
+        from repro.runtime.watchdog import BREAKERS, RetryPolicy, WatchdogViolation
+
+        policy = RetryPolicy.from_env()
+        attempt = 0
+        while True:
+            try:
+                result = self._call_entry(arrays, symbols, recorder, guard)
+            except WatchdogViolation as err:
+                BREAKERS.record_failure(self.backend, code="R805")
+                self.degradation.append(
+                    {
+                        "from": self.backend,
+                        "to": None,
+                        "error": type(err).__name__,
+                        "code": "R805",
+                        "reason": err.diagnostic.message.splitlines()[0],
+                        "message": str(err),
+                    }
+                )
+                raise
+            except BackendCrashError as err:
+                # The crash was contained by the subprocess harness and
+                # the caller's arrays are intact: retry, then degrade.
+                if attempt < policy.retries:
+                    time.sleep(policy.delay(attempt))
+                    attempt += 1
+                    continue
+                BREAKERS.record_failure(self.backend, code=err.code)
+                if not self._degrade_at_call(err, attempt + 1):
+                    raise
+                attempt = 0
+                continue
+            if self.backend == "cpp":
+                BREAKERS.record_success("cpp")
+            return result
+
+    def _degrade_at_call(self, err, attempts: int) -> bool:
+        """Swap in the next backend's artifact after a call-time crash.
+        Returns False when the chain is exhausted."""
+        current = self.backend
+        while True:
+            nxt = DEGRADATION_CHAIN.get(current)
+            if nxt is None:
+                return False
+            hop = {
+                "from": current,
+                "to": nxt,
+                "error": type(err).__name__,
+                "code": _classify_hop_code(err),
+                "reason": str(err).splitlines()[0],
+                "message": str(err),
+                "attempts": attempts,
+            }
+            bundle = getattr(err, "bundle", None)
+            if bundle:
+                hop["bundle"] = bundle
+            self.degradation.append(hop)
+            try:
+                fallback = _compile_backend(self.sdfg, nxt, sanitize=self.sanitize)
+            except DEGRADABLE_ERRORS as err2:
+                err = err2
+                attempts = 1
+                current = nxt
+                continue
+            self._entry = fallback._entry
+            self.backend = fallback.backend
+            self.source = fallback.source
+            return True
 
     def __call__(self, **kwargs):
         from repro.runtime.arguments import MarshalingPlan, split_arguments
@@ -123,26 +248,27 @@ class CompiledSDFG:
             self._marshal_plan = MarshalingPlan.build(self.sdfg, kwargs, arrays, symbols)
         else:
             arrays, symbols = marshaled
+        guard = self._make_guard()
         recorder = None
-        if has_instrumentation(self.sdfg) or profiling_enabled():
+        # A guarded run always records, so sanitizer/watchdog summaries
+        # (check counts, overhead) land on ``last_report``.
+        if has_instrumentation(self.sdfg) or profiling_enabled() or guard is not None:
             recorder = InstrumentationRecorder()
+        if guard is not None and guard.sanitizer is not None:
+            self.last_findings = []
         start = time.perf_counter()
-        if recorder is None:
-            result = self._entry(arrays, symbols, None)
-            self.last_report = None
-        else:
-            itype = self.sdfg.instrument
-            if itype != InstrumentationType.NONE or profiling_enabled():
-                name = itype.name if itype != InstrumentationType.NONE else "TIMER"
-                recorder.enter("sdfg", self.sdfg.name, name)
-                try:
-                    result = self._entry(arrays, symbols, recorder)
-                finally:
-                    recorder.exit()
+        try:
+            result = self._invoke(arrays, symbols, recorder, guard)
+        finally:
+            if guard is not None:
+                guard.finish(recorder)
+                if guard.sanitizer is not None:
+                    self.last_findings = guard.sanitizer.findings
+            if recorder is not None:
+                self.last_report = recorder.report(self.sdfg.name, backend=self.backend)
             else:
-                result = self._entry(arrays, symbols, recorder)
-            self.last_report = recorder.report(self.sdfg.name, backend=self.backend)
-        self.last_runtime = time.perf_counter() - start
+                self.last_report = None
+            self.last_runtime = time.perf_counter() - start
         return result
 
     def __repr__(self) -> str:
@@ -184,6 +310,10 @@ def compile_sdfg(
     fallback: bool = True,
     recorder: Optional[InstrumentationRecorder] = None,
     cache: Any = None,
+    sanitize: Any = None,
+    deadline: Optional[float] = None,
+    memory_budget: Optional[int] = None,
+    isolate: Optional[bool] = None,
 ) -> CompiledSDFG:
     """Compile an SDFG into a callable.
 
@@ -201,9 +331,49 @@ def compile_sdfg(
     content hash guarantees the cached program came from an identical
     (already validated) graph — and appears as a ``progcache[hit]`` phase
     in ``compile_report`` instead of the codegen phases.
+
+    Guarded-execution knobs (see :mod:`repro.runtime.sanitizer` and
+    :mod:`repro.runtime.watchdog`):
+
+    * ``sanitize`` — ``True``/``"raise"`` aborts on the first dynamic
+      memlet finding, ``"collect"`` records all findings on
+      ``compiled.last_findings``; ``None`` consults ``REPRO_SANITIZE``.
+      Only the python and interpreter backends support it, so a
+      sanitized cpp request degrades to python with a recorded hop.
+    * ``deadline`` / ``memory_budget`` — per-call wall-clock and
+      transient-memory limits, enforced cooperatively; ``None`` consults
+      ``REPRO_DEADLINE`` / ``REPRO_MEMORY_BUDGET``.
+    * ``isolate`` — run cpp artifacts through the crash-containing
+      subprocess harness (default on; ``REPRO_ISOLATE=0`` opts out).
+
+    Backends whose circuit breaker is open (repeated call-time crashes
+    or watchdog kills) are skipped with a recorded hop.
     """
     from repro.codegen.progcache import program_key, resolve_cache
+    from repro.runtime.isolation import isolate_from_env
+    from repro.runtime.sanitizer import sanitize_from_env
+    from repro.runtime.watchdog import (
+        BREAKERS,
+        deadline_from_env,
+        memory_budget_from_env,
+    )
     from repro.symbolic import memo as _symmemo
+
+    if sanitize is None:
+        sanitize = sanitize_from_env()
+    elif sanitize is True:
+        sanitize = "raise"
+    elif sanitize is False:
+        sanitize = None
+    if sanitize not in (None, "raise", "collect"):
+        raise ValueError(f"unknown sanitize mode {sanitize!r}")
+    if deadline is None:
+        deadline = deadline_from_env()
+    if memory_budget is None:
+        memory_budget = memory_budget_from_env()
+    if isolate is None:
+        isolate = isolate_from_env()
+    variant = "sanitize" if sanitize else ""
 
     store = resolve_cache(cache)
     crec = InstrumentationRecorder()
@@ -216,7 +386,7 @@ def compile_sdfg(
             from repro.sdfg.serialize import content_hash
 
             t0 = time.perf_counter()
-            key_pre = program_key(content_hash(sdfg), backend)
+            key_pre = program_key(content_hash(sdfg), backend, variant)
             cached = store.lookup(key_pre)
             crec.event(
                 "phase", "progcache[lookup]", duration=time.perf_counter() - t0
@@ -242,9 +412,28 @@ def compile_sdfg(
             hops: List[Dict[str, Optional[str]]] = []
             current = backend
             while True:
+                nxt_open = DEGRADATION_CHAIN.get(current)
+                if fallback and nxt_open is not None and BREAKERS.is_open(current):
+                    n = BREAKERS.failures(current)
+                    hops.append(
+                        {
+                            "from": current,
+                            "to": nxt_open,
+                            "error": "CircuitBreakerOpen",
+                            "code": BREAKERS.last_code(current) or "E201",
+                            "reason": f"circuit breaker open after {n} failures",
+                            "message": f"backend {current!r} skipped: circuit "
+                            f"breaker open after {n} consecutive call-time "
+                            "failures",
+                        }
+                    )
+                    current = nxt_open
+                    continue
                 t0 = time.perf_counter()
                 try:
-                    compiled = _compile_backend(sdfg, current)
+                    compiled = _compile_backend(
+                        sdfg, current, sanitize=sanitize, isolate=isolate
+                    )
                 except DEGRADABLE_ERRORS as err:
                     crec.event(
                         "phase",
@@ -281,7 +470,7 @@ def compile_sdfg(
                 and not hops
             ):
                 t0 = time.perf_counter()
-                _store_in_cache(sdfg, compiled, store, key_pre, backend)
+                _store_in_cache(sdfg, compiled, store, key_pre, backend, variant)
                 crec.event(
                     "phase", "progcache[store]", duration=time.perf_counter() - t0
                 )
@@ -289,6 +478,9 @@ def compile_sdfg(
         _emit_symcache_events(crec, sym_before, _symmemo.snapshot())
     finally:
         crec.exit()
+    compiled.sanitize = sanitize
+    compiled.deadline = deadline
+    compiled.memory_budget = memory_budget
     compiled.compile_report = crec.report(sdfg.name, backend=f"compile[{backend}]")
     if recorder is not None:
         for node in crec.root.children.values():
@@ -333,7 +525,7 @@ def _rebuild_from_cache(sdfg, entry_rec, main, store, key) -> CompiledSDFG:
     return compiled
 
 
-def _store_in_cache(sdfg, compiled, store, key_pre, backend) -> None:
+def _store_in_cache(sdfg, compiled, store, key_pre, backend, variant="") -> None:
     """Store a freshly compiled python program under both the
     pre-propagation key (computed before ``sdfg.propagate()`` rewrote the
     outer memlets) and the post-propagation key, so both the original and
@@ -362,20 +554,29 @@ def _store_in_cache(sdfg, compiled, store, key_pre, backend) -> None:
     )
     compiled.cache_key = key_pre
     store.store(key_pre, entry, main)
-    key_post = program_key(content_hash(sdfg), backend)
+    key_post = program_key(content_hash(sdfg), backend, variant)
     if key_post != key_pre:
         store.store(key_post, entry, main)
 
 
-def _compile_backend(sdfg, backend: str) -> CompiledSDFG:
+def _compile_backend(
+    sdfg, backend: str, sanitize: Optional[str] = None, isolate: bool = False
+) -> CompiledSDFG:
     if backend == "python":
-        return _compile_python(sdfg)
+        return _compile_python(sdfg, sanitize=bool(sanitize))
     if backend == "interpreter":
         return _interpreter_fallback(sdfg)
     if backend == "cpp":
         from repro.codegen.cpp_gen import compile_cpp
 
-        return compile_cpp(sdfg)
+        if sanitize:
+            raise CodegenError(
+                "the dynamic memlet sanitizer requires the python or "
+                "interpreter backend",
+                code="CG000",
+                sdfg=sdfg,
+            )
+        return compile_cpp(sdfg, isolated=isolate)
     raise ValueError(f"backend {backend!r} is not executable; use generate_code")
 
 
@@ -387,18 +588,18 @@ def _exec_python_source(source: str, name: str) -> Callable:
 
 
 def _python_entry(main: Callable, arg_arrays, syms_order) -> Callable:
-    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None):
+    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None, guard=None):
         args = [arrays[a] for a in arg_arrays]
         args += [symbols[s] for s in syms_order]
-        return main(*args, __instr=instr)
+        return main(*args, __instr=instr, __guard=guard)
 
     return entry
 
 
-def _compile_python(sdfg) -> CompiledSDFG:
+def _compile_python(sdfg, sanitize: bool = False) -> CompiledSDFG:
     from repro.codegen.python_gen import PythonGenerator
 
-    gen = PythonGenerator(sdfg)
+    gen = PythonGenerator(sdfg, sanitize=sanitize)
     source = gen.generate()
     main = _exec_python_source(source, sdfg.name)
 
@@ -420,16 +621,18 @@ def _interpreter_fallback(sdfg) -> CompiledSDFG:
 
     interp = SDFGInterpreter(sdfg, validate=False)
 
-    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None):
-        mem = interp._allocate(arrays, symbols)
-        sym = dict(symbols)
-        for k, v in sdfg.constants.items():
-            sym.setdefault(k, v)
+    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None, guard=None):
         interp.recorder = instr
+        interp.guard = guard
         try:
+            mem = interp._allocate(arrays, symbols)
+            sym = dict(symbols)
+            for k, v in sdfg.constants.items():
+                sym.setdefault(k, v)
             interp._run_state_machine(sdfg, mem, sym)
         finally:
             interp.recorder = None
+            interp.guard = None
         return None
 
     return CompiledSDFG(sdfg, entry, "# interpreter fallback (no source)", "interpreter")

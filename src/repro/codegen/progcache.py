@@ -35,20 +35,29 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Bump whenever generated-code semantics change; part of every key, so
 #: old entries become unreachable (and age out by LRU) rather than stale.
-CODEGEN_VERSION = 1
+#: v2: entry functions grew the ``__guard`` parameter (sanitizer/watchdog).
+CODEGEN_VERSION = 2
 
 #: Entry file layout version; mismatched files are quarantined as misses.
 CACHE_SCHEMA_VERSION = 1
 
 
-def program_key(sdfg_hash: str, backend: str) -> str:
-    """Content address of one generated program."""
+def program_key(sdfg_hash: str, backend: str, variant: str = "") -> str:
+    """Content address of one generated program.
+
+    ``variant`` separates differently-instrumented programs of the same
+    graph (e.g. ``"sanitize"`` for guarded codegen) so a sanitized build
+    never shadows — or is shadowed by — the plain one.
+    """
     h = hashlib.sha256()
     h.update(sdfg_hash.encode())
     h.update(b"\x00")
     h.update(backend.encode())
     h.update(b"\x00")
     h.update(str(CODEGEN_VERSION).encode())
+    if variant:
+        h.update(b"\x00")
+        h.update(variant.encode())
     return h.hexdigest()
 
 

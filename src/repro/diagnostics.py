@@ -86,6 +86,15 @@ CODES: Dict[str, str] = {
     "G101": "transformation application raised",
     "G102": "post-transformation validation failed",
     "G103": "differential verification mismatch",
+    # --- runtime execution errors (E1xx containers, E2xx backends)
+    "E101": "stream index out of bounds",
+    "E201": "backend execution crashed",
+    # --- dynamic sanitizer / watchdog findings (R8xx)
+    "R801": "out-of-bounds access detected at runtime",
+    "R802": "non-finite value produced at tasklet output",
+    "R803": "read of never-written transient",
+    "R804": "runtime write conflict without conflict resolution",
+    "R805": "watchdog violation (deadline or memory budget exceeded)",
 }
 
 

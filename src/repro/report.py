@@ -42,7 +42,8 @@ def load_report(path: str) -> InstrumentationReport:
 
 
 def run_polybench(
-    name: str, optimize: bool = False, backend: str = "python"
+    name: str, optimize: bool = False, backend: str = "python",
+    sanitize: bool = False,
 ) -> InstrumentationReport:
     """Run one PolyBench kernel instrumented and return its report.
 
@@ -50,8 +51,11 @@ def run_polybench(
     consume scope (so the hot-spot table shows per-scope time,
     iterations, and bytes moved).  With ``optimize=True`` the
     ``auto_optimize`` schedule runs first — saving both variants and
-    diffing them shows where the transformations moved the time.
+    diffing them shows where the transformations moved the time.  With
+    ``sanitize=True`` the run executes under the dynamic memlet
+    sanitizer in collect mode; findings are rendered after the table.
     """
+    from repro.codegen.compiler import compile_sdfg
     from repro.transformations.auto import auto_optimize
     from repro.workloads.polybench import get
 
@@ -61,12 +65,33 @@ def run_polybench(
         auto_optimize(sdfg)
     sdfg.instrument = InstrumentationType.TIMER
     instrument_map_scopes(sdfg, InstrumentationType.TIMER)
-    compiled = sdfg.compile(backend=backend)
+    compiled = compile_sdfg(
+        sdfg, backend=backend, sanitize="collect" if sanitize else None
+    )
     kernel.run_sdfg(kernel.data(), compiled=compiled)
     report = compiled.last_report
     if report is None:  # defensive: instrumented runs always attach one
         report = InstrumentationReport(sdfg=sdfg.name, backend=compiled.backend)
+    if sanitize:
+        print(render_findings(compiled.last_findings), file=sys.stderr)
     return report
+
+
+def render_findings(findings) -> str:
+    """Human-readable sanitizer summary: per-code counts, then each
+    finding's code, location, and message."""
+    if not findings:
+        return "sanitizer: no findings"
+    counts: dict = {}
+    for f in findings:
+        counts[f.code] = counts.get(f.code, 0) + 1
+    lines = [
+        "sanitizer: "
+        + ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+    ]
+    for f in findings:
+        lines.append(f"  {f.code} at {f.location()}: {f.message}")
+    return "\n".join(lines)
 
 
 def _check(report: InstrumentationReport, origin: str) -> int:
@@ -106,6 +131,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="execution backend for --polybench (default: python)",
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the dynamic memlet sanitizer (collect mode) and "
+        "print a findings summary (--polybench only)",
+    )
+    parser.add_argument(
         "--save", metavar="FILE", help="save the generated report as JSON"
     )
     parser.add_argument(
@@ -132,7 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.polybench:
         did_something = True
         report = run_polybench(
-            args.polybench, optimize=args.optimize, backend=args.backend
+            args.polybench, optimize=args.optimize, backend=args.backend,
+            sanitize=args.sanitize,
         )
         if args.save:
             report.save(args.save)

@@ -22,6 +22,10 @@ class ArgumentError(TypeError):
     """Raised on missing/inconsistent invocation arguments."""
 
 
+#: Sentinel distinguishing "argument absent" from any passable value.
+_MISSING = object()
+
+
 def infer_symbols(sdfg, arrays: Mapping[str, np.ndarray], symbols: Mapping[str, int]) -> Dict[str, int]:
     """Infer free symbol values from concrete array shapes.
 
@@ -189,34 +193,60 @@ class MarshalingPlan:
 
     def apply(self, kwargs):
         """Marshal ``kwargs`` into (arrays, symbols) along the recorded
-        recipes; returns None when anything is off (caller falls back)."""
-        try:
-            arrays: Dict[str, Any] = {}
-            for name, is_scalar, scalar_dtype, exp_dtype, exp_ndim in self.array_items:
-                v = kwargs[name]
-                if is_scalar:
-                    if not isinstance(v, np.ndarray):
+        recipes.
+
+        *Signature drift* (a name missing, an array of a different
+        dtype/rank, an unsolvable shape) returns ``None`` — the caller
+        falls back to the slow, fully validated path.  Genuinely bad
+        values (an unconvertible scalar or symbol) raise
+        :class:`ArgumentError` with the argument name, instead of being
+        swallowed by a blanket ``except`` that used to hide real bugs.
+        """
+        arrays: Dict[str, Any] = {}
+        for name, is_scalar, scalar_dtype, exp_dtype, exp_ndim in self.array_items:
+            v = kwargs.get(name, _MISSING)
+            if v is _MISSING:
+                return None  # signature drift: slow path re-validates
+            if is_scalar:
+                if not isinstance(v, np.ndarray):
+                    try:
                         v = np.full((1,), v, dtype=scalar_dtype)
-                elif (
-                    not isinstance(v, np.ndarray)
-                    or v.dtype != exp_dtype
-                    or v.ndim != exp_ndim
-                ):
+                    except (TypeError, ValueError) as err:
+                        raise ArgumentError(
+                            f"argument {name!r}: cannot convert "
+                            f"{type(v).__name__} value {v!r} to scalar dtype "
+                            f"{np.dtype(scalar_dtype).name}"
+                        ) from err
+            elif (
+                not isinstance(v, np.ndarray)
+                or v.dtype != exp_dtype
+                or v.ndim != exp_ndim
+            ):
+                return None
+            arrays[name] = v
+        symbols: Dict[str, int] = {}
+        for kind, sym, recipe in self.symbol_recipes:
+            if kind == "explicit":
+                v = kwargs.get(sym, _MISSING)
+                if v is _MISSING:
                     return None
-                arrays[name] = v
-            symbols: Dict[str, int] = {}
-            for kind, sym, recipe in self.symbol_recipes:
-                if kind == "explicit":
-                    symbols[sym] = int(kwargs[sym])
-                else:
-                    name, dim, c, offset = recipe
-                    num = int(arrays[name].shape[dim]) - offset
-                    if num % c != 0:
-                        return None
-                    symbols[sym] = num // c
-            return arrays, symbols
-        except (KeyError, IndexError, TypeError, ValueError, AttributeError):
-            return None
+                try:
+                    symbols[sym] = int(v)
+                except (TypeError, ValueError) as err:
+                    raise ArgumentError(
+                        f"symbol {sym!r}: cannot convert "
+                        f"{type(v).__name__} value {v!r} to an integer"
+                    ) from err
+            else:
+                name, dim, c, offset = recipe
+                arr = arrays.get(name)
+                if not isinstance(arr, np.ndarray) or dim >= arr.ndim:
+                    return None
+                num = int(arr.shape[dim]) - offset
+                if num % c != 0:
+                    return None
+                symbols[sym] = num // c
+        return arrays, symbols
 
 
 def split_arguments(sdfg, kwargs: Mapping[str, Any]):

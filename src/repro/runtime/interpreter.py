@@ -14,6 +14,7 @@ semantic ground truth that the code generators are validated against
 from __future__ import annotations
 
 import math
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -45,6 +46,7 @@ from repro.sdfg.nodes import (
 )
 from repro.sdfg.dtypes import Language
 from repro.runtime.arguments import split_arguments
+from repro.runtime.sanitizer import GuardedView, _clamp_index
 from repro.runtime.streams import StreamArray, StreamQueue
 from repro.symbolic import Expr
 
@@ -69,6 +71,10 @@ class SDFGInterpreter:
         #: Shared event bus; set externally (CompiledSDFG, nested runs) or
         #: created per-call when the SDFG carries instrumentation.
         self.recorder = recorder
+        #: Sanitizer/watchdog bundle; set externally (CompiledSDFG, nested
+        #: runs).  Must be in place before ``_allocate`` so transient
+        #: allocations register shadow masks and memory accounting.
+        self.guard = None
         #: Report of the most recent standalone ``__call__``.
         self.last_report = None
 
@@ -111,6 +117,7 @@ class SDFGInterpreter:
     # ------------------------------------------------------------- allocation
     def _allocate(self, arrays: Mapping[str, np.ndarray], symbols: Mapping[str, int]):
         mem: Dict[str, Any] = {}
+        loc = (self.sdfg.name, None)
         for name, desc in self.sdfg.arrays.items():
             if name in arrays:
                 mem[name] = arrays[name]
@@ -118,15 +125,25 @@ class SDFGInterpreter:
             if not desc.transient:
                 if isinstance(desc, Stream):
                     shape = tuple(int(s.evaluate(symbols)) for s in desc.shape)
-                    mem[name] = StreamArray(shape, int(desc.buffer_size.evaluate(symbols)))
+                    mem[name] = StreamArray(
+                        shape, int(desc.buffer_size.evaluate(symbols)),
+                        name=name, location=loc,
+                    )
                     continue
                 raise InterpreterError(f"missing argument {name!r}")
             if isinstance(desc, Stream):
                 shape = tuple(int(s.evaluate(symbols)) for s in desc.shape)
-                mem[name] = StreamArray(shape, int(desc.buffer_size.evaluate(symbols)))
+                mem[name] = StreamArray(
+                    shape, int(desc.buffer_size.evaluate(symbols)),
+                    name=name, location=loc,
+                )
             else:
                 shape = tuple(int(s.evaluate(symbols)) for s in desc.shape)
                 mem[name] = np.zeros(shape, dtype=desc.dtype.as_numpy())
+                if self.guard is not None:
+                    self.guard.on_alloc(
+                        f"{self.sdfg.name}.{name}", name, mem[name]
+                    )
         return mem
 
     # ---------------------------------------------------------- state machine
@@ -139,6 +156,8 @@ class SDFGInterpreter:
             fuel -= 1
             if fuel <= 0:
                 raise InterpreterError("state machine exceeded execution budget")
+            if self.guard is not None:
+                self.guard.checkpoint()
             self._execute_state(sdfg, state, mem, sym)
             state = self._next_state(sdfg, state, mem, sym)
 
@@ -254,8 +273,12 @@ class SDFGInterpreter:
         for param, rng in entry.map.param_ranges().items():
             ranges.append((param, rng.evaluate(bindings)))
 
+        guard = self.guard
+
         def recurse(level: int, local_sym: Dict[str, Any]):
             if level == len(ranges):
+                if guard is not None:
+                    guard.map_iter(tuple(local_sym[p] for p, _ in ranges))
                 self._execute_nodes(
                     sdfg, state, body, mem, local_sym, full_order, scope_dict
                 )
@@ -268,12 +291,22 @@ class SDFGInterpreter:
 
         itype = entry.map.instrument
         if self.recorder is None or itype == InstrumentationType.NONE:
-            recurse(0, dict(bindings))
+            if guard is not None:
+                guard.map_enter(entry.map.label)
+            try:
+                recurse(0, dict(bindings))
+            finally:
+                if guard is not None:
+                    guard.map_exit()
             return
         self.recorder.enter("map", entry.map.label, itype.name)
+        if guard is not None:
+            guard.map_enter(entry.map.label)
         try:
             recurse(0, dict(bindings))
         finally:
+            if guard is not None:
+                guard.map_exit()
             iterations = volume = None
             if itype.records_iterations():
                 iterations = self._instr_value(entry.map.num_iterations(), bindings)
@@ -311,6 +344,8 @@ class SDFGInterpreter:
         try:
             fuel = 10_000_000
             while not quiescent():
+                if self.guard is not None:
+                    self.guard.checkpoint()
                 # One round: each PE pops and processes one element if available.
                 for pe in range(num_pes):
                     if not queue:
@@ -383,7 +418,9 @@ class SDFGInterpreter:
                     sdfg, state, e, mem, sym
                 )
             else:
-                namespace[e.dst_conn] = self._read_memlet(sdfg, e.data, mem, sym)
+                namespace[e.dst_conn] = self._guarded_read(
+                    sdfg, state, node, e.data, mem, sym
+                )
         # Prepare output stream bindings (tasklets may push explicitly).
         for e in state.out_edges(node):
             if e.data.is_empty():
@@ -418,7 +455,8 @@ class SDFGInterpreter:
                 raise InterpreterError(
                     f"tasklet {node.name!r} did not assign output {conn!r}"
                 )
-            self._write_memlet(sdfg, e.data, namespace[conn], mem, sym)
+            if self._guard_store(sdfg, state, node, e.data, namespace[conn], mem, sym):
+                self._write_memlet(sdfg, e.data, namespace[conn], mem, sym)
 
     def _stream_in_value(self, sdfg, state, edge, mem, sym):
         """Input bound to a stream: inside a consume scope this is the
@@ -473,6 +511,7 @@ class SDFGInterpreter:
             wcr = self._wcr(node.wcr)
             result = wcr(np.asarray(node.identity, dtype=data.dtype), result)
         self._write_memlet(sdfg, out_edge.data, result, mem, sym)
+        self._mark_written(sdfg, out_edge.data.data)
 
     # ------------------------------------------------------------ nested SDFG
     def _execute_nested(self, sdfg, state, node: NestedSDFG, mem, sym) -> None:
@@ -494,16 +533,22 @@ class SDFGInterpreter:
                 inner_sym[s] = sym[s]
         # Allocate the nested SDFG's transients.
         inner = SDFGInterpreter(node.sdfg, validate=False, recorder=self.recorder)
+        inner.guard = self.guard
         for name, desc in node.sdfg.arrays.items():
             if name not in inner_mem:
                 if isinstance(desc, Stream):
                     shape = tuple(int(s.evaluate(inner_sym)) for s in desc.shape)
                     inner_mem[name] = StreamArray(
-                        shape, int(desc.buffer_size.evaluate(inner_sym))
+                        shape, int(desc.buffer_size.evaluate(inner_sym)),
+                        name=name, location=(node.sdfg.name, None),
                     )
                 else:
                     shape = tuple(int(s.evaluate(inner_sym)) for s in desc.shape)
                     inner_mem[name] = np.zeros(shape, dtype=desc.dtype.as_numpy())
+                    if self.guard is not None:
+                        self.guard.on_alloc(
+                            f"{node.sdfg.name}.{name}", name, inner_mem[name]
+                        )
         itype = node.sdfg.instrument
         if self.recorder is not None and itype != InstrumentationType.NONE:
             self.recorder.enter("sdfg", node.sdfg.name, itype.name)
@@ -529,6 +574,7 @@ class SDFGInterpreter:
                 target = mem[node.data]
                 slices = dsub.evaluate(sym)
                 target[slices] = np.asarray(src_view).reshape(target[slices].shape)
+                self._mark_written(sdfg, node.data)
         for e in state.out_edges(node):
             # Scope-boundary copy-back (LocalStorage store): the memlet's
             # other_subset addresses the relay path's final destination.
@@ -564,6 +610,7 @@ class SDFGInterpreter:
                 )
             else:
                 target[slices] = np.asarray(src_view).reshape(target[slices].shape)
+            self._mark_written(sdfg, final.data)
 
     def _copy_edge(self, sdfg, state, e, mem, sym) -> None:
         src, dst = e.src, e.dst
@@ -595,6 +642,7 @@ class SDFGInterpreter:
             arr = mem[dst.data]
             flat = arr.reshape(-1)
             flat[: len(vals)] = vals
+            self._mark_written(sdfg, dst.data)
             return
         if isinstance(dst_desc, Stream) and not isinstance(src_desc, Stream):
             queue = self._resolve_stream_queue(
@@ -621,6 +669,104 @@ class SDFGInterpreter:
             target[dst_slices] = np.asarray(src_view).reshape(
                 target[dst_slices].shape
             )
+        self._mark_written(sdfg, dst.data)
+
+    # ------------------------------------------------------- sanitizer guards
+    def _transient_key(self, sdfg, name: str) -> Optional[str]:
+        """Shadow-mask key for a transient array (None otherwise); mirrors
+        the generated code's ``<function>.<name>`` keying."""
+        desc = sdfg.arrays.get(name)
+        if desc is None or not desc.transient or isinstance(desc, Stream):
+            return None
+        return f"{sdfg.name}.{name}"
+
+    @staticmethod
+    def _eval_guard_index(subset, sym) -> tuple:
+        """Evaluate a subset for the sanitizer: point dimensions become
+        ints (not extent-1 slices) so findings carry exact element
+        indices and the write-set tracks point writes."""
+        idx = subset.evaluate(sym)
+        if not isinstance(idx, tuple):
+            idx = (idx,)
+        return tuple(
+            int(s.start) if isinstance(s, slice) and r.is_point() else s
+            for s, r in zip(idx, subset.ranges)
+        )
+
+    def _guarded_read(self, sdfg, state, node, memlet: Memlet, mem, sym):
+        """Guarded tasklet input: bounds + never-written checks, and the
+        delivered view wrapped so indirect subscripts stay checked."""
+        guard = self.guard
+        container = mem[memlet.data]
+        if (
+            guard is None
+            or guard.sanitizer is None
+            or isinstance(container, (StreamArray, StreamQueue))
+        ):
+            return self._read_memlet(sdfg, memlet, mem, sym)
+        san = guard.sanitizer
+        t0 = time.perf_counter()
+        name = memlet.data
+        idx = memlet.subset.evaluate(sym)
+        gidx = self._eval_guard_index(memlet.subset, sym)
+        tkey = self._transient_key(sdfg, name)
+        loc = (sdfg.name, state.name, node.name)
+        mstr = f"{name}[{memlet.subset}]"
+        ok = san.check_bounds(name, container.shape, gidx, mstr, loc)
+        if not ok:  # collect mode: continue on the nearest valid element
+            idx = _clamp_index(container.shape, idx)
+            gidx = _clamp_index(container.shape, gidx)
+        if tkey is not None:
+            san.check_initialized(tkey, name, gidx, mstr, loc)
+        view = container[idx]
+        if (
+            isinstance(view, np.ndarray)
+            and view.size == 1
+            and memlet.subset.is_point()
+        ):
+            guard.overhead += time.perf_counter() - t0
+            return view.reshape(-1)[0]
+        view = _squeeze_points(view, memlet.subset)
+        if isinstance(view, np.ndarray) and view.ndim > 0:
+            mask = san.mask_for(tkey)
+            if mask is not None:
+                mask = _squeeze_points(mask[idx], memlet.subset)
+            view = GuardedView.wrap(view, san, name, mask, mstr, loc)
+        guard.overhead += time.perf_counter() - t0
+        return view
+
+    def _guard_store(self, sdfg, state, node, memlet: Memlet, value, mem, sym):
+        """Guarded tasklet output: checks before ``_write_memlet``.
+        Returns False when a collect-mode out-of-bounds store must be
+        dropped (recorded already) instead of executed."""
+        guard = self.guard
+        container = mem[memlet.data]
+        if (
+            guard is None
+            or guard.sanitizer is None
+            or isinstance(container, (StreamArray, StreamQueue))
+        ):
+            return True
+        return guard.pre_store(
+            memlet.data,
+            container,
+            self._eval_guard_index(memlet.subset, sym),
+            value,
+            memlet=f"{memlet.data}[{memlet.subset}]",
+            loc=(sdfg.name, state.name, node.name),
+            tkey=self._transient_key(sdfg, memlet.data),
+            wcr=memlet.wcr is not None,
+            dynamic=memlet.dynamic,
+        )
+
+    def _mark_written(self, sdfg, name: str) -> None:
+        """Copies/reductions write whole subsets at once; conservatively
+        mark the target transient written so later reads skip R803."""
+        guard = self.guard
+        if guard is not None and guard.sanitizer is not None:
+            tkey = self._transient_key(sdfg, name)
+            if tkey is not None:
+                guard.mark_written(tkey)
 
     # ---------------------------------------------------------------- memlets
     def _read_memlet(self, sdfg, memlet: Memlet, mem, sym):

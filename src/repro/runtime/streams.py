@@ -5,6 +5,27 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Iterable, List, Optional, Tuple
 
+from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
+
+
+class StreamError(DiagnosticError, IndexError):
+    """Out-of-bounds stream access (code ``E101``).
+
+    Subclasses ``IndexError`` so pre-existing ``except IndexError``
+    call sites keep working, while carrying the structured diagnostic
+    (stream name + SDFG location) the rest of the error layer expects.
+    """
+
+    def __init__(self, message: str, name: Optional[str] = None, location=None):
+        sdfg = state = None
+        if location is not None:
+            sdfg, state = (tuple(location) + (None, None))[:2]
+        super().__init__(
+            make_diagnostic(
+                "E101", message, Severity.ERROR, sdfg=sdfg, state=state, data=name
+            )
+        )
+
 
 class StreamQueue:
     """One FIFO queue with optional bounded capacity.
@@ -58,21 +79,51 @@ class StreamQueue:
 
 
 class StreamArray:
-    """A multi-dimensional array of :class:`StreamQueue` (flattened)."""
+    """A multi-dimensional array of :class:`StreamQueue` (flattened).
 
-    def __init__(self, shape: Tuple[int, ...], capacity: int = 0):
+    ``name`` and ``location`` (an ``(sdfg, state)`` pair) are optional
+    provenance used to build structured :class:`StreamError` diagnostics
+    instead of anonymous index errors.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        capacity: int = 0,
+        name: Optional[str] = None,
+        location=None,
+    ):
         self.shape = shape
+        self.name = name
+        self.location = location
         total = 1
         for s in shape:
             total *= int(s)
         self.queues: List[StreamQueue] = [StreamQueue(capacity) for _ in range(total)]
 
     def _flat_index(self, idx: Tuple[int, ...]) -> int:
+        label = self.name or "stream"
         if len(idx) != len(self.shape):
-            raise IndexError(f"stream index {idx} does not match shape {self.shape}")
+            raise StreamError(
+                f"index {idx} into stream '{label}' does not match its "
+                f"shape {self.shape} ({len(idx)} components vs "
+                f"{len(self.shape)} dimensions)",
+                name=self.name,
+                location=self.location,
+            )
         flat = 0
-        for i, (x, s) in enumerate(zip(idx, self.shape)):
-            flat = flat * int(s) + int(x)
+        for dim, (x, s) in enumerate(zip(idx, self.shape)):
+            x, s = int(x), int(s)
+            # Negative indices are rejected rather than wrapped: flattened
+            # stream addressing would silently alias a different queue.
+            if x < 0 or x >= s:
+                raise StreamError(
+                    f"index {idx} into stream '{label}' is out of bounds "
+                    f"in dimension {dim}: {x} not in [0, {s})",
+                    name=self.name,
+                    location=self.location,
+                )
+            flat = flat * s + x
         return flat
 
     def __getitem__(self, idx) -> StreamQueue:

@@ -1,0 +1,233 @@
+"""Execution watchdog: deadlines, memory budgets, retry, circuit breaking.
+
+The north star of "any SDFG either runs correctly or fails with a
+precise, bounded, recoverable error" needs a *resource* story on top of
+the sanitizer's *value* story: a submitted SDFG with an unbounded
+interstate loop, or a backend that has started segfaulting, must not
+take the host process (or the whole serving fleet) with it.  This
+module provides the three policies:
+
+* :class:`Watchdog` — a per-call wall-clock deadline and memory budget.
+  Cancellation is *cooperative*: generated state machines, consume
+  loops, and the interpreter call :meth:`Watchdog.checkpoint` at loop
+  boundaries, and transient allocations are accounted against the
+  budget.  A violation raises :class:`WatchdogViolation` carrying an
+  ``R805`` diagnostic.
+* :class:`RetryPolicy` — bounded retries with exponential backoff for
+  failures that are known not to have corrupted the inputs (crashes
+  contained by the subprocess harness, see
+  :mod:`repro.runtime.isolation`).
+* :class:`CircuitBreakerRegistry` — per-backend failure counting.  A
+  backend that crashes or times out repeatedly is *opened*:
+  ``compile_sdfg`` skips it with a recorded degradation hop instead of
+  trying (and failing) again, until the cooldown elapses.
+
+Knobs: ``REPRO_DEADLINE`` (seconds), ``REPRO_MEMORY_BUDGET`` (bytes),
+``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF`` (seconds),
+``REPRO_BREAKER_THRESHOLD``, ``REPRO_BREAKER_COOLDOWN`` (seconds).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
+
+
+class WatchdogViolation(DiagnosticError):
+    """A deadline or memory budget was exceeded (code ``R805``)."""
+
+    def __init__(self, message: str, sdfg=None, kind: str = "deadline"):
+        diag = make_diagnostic("R805", message, Severity.ERROR, sdfg=sdfg)
+        super().__init__(diag)
+        #: ``"deadline"`` or ``"memory"``.
+        self.kind = kind
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def deadline_from_env() -> Optional[float]:
+    """Wall-clock deadline in seconds from ``REPRO_DEADLINE`` (None = off)."""
+    return _env_float("REPRO_DEADLINE")
+
+
+def memory_budget_from_env() -> Optional[int]:
+    """Transient-memory budget in bytes from ``REPRO_MEMORY_BUDGET``."""
+    val = _env_float("REPRO_MEMORY_BUDGET")
+    return int(val) if val is not None else None
+
+
+class Watchdog:
+    """Cooperative per-call deadline and transient-memory budget.
+
+    One instance is armed per ``CompiledSDFG.__call__`` / interpreter
+    call.  ``checkpoint()`` is cheap (one monotonic clock read) and is
+    called from state-machine transitions, consume-loop rounds, and —
+    under the sanitizer — every map iteration.  ``account_alloc()`` adds
+    a transient allocation to the running total.
+    """
+
+    __slots__ = ("deadline", "memory_budget", "sdfg_name", "start",
+                 "allocated", "checkpoints", "violation")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        memory_budget: Optional[int] = None,
+        sdfg_name: Optional[str] = None,
+    ):
+        self.deadline = deadline
+        self.memory_budget = memory_budget
+        self.sdfg_name = sdfg_name
+        self.start = time.monotonic()
+        self.allocated = 0
+        self.checkpoints = 0
+        #: The violation that fired, if any (kept for reporting).
+        self.violation: Optional[WatchdogViolation] = None
+
+    def arm(self) -> "Watchdog":
+        """Reset the clock (called right before the entry runs)."""
+        self.start = time.monotonic()
+        return self
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.start
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left until the deadline (None when no deadline)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self.elapsed())
+
+    def checkpoint(self) -> None:
+        self.checkpoints += 1
+        if self.deadline is not None and self.elapsed() > self.deadline:
+            err = WatchdogViolation(
+                f"execution exceeded deadline of {self.deadline:g}s "
+                f"(elapsed {self.elapsed():.3f}s)",
+                sdfg=self.sdfg_name,
+                kind="deadline",
+            )
+            self.violation = err
+            raise err
+
+    def account_alloc(self, name: str, nbytes: int) -> None:
+        self.allocated += int(nbytes)
+        if self.memory_budget is not None and self.allocated > self.memory_budget:
+            err = WatchdogViolation(
+                f"transient allocation {name!r} ({int(nbytes)} bytes) exceeds "
+                f"memory budget of {self.memory_budget} bytes "
+                f"(total {self.allocated})",
+                sdfg=self.sdfg_name,
+                kind="memory",
+            )
+            self.violation = err
+            raise err
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff for contained failures."""
+
+    __slots__ = ("retries", "backoff")
+
+    def __init__(self, retries: int = 1, backoff: float = 0.05):
+        self.retries = max(0, int(retries))
+        self.backoff = max(0.0, float(backoff))
+
+    @staticmethod
+    def from_env() -> "RetryPolicy":
+        retries = _env_float("REPRO_RETRIES")
+        backoff = _env_float("REPRO_RETRY_BACKOFF")
+        return RetryPolicy(
+            retries=int(retries) if retries is not None else 1,
+            backoff=backoff if backoff is not None else 0.05,
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based): b * 2^n."""
+        return self.backoff * (2 ** attempt)
+
+
+class CircuitBreakerRegistry:
+    """Per-backend failure counter with open/half-open semantics.
+
+    ``record_failure`` counts call-time crashes and watchdog violations;
+    once a backend accumulates ``threshold`` consecutive failures the
+    breaker *opens* and ``is_open`` returns True until ``cooldown``
+    seconds pass (after which one probe attempt is allowed again — a
+    success closes the breaker via ``record_success``).
+    """
+
+    def __init__(self, threshold: Optional[int] = None, cooldown: Optional[float] = None):
+        self._failures: Dict[str, int] = {}
+        self._last_code: Dict[str, str] = {}
+        self._opened_at: Dict[str, float] = {}
+        self._threshold = threshold
+        self._cooldown = cooldown
+
+    @property
+    def threshold(self) -> int:
+        if self._threshold is not None:
+            return self._threshold
+        val = _env_float("REPRO_BREAKER_THRESHOLD")
+        return int(val) if val is not None else 3
+
+    @property
+    def cooldown(self) -> float:
+        if self._cooldown is not None:
+            return self._cooldown
+        val = _env_float("REPRO_BREAKER_COOLDOWN")
+        return val if val is not None else 300.0
+
+    def record_failure(self, backend: str, code: Optional[str] = None) -> None:
+        n = self._failures.get(backend, 0) + 1
+        self._failures[backend] = n
+        if code:
+            self._last_code[backend] = code
+        if n >= self.threshold and backend not in self._opened_at:
+            self._opened_at[backend] = time.monotonic()
+
+    def record_success(self, backend: str) -> None:
+        self._failures.pop(backend, None)
+        self._opened_at.pop(backend, None)
+
+    def failures(self, backend: str) -> int:
+        return self._failures.get(backend, 0)
+
+    def last_code(self, backend: str) -> Optional[str]:
+        return self._last_code.get(backend)
+
+    def is_open(self, backend: str) -> bool:
+        opened = self._opened_at.get(backend)
+        if opened is None:
+            return False
+        if time.monotonic() - opened > self.cooldown:
+            # Half-open: allow one probe; re-open on the next failure.
+            self._opened_at.pop(backend, None)
+            self._failures[backend] = self.threshold - 1
+            return False
+        return True
+
+    def reset(self) -> None:
+        self._failures.clear()
+        self._last_code.clear()
+        self._opened_at.clear()
+
+
+#: Process-wide breaker state consulted by ``compile_sdfg``.
+BREAKERS = CircuitBreakerRegistry()
+
+
+def reset_breakers() -> None:
+    """Clear all circuit-breaker state (tests and long-lived hosts)."""
+    BREAKERS.reset()

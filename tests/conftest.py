@@ -1,0 +1,15 @@
+"""Shared fixtures: keep cross-test global state out of the picture."""
+
+import pytest
+
+from repro.runtime.watchdog import reset_breakers
+
+
+@pytest.fixture(autouse=True)
+def _fresh_breakers():
+    """Circuit breakers are process-global by design (they aggregate
+    failures across compilations); tests must not leak open breakers
+    into each other."""
+    reset_breakers()
+    yield
+    reset_breakers()

@@ -74,7 +74,10 @@ def test_compile_error_degrades():
     run_and_check(compiled)
 
 
-def test_ctypes_load_failure_degrades():
+def test_ctypes_load_failure_degrades(monkeypatch):
+    # In-process loading only happens with crash isolation off (the
+    # isolated harness dlopens in the child instead).
+    monkeypatch.setenv("REPRO_ISOLATE", "0")
     sdfg = scale_sdfg()
     if cpp_gen.find_host_compiler() is None:
         pytest.skip("no host compiler; covered by missing-compiler test")

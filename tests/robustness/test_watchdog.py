@@ -1,0 +1,261 @@
+"""Execution watchdog: deadlines kill unbounded loops within budget,
+memory budgets stop runaway transients, retries back off exponentially,
+and repeatedly-failing backends trip the circuit breaker into the
+degradation chain."""
+
+import time
+import unittest.mock
+
+import numpy as np
+import pytest
+
+import repro as rp
+from repro.codegen.compiler import compile_sdfg
+from repro.runtime.isolation import BackendCrashError
+from repro.runtime.sanitizer import SEEDED_FAULTS
+from repro.runtime.watchdog import (
+    BREAKERS,
+    CircuitBreakerRegistry,
+    RetryPolicy,
+    Watchdog,
+    WatchdogViolation,
+)
+from repro.sdfg import SDFG, Memlet, dtypes
+
+
+def scale_sdfg():
+    sdfg = SDFG("scale")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "s",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="b = a * 2",
+        outputs={"b": Memlet.simple("A", "i")},
+    )
+    return sdfg
+
+
+# ------------------------------------------------------------- deadlines
+@pytest.mark.parametrize("backend", ("python", "interpreter"))
+def test_unbounded_interstate_loop_killed_within_deadline(backend):
+    """The acceptance case: an SDFG whose interstate loop makes no
+    progress must be killed within its deadline, and the degradation
+    record must show the violation."""
+    sdfg, kwargs, expect = SEEDED_FAULTS["R805"]()
+    deadline = 0.5
+    compiled = compile_sdfg(sdfg, backend=backend, deadline=deadline)
+    start = time.monotonic()
+    with pytest.raises(WatchdogViolation) as exc:
+        compiled(**kwargs)
+    elapsed = time.monotonic() - start
+    assert elapsed < deadline + 2.0, "cooperative kill must be prompt"
+    assert exc.value.code == "R805"
+    assert exc.value.kind == "deadline"
+    assert compiled.degradation, "the violation must be recorded"
+    rec = compiled.degradation[-1]
+    assert rec["code"] == "R805"
+    assert rec["from"] == backend
+    assert rec["to"] is None, "watchdog violations do not degrade"
+
+
+def test_deadline_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_DEADLINE", "0.4")
+    sdfg, kwargs, _ = SEEDED_FAULTS["R805"]()
+    compiled = compile_sdfg(sdfg, backend="python")
+    assert compiled.deadline == 0.4
+    with pytest.raises(WatchdogViolation):
+        compiled(**kwargs)
+
+
+def test_deadline_not_tripped_by_healthy_run():
+    compiled = compile_sdfg(scale_sdfg(), backend="python", deadline=30.0)
+    A = np.random.rand(8)
+    ref = A * 2
+    compiled(A=A, N=8)
+    np.testing.assert_allclose(A, ref)
+    assert compiled.degradation == []
+
+
+def test_watchdog_checkpoints_reported():
+    compiled = compile_sdfg(scale_sdfg(), backend="python", deadline=30.0)
+    compiled(A=np.random.rand(8), N=8)
+
+    def walk(nodes):
+        for node in nodes:
+            yield node
+            yield from walk(node.children.values())
+
+    events = [n for n in walk(compiled.last_report.events)
+              if n.kind == "watchdog"]
+    assert events and events[0].label == "checkpoints"
+    assert events[0].iterations > 0
+
+
+# --------------------------------------------------------- memory budget
+@pytest.mark.parametrize("backend", ("python", "interpreter"))
+def test_memory_budget_stops_transient_allocation(backend):
+    sdfg, kwargs, _ = SEEDED_FAULTS["R803"]()  # has an N-element transient
+    compiled = compile_sdfg(sdfg, backend=backend, memory_budget=8)
+    with pytest.raises(WatchdogViolation) as exc:
+        compiled(**kwargs)
+    assert exc.value.code == "R805"
+    assert exc.value.kind == "memory"
+    assert "T" in str(exc.value), "violation must name the allocation"
+
+
+def test_memory_budget_env_knob(monkeypatch):
+    monkeypatch.setenv("REPRO_MEMORY_BUDGET", "8")
+    sdfg, kwargs, _ = SEEDED_FAULTS["R803"]()
+    compiled = compile_sdfg(sdfg, backend="python")
+    with pytest.raises(WatchdogViolation):
+        compiled(**kwargs)
+
+
+def test_generous_budget_allows_run():
+    sdfg, kwargs, _ = SEEDED_FAULTS["R803"]()
+    compiled = compile_sdfg(sdfg, backend="python", memory_budget=1 << 20)
+    compiled(**kwargs)  # transient fits; reads of zeros are fine unsanitized
+
+
+# ---------------------------------------------------------- watchdog unit
+def test_watchdog_remaining_and_arm():
+    dog = Watchdog(deadline=100.0)
+    assert 99.0 < dog.remaining() <= 100.0
+    dog.start -= 50.0
+    assert 49.0 < dog.remaining() <= 50.0
+    dog.arm()
+    assert 99.0 < dog.remaining() <= 100.0
+    assert Watchdog().remaining() is None
+
+
+def test_watchdog_checkpoint_counts_and_stores_violation():
+    dog = Watchdog(deadline=0.0, sdfg_name="x")
+    dog.start -= 1.0
+    with pytest.raises(WatchdogViolation):
+        dog.checkpoint()
+    assert dog.checkpoints == 1
+    assert dog.violation is not None
+    assert dog.violation.diagnostic.sdfg == "x"
+
+
+# ------------------------------------------------------------ retry policy
+def test_retry_policy_exponential_backoff():
+    policy = RetryPolicy(retries=3, backoff=0.1)
+    assert policy.delay(0) == pytest.approx(0.1)
+    assert policy.delay(1) == pytest.approx(0.2)
+    assert policy.delay(2) == pytest.approx(0.4)
+
+
+def test_retry_policy_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRIES", "4")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.25")
+    policy = RetryPolicy.from_env()
+    assert policy.retries == 4
+    assert policy.backoff == 0.25
+
+
+def test_call_retries_then_succeeds(monkeypatch):
+    """A contained crash is retried with backoff; a success on retry
+    leaves no degradation record."""
+    monkeypatch.setenv("REPRO_RETRIES", "2")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.001")
+    compiled = compile_sdfg(scale_sdfg(), backend="python")
+    real_entry = compiled._entry
+    calls = {"n": 0}
+
+    def flaky(arrays, symbols, instr=None, guard=None):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise BackendCrashError("transient crash", sdfg="scale")
+        return real_entry(arrays, symbols, instr, guard)
+
+    compiled._entry = flaky
+    A = np.random.rand(8)
+    ref = A * 2
+    compiled(A=A, N=8)
+    np.testing.assert_allclose(A, ref)
+    assert calls["n"] == 3
+    assert compiled.degradation == []
+
+
+def test_call_crash_degrades_after_retries(monkeypatch):
+    """Retries exhausted: the call degrades to the next backend in the
+    chain and the hop records the attempt count."""
+    monkeypatch.setenv("REPRO_RETRIES", "1")
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.001")
+    compiled = compile_sdfg(scale_sdfg(), backend="python")
+
+    def always_crash(arrays, symbols, instr=None, guard=None):
+        raise BackendCrashError("hard crash", sdfg="scale")
+
+    compiled._entry = always_crash
+    A = np.random.rand(8)
+    ref = A * 2
+    compiled(A=A, N=8)  # served by the interpreter fallback
+    np.testing.assert_allclose(A, ref)
+    assert compiled.backend == "interpreter"
+    hop = compiled.degradation[-1]
+    assert hop["from"] == "python" and hop["to"] == "interpreter"
+    assert hop["attempts"] == 2  # first try + one retry
+
+
+# --------------------------------------------------------- circuit breaker
+def test_breaker_opens_after_threshold():
+    reg = CircuitBreakerRegistry(threshold=3, cooldown=300.0)
+    for _ in range(2):
+        reg.record_failure("cpp", code="E201")
+    assert not reg.is_open("cpp")
+    reg.record_failure("cpp", code="E201")
+    assert reg.is_open("cpp")
+    assert reg.failures("cpp") == 3
+    assert reg.last_code("cpp") == "E201"
+
+
+def test_breaker_success_closes():
+    reg = CircuitBreakerRegistry(threshold=2, cooldown=300.0)
+    reg.record_failure("cpp")
+    reg.record_failure("cpp")
+    assert reg.is_open("cpp")
+    reg.record_success("cpp")
+    assert not reg.is_open("cpp")
+    assert reg.failures("cpp") == 0
+
+
+def test_breaker_half_open_probe_after_cooldown():
+    reg = CircuitBreakerRegistry(threshold=2, cooldown=0.05)
+    reg.record_failure("cpp")
+    reg.record_failure("cpp")
+    assert reg.is_open("cpp")
+    time.sleep(0.06)
+    assert not reg.is_open("cpp"), "cooldown elapsed: one probe allowed"
+    reg.record_failure("cpp")  # probe fails
+    assert reg.is_open("cpp"), "failed probe re-opens immediately"
+
+
+def test_open_breaker_skips_backend_at_compile():
+    """An open cpp breaker short-circuits compile_sdfg: the backend is
+    skipped with a recorded hop, without touching the compiler."""
+    for _ in range(BREAKERS.threshold):
+        BREAKERS.record_failure("cpp", code="E201")
+    assert BREAKERS.is_open("cpp")
+    compiled = compile_sdfg(scale_sdfg(), backend="cpp")
+    assert compiled.backend in ("python", "interpreter")
+    hop = compiled.degradation[0]
+    assert hop["error"] == "CircuitBreakerOpen"
+    assert hop["code"] == "E201"
+    assert "circuit breaker open" in hop["reason"]
+    A = np.random.rand(8)
+    ref = A * 2
+    compiled(A=A, N=8)
+    np.testing.assert_allclose(A, ref)
+
+
+def test_watchdog_violation_feeds_breaker():
+    sdfg, kwargs, _ = SEEDED_FAULTS["R805"]()
+    compiled = compile_sdfg(sdfg, backend="python", deadline=0.3)
+    with pytest.raises(WatchdogViolation):
+        compiled(**kwargs)
+    assert BREAKERS.failures("python") == 1
+    assert BREAKERS.last_code("python") == "R805"

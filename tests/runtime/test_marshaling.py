@@ -100,3 +100,37 @@ class TestPlanUnit:
         bad = dict(data)
         bad["A"] = bad["A"].ravel()
         assert plan.apply(bad) is None
+
+    def test_apply_missing_argument_falls_back(self):
+        """A name dropping out of the kwargs is signature drift, not an
+        exception: apply must return None (slow path re-validates)."""
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(**data)
+        plan = compiled._marshal_plan
+        partial = dict(data)
+        del partial["A"]
+        assert plan.apply(partial) is None
+
+    def test_apply_bad_symbol_raises_with_name(self):
+        """Regression for the blanket ``except`` that used to swallow
+        genuine argument bugs: an unconvertible symbol must surface as
+        an ArgumentError naming the symbol, not a silent None."""
+        compiled = compile_sdfg(kernels.matmul_sdfg())
+        data = kernels.matmul_data(16)
+        compiled(N=16, **data)  # plan with an explicit-symbol recipe
+        plan = compiled._marshal_plan
+        bad = dict(data, N="sixteen")
+        with pytest.raises(arguments.ArgumentError, match="symbol 'N'"):
+            plan.apply(bad)
+
+    def test_apply_bad_scalar_raises_with_name(self):
+        compiled = compile_sdfg(kernels.query_sdfg())
+        data = kernels.query_data(40)
+        compiled(**data)
+        plan = compiled._marshal_plan
+        assert any(is_scalar for _, is_scalar, *_ in plan.array_items)
+        bad = dict(data)
+        bad["threshold"] = object()  # the query kernel's scalar input
+        with pytest.raises(arguments.ArgumentError, match="'threshold'"):
+            plan.apply(bad)

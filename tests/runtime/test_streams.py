@@ -1,0 +1,80 @@
+"""Stream container runtime: FIFO semantics and the structured E101
+out-of-bounds diagnostic that replaced the raw ``IndexError``."""
+
+import pytest
+
+from repro.runtime.streams import StreamArray, StreamError, StreamQueue
+
+
+# ------------------------------------------------------------ StreamQueue
+def test_queue_fifo_roundtrip():
+    q = StreamQueue()
+    q.push(1, 2)
+    q.append(3)
+    assert len(q) == 3 and bool(q)
+    assert [q.pop(), q.read(), q.pop()] == [1, 2, 3]
+    assert not q
+
+
+def test_queue_capacity_overflow():
+    q = StreamQueue(capacity=2)
+    q.push(1, 2)
+    with pytest.raises(RuntimeError, match="overflow"):
+        q.push(3)
+
+
+def test_queue_pop_empty():
+    with pytest.raises(RuntimeError, match="empty"):
+        StreamQueue().pop()
+
+
+# ------------------------------------------------------------ StreamArray
+def test_array_indexing_and_flattening():
+    arr = StreamArray((2, 3))
+    arr[1, 2].push(42)
+    assert arr.queues[5].pop() == 42
+    arr2 = StreamArray((4,))
+    arr2[3].push(1)  # scalar index for rank-1 streams
+    assert arr2.total_elements() == 1 and arr2.any_nonempty()
+
+
+def test_oob_raises_structured_e101():
+    arr = StreamArray((2, 3), name="S", location=("prog", "state0"))
+    with pytest.raises(StreamError) as exc:
+        arr[1, 3]
+    err = exc.value
+    assert err.code == "E101"
+    assert err.diagnostic.data == "S"
+    assert err.diagnostic.sdfg == "prog"
+    assert err.diagnostic.state == "state0"
+    assert "dimension 1" in str(err)
+    assert "3 not in [0, 3)" in str(err)
+
+
+def test_negative_index_rejected_not_wrapped():
+    """Flattened stream addressing must not silently alias another
+    queue, so negative indices are E101 rather than python wraparound."""
+    arr = StreamArray((2, 3), name="S")
+    with pytest.raises(StreamError, match="-1 not in"):
+        arr[1, -1]
+
+
+def test_rank_mismatch_is_e101():
+    arr = StreamArray((2, 3), name="S")
+    with pytest.raises(StreamError, match="2 dimensions"):
+        arr[1]
+    with pytest.raises(StreamError, match="shape"):
+        arr[1, 1, 1]
+
+
+def test_stream_error_is_catchable_as_index_error():
+    """Pre-existing ``except IndexError`` call sites keep working."""
+    arr = StreamArray((2,))
+    with pytest.raises(IndexError):
+        arr[5]
+
+
+def test_anonymous_stream_has_usable_message():
+    arr = StreamArray((2,))  # no name/location provenance
+    with pytest.raises(StreamError, match="stream 'stream'"):
+        arr[2]
