@@ -314,6 +314,7 @@ def compile_sdfg(
     deadline: Optional[float] = None,
     memory_budget: Optional[int] = None,
     isolate: Optional[bool] = None,
+    cache_namespace: Optional[str] = None,
 ) -> CompiledSDFG:
     """Compile an SDFG into a callable.
 
@@ -345,6 +346,10 @@ def compile_sdfg(
       ``REPRO_DEADLINE`` / ``REPRO_MEMORY_BUDGET``.
     * ``isolate`` — run cpp artifacts through the crash-containing
       subprocess harness (default on; ``REPRO_ISOLATE=0`` opts out).
+    * ``cache_namespace`` — tenant namespace mixed into the program
+      cache variant key, so one tenant's cached programs never hit for
+      (or are poisoned by) another tenant's identically-shaped graph
+      (used by the :mod:`repro.serve` worker pool).
 
     Backends whose circuit breaker is open (repeated call-time crashes
     or watchdog kills) are skipped with a recorded hop.
@@ -373,7 +378,14 @@ def compile_sdfg(
         memory_budget = memory_budget_from_env()
     if isolate is None:
         isolate = isolate_from_env()
-    variant = "sanitize" if sanitize else ""
+    variant_parts = []
+    if cache_namespace:
+        from repro.codegen.progcache import safe_namespace
+
+        variant_parts.append(f"ns={safe_namespace(cache_namespace)}")
+    if sanitize:
+        variant_parts.append("sanitize")
+    variant = ":".join(variant_parts)
 
     store = resolve_cache(cache)
     crec = InstrumentationRecorder()

@@ -33,6 +33,8 @@ import os
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.filelock import FileLock
+
 #: Bump whenever generated-code semantics change; part of every key, so
 #: old entries become unreachable (and age out by LRU) rather than stale.
 #: v2: entry functions grew the ``__guard`` parameter (sanitizer/watchdog).
@@ -157,6 +159,18 @@ class ProgramCache:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, f"{key}.json")
 
+    def _dir_lock(self) -> Optional[FileLock]:
+        """Cross-process lock serializing multi-file disk operations
+        (eviction, quarantine) against other worker processes sharing
+        this cache directory.  Single-file writes stay lock-free — they
+        are already atomic via ``os.replace``.  Best-effort: a lock that
+        cannot be acquired degrades to the lock-free behavior rather
+        than failing the compile."""
+        if self.cache_dir is None:
+            return None
+        lock = FileLock(os.path.join(self.cache_dir, ".lock"), timeout=5.0)
+        return lock if lock.acquire(best_effort=True) else None
+
     # --------------------------------------------------------------- lookup
     def lookup(self, key: str) -> Optional[Tuple[ProgramCacheEntry, Optional[Callable]]]:
         """Return ``(entry, callable_or_None)`` on a hit, None on a miss.
@@ -186,10 +200,14 @@ class ProgramCache:
         except (OSError, ValueError, json.JSONDecodeError):
             self.corrupt += 1
             self.misses += 1
+            lock = self._dir_lock()
             try:
                 os.remove(path)
             except OSError:
                 pass
+            finally:
+                if lock is not None:
+                    lock.release()
             return None
         self.hits += 1
         try:
@@ -238,28 +256,33 @@ class ProgramCache:
 
     # ------------------------------------------------------------- eviction
     def _evict_disk(self) -> None:
+        lock = self._dir_lock()
         try:
-            names = os.listdir(self.cache_dir)
-        except OSError:
-            return
-        entries = []
-        for name in names:
-            if not name.endswith(".json"):
-                continue
-            path = os.path.join(self.cache_dir, name)
             try:
-                entries.append((os.path.getmtime(path), path))
+                names = os.listdir(self.cache_dir)
             except OSError:
-                continue
-        if len(entries) <= self.max_entries:
-            return
-        entries.sort()  # oldest mtime first
-        for _, path in entries[: len(entries) - self.max_entries]:
-            try:
-                os.remove(path)
-                self.evictions += 1
-            except OSError:
-                pass
+                return
+            entries = []
+            for name in names:
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(self.cache_dir, name)
+                try:
+                    entries.append((os.path.getmtime(path), path))
+                except OSError:
+                    continue
+            if len(entries) <= self.max_entries:
+                return
+            entries.sort()  # oldest mtime first
+            for _, path in entries[: len(entries) - self.max_entries]:
+                try:
+                    os.remove(path)
+                    self.evictions += 1
+                except OSError:
+                    pass
+        finally:
+            if lock is not None:
+                lock.release()
 
     # ------------------------------------------------------------- counters
     def stats(self) -> Dict[str, int]:
@@ -300,6 +323,36 @@ def default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
         os.path.expanduser("~"), ".cache", "repro", "progcache"
     )
+
+
+def safe_namespace(namespace: str) -> str:
+    """Filesystem- and key-safe form of a tenant namespace.
+
+    Dots are allowed mid-name, but a namespace that is *only* dots
+    (``"."``, ``".."``) would traverse out of the cache root."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in namespace)
+    if not safe.strip("."):
+        return "default"
+    return safe
+
+
+def namespaced_cache(root_dir: str, namespace: str,
+                     max_entries: int = 256) -> ProgramCache:
+    """Per-tenant disk cache under ``root_dir/<namespace>``.
+
+    Tenants sharing a service must not share cache *files*: one
+    tenant's LRU churn (or a poisoned entry) must never evict or shadow
+    another tenant's warm programs.  Each namespace gets its own
+    subdirectory with its own LRU budget and lock; instances are
+    registered in the per-directory table so repeat calls share the
+    memory tier.
+    """
+    path = os.path.join(root_dir, safe_namespace(namespace))
+    key = os.path.realpath(path)
+    cache = _DISK.get(key)
+    if cache is None:
+        cache = _DISK[key] = ProgramCache(cache_dir=key, max_entries=max_entries)
+    return cache
 
 
 def resolve_cache(cache: Any) -> Optional[ProgramCache]:

@@ -89,12 +89,21 @@ CODES: Dict[str, str] = {
     # --- runtime execution errors (E1xx containers, E2xx backends)
     "E101": "stream index out of bounds",
     "E201": "backend execution crashed",
+    "E202": "malformed service request",
+    "E203": "unknown program key (recompile required)",
+    "E204": "internal service error",
     # --- dynamic sanitizer / watchdog findings (R8xx)
     "R801": "out-of-bounds access detected at runtime",
     "R802": "non-finite value produced at tasklet output",
     "R803": "read of never-written transient",
     "R804": "runtime write conflict without conflict resolution",
     "R805": "watchdog violation (deadline or memory budget exceeded)",
+    # --- service admission control (R8xx continued)
+    "R806": "tenant admission rejected: too many in-flight requests",
+    "R807": "tenant admission rejected: circuit breaker open",
+    "R808": "tenant admission rejected: deadline budget exhausted",
+    # --- service degradation (W8xx, warnings)
+    "W801": "service degraded under load: request options shed",
 }
 
 

@@ -20,7 +20,8 @@ from repro.instrumentation.types import InstrumentationType
 
 #: Event kinds, part of the report schema: IR elements and pipeline phases.
 KINDS = ("sdfg", "state", "map", "consume", "tasklet", "transformation",
-         "compile", "phase", "tuning", "cache", "sanitizer", "watchdog")
+         "compile", "phase", "tuning", "cache", "sanitizer", "watchdog",
+         "serve", "breaker")
 
 
 class EventNode:

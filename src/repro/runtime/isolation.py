@@ -27,12 +27,14 @@ process spawn and array round-trip matter).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -74,6 +76,29 @@ def crash_dir() -> str:
     return os.environ.get("REPRO_CRASH_DIR", "").strip() or ".repro_crashes"
 
 
+#: Monotonic per-process crash counter: bundle directory names are
+#: ``<sdfg>_<pid>_<counter>`` so two workers (distinct pids) or two
+#: crashes in one process (distinct counters) can never collide — and,
+#: unlike ``mkdtemp``, the name deterministically identifies which
+#: process crashed in what order, which the pool supervisor logs.
+_BUNDLE_COUNTER = itertools.count()
+_BUNDLE_LOCK = threading.Lock()
+
+
+def _unique_bundle_dir(root: str, stem: str) -> str:
+    """Create and return a collision-free per-crash directory."""
+    while True:
+        with _BUNDLE_LOCK:
+            seq = next(_BUNDLE_COUNTER)
+        path = os.path.join(root, f"{stem}_{os.getpid()}_{seq:06d}")
+        try:
+            os.makedirs(path, exist_ok=False)
+            return path
+        except FileExistsError:
+            # A previous process run left this name behind; advance.
+            continue
+
+
 def write_crash_bundle(sdfg, manifest: Dict, stderr: str) -> Optional[str]:
     """Persist a minimized repro bundle; returns its path (None if the
     bundle itself could not be written — never masks the crash)."""
@@ -82,7 +107,11 @@ def write_crash_bundle(sdfg, manifest: Dict, stderr: str) -> Optional[str]:
 
         root = crash_dir()
         os.makedirs(root, exist_ok=True)
-        bundle = tempfile.mkdtemp(prefix=f"{manifest.get('sdfg', 'sdfg')}_", dir=root)
+        safe = "".join(
+            c if c.isalnum() or c in "-_." else "_"
+            for c in str(manifest.get("sdfg", "sdfg"))
+        )
+        bundle = _unique_bundle_dir(root, safe or "sdfg")
         with open(os.path.join(bundle, "sdfg.json"), "w") as f:
             json.dump(sdfg_to_json(sdfg, canonical=True), f, indent=2, sort_keys=True)
         slim = {k: v for k, v in manifest.items() if k != "lib"}

@@ -24,14 +24,17 @@ module provides the three policies:
 
 Knobs: ``REPRO_DEADLINE`` (seconds), ``REPRO_MEMORY_BUDGET`` (bytes),
 ``REPRO_RETRIES``, ``REPRO_RETRY_BACKOFF`` (seconds),
-``REPRO_BREAKER_THRESHOLD``, ``REPRO_BREAKER_COOLDOWN`` (seconds).
+``REPRO_RETRY_JITTER`` (fraction), ``REPRO_BREAKER_THRESHOLD``,
+``REPRO_BREAKER_COOLDOWN`` (seconds).
 """
 
 from __future__ import annotations
 
 import os
+import random
+import threading
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
 
@@ -136,44 +139,88 @@ class Watchdog:
 
 
 class RetryPolicy:
-    """Bounded retry with exponential backoff for contained failures."""
+    """Bounded retry with (optionally jittered) exponential backoff.
 
-    __slots__ = ("retries", "backoff")
+    Without jitter the delay before retry ``n`` is ``backoff * 2^n``.
+    ``jitter`` spreads that over ``[base*(1-j), base*(1+j)]`` uniformly
+    so a *pool* of workers retrying the same flaky backend does not
+    thundering-herd it with synchronized probes.  The RNG is injectable
+    (``rng=random.Random(seed)``) so delay schedules stay deterministic
+    in tests; each policy otherwise gets its own independently seeded
+    generator.
+    """
 
-    def __init__(self, retries: int = 1, backoff: float = 0.05):
+    __slots__ = ("retries", "backoff", "jitter", "rng")
+
+    def __init__(
+        self,
+        retries: int = 1,
+        backoff: float = 0.05,
+        jitter: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
         self.retries = max(0, int(retries))
         self.backoff = max(0.0, float(backoff))
+        self.jitter = min(1.0, max(0.0, float(jitter)))
+        self.rng = rng if rng is not None else random.Random()
 
     @staticmethod
     def from_env() -> "RetryPolicy":
         retries = _env_float("REPRO_RETRIES")
         backoff = _env_float("REPRO_RETRY_BACKOFF")
+        jitter = _env_float("REPRO_RETRY_JITTER")
         return RetryPolicy(
             retries=int(retries) if retries is not None else 1,
             backoff=backoff if backoff is not None else 0.05,
+            jitter=jitter if jitter is not None else 0.0,
         )
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (0-based): b * 2^n."""
-        return self.backoff * (2 ** attempt)
+        """Backoff before retry number ``attempt`` (0-based).
+
+        ``b * 2^n``, spread uniformly over ``[b*2^n*(1-j), b*2^n*(1+j)]``
+        when ``jitter=j`` is set (mean is unchanged; never negative).
+        """
+        base = self.backoff * (2 ** attempt)
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * self.rng.random())
+
+
+#: Breaker states.  ``HALF_OPEN`` means the cooldown elapsed and exactly
+#: one probe request has been admitted; until that probe resolves every
+#: other caller is short-circuited as if the breaker were still open.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
 
 
 class CircuitBreakerRegistry:
-    """Per-backend failure counter with open/half-open semantics.
+    """Per-key (backend or tenant) failure counter with closed → open →
+    half-open semantics.
 
     ``record_failure`` counts call-time crashes and watchdog violations;
-    once a backend accumulates ``threshold`` consecutive failures the
+    once a key accumulates ``threshold`` consecutive failures the
     breaker *opens* and ``is_open`` returns True until ``cooldown``
-    seconds pass (after which one probe attempt is allowed again — a
-    success closes the breaker via ``record_success``).
+    seconds pass.  The first ``is_open`` call after the cooldown moves
+    the breaker to *half-open* and admits that caller as the single
+    probe (returns False); concurrent callers keep getting True until
+    the probe resolves — ``record_success`` closes the breaker,
+    ``record_failure`` re-opens it immediately.  All transitions are
+    thread-safe and observable via :meth:`on_transition` listeners and
+    the bounded :attr:`transitions` log.
     """
 
     def __init__(self, threshold: Optional[int] = None, cooldown: Optional[float] = None):
+        self._lock = threading.RLock()
         self._failures: Dict[str, int] = {}
         self._last_code: Dict[str, str] = {}
         self._opened_at: Dict[str, float] = {}
+        self._state: Dict[str, str] = {}
+        self._probe_inflight: Dict[str, bool] = {}
         self._threshold = threshold
         self._cooldown = cooldown
+        self._listeners: List[Callable[[str, str, str], None]] = []
+        #: Bounded log of ``(key, old_state, new_state)`` transitions.
+        self.transitions: List[Tuple[str, str, str]] = []
 
     @property
     def threshold(self) -> int:
@@ -189,39 +236,109 @@ class CircuitBreakerRegistry:
         val = _env_float("REPRO_BREAKER_COOLDOWN")
         return val if val is not None else 300.0
 
-    def record_failure(self, backend: str, code: Optional[str] = None) -> None:
-        n = self._failures.get(backend, 0) + 1
-        self._failures[backend] = n
-        if code:
-            self._last_code[backend] = code
-        if n >= self.threshold and backend not in self._opened_at:
-            self._opened_at[backend] = time.monotonic()
+    # -------------------------------------------------------- observation
+    def on_transition(self, listener: Callable[[str, str, str], None]) -> None:
+        """Register a ``listener(key, old_state, new_state)`` callback
+        (the serve layer mirrors transitions as instrumentation events)."""
+        with self._lock:
+            self._listeners.append(listener)
 
-    def record_success(self, backend: str) -> None:
-        self._failures.pop(backend, None)
-        self._opened_at.pop(backend, None)
+    def _transition(self, key: str, new_state: str) -> None:
+        old = self._state.get(key, CLOSED)
+        if old == new_state:
+            return
+        self._state[key] = new_state
+        if len(self.transitions) < 10000:
+            self.transitions.append((key, old, new_state))
+        for listener in list(self._listeners):
+            try:
+                listener(key, old, new_state)
+            except Exception:
+                continue
 
-    def failures(self, backend: str) -> int:
-        return self._failures.get(backend, 0)
+    def state(self, key: str) -> str:
+        """Current breaker state (without side effects on it)."""
+        with self._lock:
+            return self._state.get(key, CLOSED)
 
-    def last_code(self, backend: str) -> Optional[str]:
-        return self._last_code.get(backend)
+    # ----------------------------------------------------------- recording
+    def record_failure(self, key: str, code: Optional[str] = None) -> None:
+        with self._lock:
+            if code:
+                self._last_code[key] = code
+            if self._state.get(key) == HALF_OPEN:
+                # The probe failed: re-open immediately, full cooldown.
+                self._probe_inflight.pop(key, None)
+                self._failures[key] = self._failures.get(key, 0) + 1
+                self._opened_at[key] = time.monotonic()
+                self._transition(key, OPEN)
+                return
+            n = self._failures.get(key, 0) + 1
+            self._failures[key] = n
+            if n >= self.threshold and key not in self._opened_at:
+                self._opened_at[key] = time.monotonic()
+                self._transition(key, OPEN)
 
-    def is_open(self, backend: str) -> bool:
-        opened = self._opened_at.get(backend)
-        if opened is None:
-            return False
-        if time.monotonic() - opened > self.cooldown:
-            # Half-open: allow one probe; re-open on the next failure.
-            self._opened_at.pop(backend, None)
-            self._failures[backend] = self.threshold - 1
-            return False
-        return True
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            self._failures.pop(key, None)
+            self._opened_at.pop(key, None)
+            self._probe_inflight.pop(key, None)
+            self._transition(key, CLOSED)
+
+    # ------------------------------------------------------------- queries
+    def failures(self, key: str) -> int:
+        with self._lock:
+            return self._failures.get(key, 0)
+
+    def last_code(self, key: str) -> Optional[str]:
+        with self._lock:
+            return self._last_code.get(key)
+
+    def cooldown_remaining(self, key: str) -> float:
+        """Seconds until an open breaker will admit a probe (0 if it
+        already would, or is not open)."""
+        with self._lock:
+            opened = self._opened_at.get(key)
+            if opened is None or self._state.get(key) != OPEN:
+                return 0.0
+            return max(0.0, self.cooldown - (time.monotonic() - opened))
+
+    def is_open(self, key: str) -> bool:
+        """True when calls to ``key`` must be short-circuited.
+
+        An elapsed cooldown admits exactly one caller as the half-open
+        probe: that caller sees False, everyone else True until the
+        probe resolves through ``record_success``/``record_failure``.
+        """
+        with self._lock:
+            state = self._state.get(key, CLOSED)
+            if state == CLOSED:
+                return False
+            if state == HALF_OPEN:
+                # A probe is already in flight: short-circuit the losers.
+                return bool(self._probe_inflight.get(key, False))
+            opened = self._opened_at.get(key)
+            if opened is None:  # defensive: open without a timestamp
+                self._transition(key, CLOSED)
+                return False
+            if time.monotonic() - opened > self.cooldown:
+                # This caller becomes the single half-open probe.
+                self._opened_at.pop(key, None)
+                self._failures[key] = max(0, self.threshold - 1)
+                self._probe_inflight[key] = True
+                self._transition(key, HALF_OPEN)
+                return False
+            return True
 
     def reset(self) -> None:
-        self._failures.clear()
-        self._last_code.clear()
-        self._opened_at.clear()
+        with self._lock:
+            self._failures.clear()
+            self._last_code.clear()
+            self._opened_at.clear()
+            self._state.clear()
+            self._probe_inflight.clear()
+            self.transitions.clear()
 
 
 #: Process-wide breaker state consulted by ``compile_sdfg``.

@@ -1,0 +1,97 @@
+"""CLI entry point: ``python -m repro.serve``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runtime.watchdog import RetryPolicy
+from repro.serve.admission import TenantPolicy
+from repro.serve.daemon import SDFGServer, ServeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="fault-tolerant multi-tenant SDFG compile-and-execute service",
+    )
+    where = parser.add_mutually_exclusive_group()
+    where.add_argument("--socket", default=None, metavar="PATH",
+                       help="Unix socket path (default: a fresh temp path, printed)")
+    where.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="listen on TCP instead of a Unix socket")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="size of the crash-isolated worker pool (default 2)")
+    parser.add_argument("--recycle-after", type=int, default=200, metavar="N",
+                        help="retire a worker after N requests (default 200)")
+    parser.add_argument("--memory-budget-kb", type=int, default=None, metavar="KB",
+                        help="retire a worker whose RSS exceeds this budget")
+    parser.add_argument("--cache-root", default=None, metavar="DIR",
+                        help="root directory for per-tenant disk program caches")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="per-tenant concurrent request cap (default 8)")
+    parser.add_argument("--deadline-cap", type=float, default=30.0,
+                        help="per-request deadline ceiling in seconds (default 30)")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        help="per-tenant rolling compute budget (default: unlimited)")
+    parser.add_argument("--budget-window", type=float, default=60.0,
+                        help="rolling budget window in seconds (default 60)")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="worker-killing failures before a tenant's breaker opens")
+    parser.add_argument("--breaker-cooldown", type=float, default=30.0,
+                        help="seconds an open breaker rejects before a half-open probe")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="replays of a request whose worker died (default 1)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        help="base replay backoff in seconds (default 0.05)")
+    parser.add_argument("--retry-jitter", type=float, default=0.5,
+                        help="backoff jitter fraction in [0,1] (default 0.5)")
+    parser.add_argument("--fault-injection", action="store_true",
+                        help="honor inject_fault requests (tests/CI only)")
+    parser.add_argument("--no-shutdown-op", action="store_true",
+                        help="refuse the 'shutdown' op (daemon stops on SIGTERM only)")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    tcp = None
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        tcp = (host or "127.0.0.1", int(port))
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        tcp=tcp,
+        workers=args.workers,
+        recycle_after=args.recycle_after,
+        memory_budget_kb=args.memory_budget_kb,
+        cache_root=args.cache_root,
+        default_policy=TenantPolicy(
+            max_inflight=args.max_inflight,
+            deadline_cap=args.deadline_cap,
+            budget_seconds=args.budget_seconds,
+            budget_window=args.budget_window,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+        ),
+        retry=RetryPolicy(retries=args.retries, backoff=args.retry_backoff,
+                          jitter=args.retry_jitter),
+        fault_injection=args.fault_injection,
+        allow_shutdown=not args.no_shutdown_op,
+    )
+
+    server = SDFGServer(config)
+    server.start()
+    if config.socket_path:
+        print(f"repro.serve listening on {config.socket_path}", file=sys.stderr)
+    else:
+        print(f"repro.serve listening on {server.address}", file=sys.stderr)
+    sys.stderr.flush()
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

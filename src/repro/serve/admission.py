@@ -1,0 +1,351 @@
+"""Per-tenant admission control and graceful load degradation.
+
+PR 5 gave *backends* circuit breakers; a multi-tenant service needs the
+same reflex per **tenant**: the caller whose kernels keep segfaulting or
+blowing deadlines must be rejected fast — before consuming a worker —
+while every other tenant stays unaffected.  Three gates run, cheapest
+first, on every compile/execute request:
+
+1. **circuit breaker** (``R807``) — consecutive contained failures
+   (worker death ``E201``, watchdog ``R805``) open the tenant's breaker;
+   open → fast rejection with ``retry_after``; after the cooldown
+   exactly one request is admitted as the half-open probe (losers keep
+   getting ``R807``), and its outcome closes or re-opens the breaker.
+2. **in-flight cap** (``R806``) — at most ``max_inflight`` concurrent
+   requests per tenant; the cap bounds how much of the pool one tenant
+   can hold.
+3. **deadline budget** (``R808``) — each tenant gets
+   ``budget_seconds`` of worker wall-clock per rolling
+   ``budget_window``; heavy users are throttled once the window fills,
+   with ``retry_after`` pointing at the oldest spend's expiry.
+
+Rejections are *cheap* by construction: a few dict lookups under one
+lock, no sockets, no workers, no compilation — the 429 path.
+
+:class:`LoadShedder` handles overload that admission lets through:
+rather than hard-failing a healthy tenant because the pool is busy, it
+degrades request *quality* in documented steps (shed sanitizer and
+instrumentation overhead first, then force the cheaper backend tiers
+down the cpp → python → interpreter chain), attaching a ``W801``
+diagnostic so clients can see what they lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
+from repro.instrumentation import InstrumentationRecorder
+from repro.runtime.watchdog import CircuitBreakerRegistry
+
+#: Failure codes that charge a tenant's circuit breaker.  Validation
+#: errors and admission rejections do NOT: a tenant sending an invalid
+#: SDFG gets a precise error, not an open breaker.
+BREAKER_CODES = ("E201", "R805")
+
+
+class TenantPolicy:
+    """Static limits applied to one tenant (or the default for all)."""
+
+    __slots__ = ("max_inflight", "deadline_cap", "budget_seconds",
+                 "budget_window", "breaker_threshold", "breaker_cooldown")
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        deadline_cap: Optional[float] = 30.0,
+        budget_seconds: Optional[float] = None,
+        budget_window: float = 60.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+    ):
+        self.max_inflight = max(1, int(max_inflight))
+        self.deadline_cap = deadline_cap
+        self.budget_seconds = budget_seconds
+        self.budget_window = max(1e-3, float(budget_window))
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_cooldown = max(0.0, float(breaker_cooldown))
+
+
+class AdmissionError(DiagnosticError):
+    """A request was rejected at admission (codes ``R806``–``R808``)."""
+
+    def __init__(self, code: str, message: str, tenant: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(make_diagnostic(code, message, Severity.ERROR, data=tenant))
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class Ticket:
+    """One admitted request; must be settled exactly once."""
+
+    __slots__ = ("controller", "tenant", "admitted_at", "_settled")
+
+    def __init__(self, controller: "AdmissionController", tenant: str):
+        self.controller = controller
+        self.tenant = tenant
+        self.admitted_at = time.monotonic()
+        self._settled = False
+
+    def complete(self, cost_seconds: float = 0.0,
+                 failure_code: Optional[str] = None) -> None:
+        """Settle the request: release the in-flight slot, charge the
+        budget, and feed the breaker (``failure_code`` in
+        :data:`BREAKER_CODES` counts as a strike; anything else — or
+        None — counts as a success)."""
+        if self._settled:
+            return
+        self._settled = True
+        self.controller._settle(self.tenant, cost_seconds, failure_code)
+
+
+class _TenantState:
+    __slots__ = ("inflight", "spend", "admitted", "rejected", "failures", "ok")
+
+    def __init__(self):
+        self.inflight = 0
+        #: Rolling (timestamp, cost_seconds) ledger of completed work.
+        self.spend: Deque[Tuple[float, float]] = deque()
+        self.admitted = 0
+        self.rejected = 0
+        self.failures = 0
+        self.ok = 0
+
+
+class AdmissionController:
+    """Thread-safe per-tenant gate in front of the worker pool."""
+
+    def __init__(
+        self,
+        default_policy: Optional[TenantPolicy] = None,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        recorder: Optional[InstrumentationRecorder] = None,
+    ):
+        self.default_policy = default_policy or TenantPolicy()
+        self.policies = dict(policies or {})
+        self.recorder = recorder or InstrumentationRecorder()
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+        self.breakers = CircuitBreakerRegistry(
+            threshold=self.default_policy.breaker_threshold,
+            cooldown=self.default_policy.breaker_cooldown,
+        )
+        # Mirror every breaker transition onto the instrumentation bus:
+        # dashboards (and the half-open tests) watch these events.
+        self.breakers.on_transition(self._on_breaker_transition)
+
+    def _on_breaker_transition(self, tenant: str, old: str, new: str) -> None:
+        self.recorder.event(
+            "breaker", f"{tenant}:{old}->{new}", itype="COUNTER", iterations=1
+        )
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    # ----------------------------------------------------------- admission
+    def admit(self, tenant: str, deadline: Optional[float] = None) -> Ticket:
+        """Run the three gates; returns a :class:`Ticket` or raises
+        :class:`AdmissionError` (the fast-rejection path)."""
+        policy = self.policy(tenant)
+        now = time.monotonic()
+        with self._lock:
+            state = self._state(tenant)
+
+            # Gate 1: circuit breaker (cheapest; also the single-probe
+            # half-open admission).
+            if self.breakers.is_open(tenant):
+                state.rejected += 1
+                self.recorder.event("serve", f"reject[{tenant}]:R807",
+                                    itype="COUNTER", iterations=1)
+                retry_after = self.breakers.cooldown_remaining(tenant)
+                raise AdmissionError(
+                    "R807",
+                    f"tenant {tenant!r} circuit breaker is open after "
+                    f"{self.breakers.failures(tenant)} consecutive failures "
+                    f"(last: {self.breakers.last_code(tenant)}); "
+                    f"retry in {retry_after:.1f}s",
+                    tenant=tenant,
+                    retry_after=retry_after,
+                )
+
+            # Gate 2: concurrent in-flight cap.
+            if state.inflight >= policy.max_inflight:
+                state.rejected += 1
+                self.recorder.event("serve", f"reject[{tenant}]:R806",
+                                    itype="COUNTER", iterations=1)
+                raise AdmissionError(
+                    "R806",
+                    f"tenant {tenant!r} already has {state.inflight} requests "
+                    f"in flight (cap {policy.max_inflight})",
+                    tenant=tenant,
+                    retry_after=0.05,
+                )
+
+            # Gate 3: rolling deadline budget.
+            if policy.budget_seconds is not None:
+                horizon = now - policy.budget_window
+                spend = state.spend
+                while spend and spend[0][0] < horizon:
+                    spend.popleft()
+                spent = sum(cost for _, cost in spend)
+                if spent >= policy.budget_seconds:
+                    state.rejected += 1
+                    self.recorder.event("serve", f"reject[{tenant}]:R808",
+                                        itype="COUNTER", iterations=1)
+                    retry_after = (
+                        spend[0][0] + policy.budget_window - now if spend else 0.0
+                    )
+                    raise AdmissionError(
+                        "R808",
+                        f"tenant {tenant!r} spent {spent:.3f}s of its "
+                        f"{policy.budget_seconds:g}s budget in the last "
+                        f"{policy.budget_window:g}s window",
+                        tenant=tenant,
+                        retry_after=max(0.0, retry_after),
+                    )
+
+            state.inflight += 1
+            state.admitted += 1
+            self.recorder.event("serve", f"admit[{tenant}]",
+                                itype="COUNTER", iterations=1)
+            return Ticket(self, tenant)
+
+    def clamp_deadline(self, tenant: str, requested: Optional[float]) -> Optional[float]:
+        """Apply the tenant's deadline cap (the cap is also the default
+        when the request names none)."""
+        cap = self.policy(tenant).deadline_cap
+        if cap is None:
+            return requested
+        if requested is None:
+            return cap
+        return min(float(requested), cap)
+
+    def _settle(self, tenant: str, cost_seconds: float,
+                failure_code: Optional[str]) -> None:
+        failed = failure_code in BREAKER_CODES
+        with self._lock:
+            state = self._state(tenant)
+            state.inflight = max(0, state.inflight - 1)
+            state.spend.append((time.monotonic(), max(0.0, float(cost_seconds))))
+            if failed:
+                state.failures += 1
+            else:
+                state.ok += 1
+        if failed:
+            self.breakers.record_failure(tenant, code=failure_code)
+            self.recorder.event("serve", f"failure[{tenant}]:{failure_code}",
+                                itype="COUNTER", iterations=1)
+        else:
+            self.breakers.record_success(tenant)
+
+    # --------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            tenants = {
+                name: {
+                    "inflight": s.inflight,
+                    "admitted": s.admitted,
+                    "rejected": s.rejected,
+                    "failures": s.failures,
+                    "ok": s.ok,
+                    "breaker": self.breakers.state(name),
+                    "window_spend": round(sum(c for _, c in s.spend), 6),
+                }
+                for name, s in self._tenants.items()
+            }
+        return {"tenants": tenants}
+
+
+# =====================================================================
+# Load shedding
+# =====================================================================
+
+#: Ordered degradation steps: ``(threshold_in_multiples_of_pool_size,
+#: description)``.  Level 0 is full service.
+SHED_LEVELS = (
+    "full service",
+    "sanitizer and instrumentation shed",
+    "backend forced to python (no native compile)",
+    "backend forced to interpreter",
+)
+
+
+class LoadShedder:
+    """Degrade request *quality* before request *availability*.
+
+    The level is a pure function of instantaneous pressure (in-flight
+    requests vs. pool capacity), so it recovers the moment load drops:
+
+    * level 1 — pressure > 1x capacity: drop ``sanitize`` and profiling
+      from requests (the guards cost integer-factor overhead);
+    * level 2 — pressure > 2x capacity: force the ``python`` backend so
+      no request pays a native cold compile;
+    * level 3 — pressure > 3x capacity: force the ``interpreter`` tier —
+      slow, but allocation-light and always available.
+
+    Shedding never rejects: that is admission's job.  Every shed is
+    recorded on the response as a ``W801`` diagnostic.
+    """
+
+    def __init__(self, capacity: int,
+                 recorder: Optional[InstrumentationRecorder] = None):
+        self.capacity = max(1, int(capacity))
+        self.recorder = recorder
+        self._lock = threading.Lock()
+        self._pressure = 0
+        self.sheds = 0
+
+    # Pressure tracking: the daemon brackets every admitted request.
+    def enter(self) -> None:
+        with self._lock:
+            self._pressure += 1
+
+    def exit(self) -> None:
+        with self._lock:
+            self._pressure = max(0, self._pressure - 1)
+
+    @property
+    def pressure(self) -> int:
+        with self._lock:
+            return self._pressure
+
+    def level(self) -> int:
+        return min(len(SHED_LEVELS) - 1, max(0, (self.pressure - 1) // self.capacity))
+
+    def apply(self, job: Dict[str, Any]) -> Tuple[Dict[str, Any], List[str]]:
+        """Return ``(possibly-modified job, list of shed descriptions)``."""
+        level = self.level()
+        if level <= 0:
+            return job, []
+        shed: List[str] = []
+        job = dict(job)
+        if level >= 1:
+            if job.get("sanitize"):
+                job["sanitize"] = None
+                shed.append("sanitize")
+            if job.get("profile"):
+                job["profile"] = False
+                shed.append("profile")
+        if level >= 2 and job.get("backend", "python") == "cpp":
+            job["backend"] = "python"
+            shed.append("backend:cpp->python")
+        if level >= 3 and job.get("backend", "python") != "interpreter":
+            job["backend"] = "interpreter"
+            shed.append("backend->interpreter")
+        if shed:
+            with self._lock:
+                self.sheds += 1
+            if self.recorder is not None:
+                self.recorder.event("serve", f"shed[level={level}]",
+                                    itype="COUNTER", iterations=1)
+        return job, shed

@@ -1,0 +1,351 @@
+"""The long-lived compile-and-execute daemon (``python -m repro.serve``).
+
+Accepts newline-JSON requests from many concurrent clients over a local
+socket (Unix domain by default, TCP on request), authenticates nothing —
+it is a *local* service — but trusts nobody: every request passes
+admission control before it may touch a worker, every worker is
+expendable, and every failure maps to a stable diagnostic code.
+
+Failure matrix (see DESIGN §11 for the full table):
+
+=====================  =============  ===================================
+event                   code           client-visible outcome
+=====================  =============  ===================================
+malformed request       ``E202``       ``status=error`` immediately
+unknown program key     ``E203``       ``status=error``; resend with sdfg
+worker SIGSEGV/OOM      ``E201``       replayed; ``error`` after retries
+deadline (cooperative)  ``R805``       ``status=error``, worker survives
+deadline (hang)         ``R805``       worker killed + respawned
+breaker open            ``R807``       ``status=rejected`` + retry_after
+in-flight cap           ``R806``       ``status=rejected`` + retry_after
+budget exhausted        ``R808``       ``status=rejected`` + retry_after
+overload                ``W801``       served, with shed options listed
+=====================  =============  ===================================
+
+The daemon itself must never exit on a request's account: connection
+handlers catch everything, the pool contains worker death, and admission
+contains tenant abuse.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.instrumentation import InstrumentationRecorder
+from repro.runtime.watchdog import RetryPolicy
+from repro.serve import protocol
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    LoadShedder,
+    TenantPolicy,
+)
+from repro.serve.pool import WorkerPool
+
+
+class ServeConfig:
+    """Everything the daemon needs, with test-friendly defaults."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        tcp: Optional[tuple] = None,
+        workers: int = 2,
+        recycle_after: int = 200,
+        memory_budget_kb: Optional[int] = None,
+        cache_root: Optional[str] = None,
+        default_policy: Optional[TenantPolicy] = None,
+        policies: Optional[Dict[str, TenantPolicy]] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_injection: bool = False,
+        allow_shutdown: bool = True,
+        health_interval: float = 10.0,
+    ):
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.workers = max(1, int(workers))
+        self.recycle_after = recycle_after
+        self.memory_budget_kb = memory_budget_kb
+        self.cache_root = cache_root
+        self.default_policy = default_policy or TenantPolicy()
+        self.policies = policies or {}
+        self.retry = retry
+        self.fault_injection = fault_injection
+        self.allow_shutdown = allow_shutdown
+        self.health_interval = health_interval
+
+    def resolve_address(self) -> tuple:
+        """(family, address) — Unix socket unless TCP was requested."""
+        if self.tcp is not None:
+            return (socket.AF_INET, (self.tcp[0], int(self.tcp[1])))
+        path = self.socket_path
+        if not path:
+            path = os.path.join(
+                tempfile.mkdtemp(prefix="repro_serve_"), "serve.sock"
+            )
+            self.socket_path = path
+        return (socket.AF_UNIX, path)
+
+
+class SDFGServer:
+    """Threaded accept loop + per-connection request handlers."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.recorder = InstrumentationRecorder()
+        self.admission = AdmissionController(
+            default_policy=self.config.default_policy,
+            policies=self.config.policies,
+            recorder=self.recorder,
+        )
+        self.pool = WorkerPool(
+            size=self.config.workers,
+            cache_root=self.config.cache_root,
+            recycle_after=self.config.recycle_after,
+            memory_budget_kb=self.config.memory_budget_kb,
+            retry=self.config.retry,
+            fault_injection=self.config.fault_injection,
+        )
+        self.shedder = LoadShedder(capacity=self.config.workers,
+                                   recorder=self.recorder)
+        self.started = time.monotonic()
+        self._listener: Optional[socket.socket] = None
+        self._threads: list = []
+        self._stop = threading.Event()
+        self._requests = {"total": 0, "ok": 0, "rejected": 0, "errors": 0}
+        self._req_lock = threading.Lock()
+        self.address: Optional[Any] = None
+
+    # ---------------------------------------------------------- lifecycle
+    def start(self) -> "SDFGServer":
+        family, address = self.config.resolve_address()
+        self.pool.start()
+        listener = socket.socket(family, socket.SOCK_STREAM)
+        listener.settimeout(0.5)
+        if family == socket.AF_UNIX:
+            try:
+                os.unlink(address)
+            except OSError:
+                pass
+        else:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(address)
+        listener.listen(64)
+        self._listener = listener
+        self.address = listener.getsockname() if family != socket.AF_UNIX else address
+        accept = threading.Thread(target=self._accept_loop, daemon=True,
+                                  name="serve-accept")
+        accept.start()
+        self._threads.append(accept)
+        keeper = threading.Thread(target=self._housekeeping_loop, daemon=True,
+                                  name="serve-housekeeping")
+        keeper.start()
+        self._threads.append(keeper)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.pool.close()
+        if self.config.socket_path:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SDFGServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (the CLI entry point's main loop)."""
+        try:
+            while not self._stop.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    # -------------------------------------------------------------- loops
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            handler = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            handler.start()
+
+    def _housekeeping_loop(self) -> None:
+        while not self._stop.wait(self.config.health_interval):
+            try:
+                self.pool.health_check()
+            except Exception:  # noqa: BLE001 - housekeeping must not die
+                continue
+
+    # -------------------------------------------------------- connections
+    def _handle_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(None)
+        stream = conn.makefile("rw", encoding="utf-8", newline="\n")
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = protocol.recv_message(stream)
+                except protocol.ProtocolError as err:
+                    protocol.send_message(
+                        stream, protocol.error_response(err.code, str(err))
+                    )
+                    continue
+                if request is None:
+                    return
+                response = self._dispatch(request)
+                if "id" in request:
+                    response["id"] = request["id"]
+                protocol.send_message(stream, response)
+                if request.get("op") == "shutdown" and response.get("status") == "ok":
+                    self._stop.set()
+                    return
+        except (OSError, ValueError):
+            return  # client went away; never the daemon's problem
+        finally:
+            try:
+                stream.close()
+                conn.close()
+            except OSError:
+                pass
+
+    # ----------------------------------------------------------- dispatch
+    def _count(self, status: str) -> None:
+        with self._req_lock:
+            self._requests["total"] += 1
+            if status == "ok":
+                self._requests["ok"] += 1
+            elif status == "rejected":
+                self._requests["rejected"] += 1
+            else:
+                self._requests["errors"] += 1
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            request = protocol.validate_request(request)
+        except protocol.ProtocolError as err:
+            self._count("error")
+            return protocol.error_response(err.code, str(err))
+        op = request["op"]
+        try:
+            if op == "ping":
+                self._count("ok")
+                return protocol.ok_response(op="pong", uptime=self.uptime())
+            if op == "stats":
+                self._count("ok")  # before the snapshot: stats count themselves
+                return protocol.ok_response(op="stats", **self.stats())
+            if op == "shutdown":
+                if not self.config.allow_shutdown:
+                    self._count("error")
+                    return protocol.error_response(
+                        "E202", "shutdown is disabled on this server"
+                    )
+                self._count("ok")
+                return protocol.ok_response(op="shutdown")
+            return self._serve_job(request)
+        except Exception as err:  # noqa: BLE001 - the daemon never dies for a request
+            self._count("error")
+            return protocol.error_response(
+                "E204", f"internal error: {type(err).__name__}: {err}"
+            )
+
+    def _serve_job(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = request.get("tenant", "default")
+        deadline = self.admission.clamp_deadline(tenant, request.get("deadline"))
+
+        # Gate: fast rejection without touching the pool.
+        try:
+            ticket = self.admission.admit(tenant, deadline)
+        except AdmissionError as err:
+            self._count("rejected")
+            return protocol.rejected_response(
+                err.code, str(err), retry_after=err.retry_after, tenant=tenant
+            )
+
+        job = {
+            "op": request["op"],
+            "tenant": tenant,
+            "backend": request.get("backend", "python"),
+            "sdfg": request.get("sdfg"),
+            "program": request.get("program"),
+            "arrays": request.get("arrays"),
+            "symbols": request.get("symbols"),
+            "sanitize": request.get("sanitize"),
+            "deadline": deadline,
+            "memory_budget": request.get("memory_budget"),
+        }
+        if request.get("inject_fault"):
+            job["inject_fault"] = request["inject_fault"]
+            if request.get("hang_seconds"):
+                job["hang_seconds"] = request["hang_seconds"]
+        job = {k: v for k, v in job.items() if v is not None}
+
+        self.shedder.enter()
+        start = time.monotonic()
+        try:
+            job, shed = self.shedder.apply(job)
+            response = self.pool.submit(job)
+        finally:
+            self.shedder.exit()
+            cost = time.monotonic() - start
+            failure_code = (
+                response.get("code")
+                if "response" in locals() and response.get("status") != "ok"
+                else None
+            )
+            ticket.complete(cost_seconds=cost, failure_code=failure_code)
+
+        response["tenant"] = tenant
+        if shed:
+            response["shed"] = shed
+            response.setdefault("warnings", []).append(
+                {
+                    "code": "W801",
+                    "severity": "WARNING",
+                    "message": "service degraded under load: shed "
+                    + ", ".join(shed),
+                }
+            )
+        self._count(response.get("status", "error"))
+        return response
+
+    # --------------------------------------------------------------- info
+    def uptime(self) -> float:
+        return round(time.monotonic() - self.started, 6)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._req_lock:
+            requests = dict(self._requests)
+        return {
+            "uptime": self.uptime(),
+            "requests": requests,
+            "pool": self.pool.stats(),
+            "admission": self.admission.stats(),
+            "degrade_level": self.shedder.level(),
+            "pressure": self.shedder.pressure,
+            "sheds": self.shedder.sheds,
+            "breaker_transitions": [
+                list(t) for t in self.admission.breakers.transitions[-50:]
+            ],
+        }

@@ -1,0 +1,494 @@
+"""Crash-isolated warm worker pool (the service's supervisor).
+
+PR 5's :mod:`repro.runtime.isolation` contains crashes by spawning one
+subprocess *per call* — correct, but ~10ms of spawn plus a full
+cold-compile per request.  The pool generalizes that model: a fixed set
+of **persistent** workers (:mod:`repro.serve.worker`) each own warm
+compiled programs, and the supervisor in this module owns their
+lifecycle:
+
+* **health checks** — a ready handshake at spawn, on-demand pings;
+* **recycling** — a worker is gracefully retired after ``recycle_after``
+  requests or once its reported RSS crosses ``memory_budget_kb``
+  (long-lived processes executing tenant code leak; bounded lifetimes
+  turn that from an outage into a blip);
+* **crash containment** — a worker dying mid-request (SIGSEGV from
+  generated code, OOM kill) is detected by stream EOF, a repro bundle
+  (job manifest + worker stderr) is written under ``REPRO_CRASH_DIR``,
+  the worker is respawned, and the request is **replayed** with the
+  jittered :class:`~repro.runtime.watchdog.RetryPolicy` backoff —
+  replay is always semantically safe because workers mutate their own
+  copies of the request arrays;
+* **hang containment** — a worker that blows through the request's
+  wall-clock backstop is killed and the caller gets a structured
+  ``R805`` error (no replay: deadline violations are not retryable).
+
+The pool never raises for request-level faults — every outcome is a
+protocol response payload, so a noisy tenant cannot take the dispatch
+thread down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from queue import Empty, Queue
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.isolation import _repo_pythonpath, _unique_bundle_dir, crash_dir
+from repro.runtime.watchdog import RetryPolicy
+from repro.serve import protocol
+
+#: Seconds granted to a worker for its ready handshake.
+DEFAULT_SPAWN_TIMEOUT = 30.0
+
+#: Backstop applied when a request carries no deadline of its own.
+DEFAULT_REQUEST_TIMEOUT = 120.0
+
+
+class WorkerDeath(Exception):
+    """The worker process died mid-request (contained; retryable)."""
+
+    def __init__(self, message: str, returncode: Optional[int] = None,
+                 stderr_tail: str = "", bundle: Optional[str] = None):
+        super().__init__(message)
+        self.returncode = returncode
+        self.stderr_tail = stderr_tail
+        self.bundle = bundle
+
+
+class WorkerTimeout(Exception):
+    """The worker blew the wall-clock backstop (killed; not retryable)."""
+
+
+class WorkerHandle:
+    """One supervised worker subprocess and its protocol streams."""
+
+    _seq = 0
+
+    def __init__(self, cache_root: Optional[str], fault_injection: bool,
+                 spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT):
+        WorkerHandle._seq += 1
+        self.name = f"worker-{WorkerHandle._seq}"
+        self.served = 0
+        self.rss_kb: Optional[int] = None
+        self._rbuf = bytearray()
+        self._stderr_file = tempfile.NamedTemporaryFile(
+            mode="w+b", prefix="repro_worker_", suffix=".stderr", delete=False
+        )
+        cmd = [sys.executable, "-m", "repro.serve.worker"]
+        if cache_root:
+            cmd += ["--cache-root", cache_root]
+        env = os.environ.copy()
+        env["PYTHONPATH"] = _repo_pythonpath()
+        env["PYTHONUNBUFFERED"] = "1"
+        # The worker is the isolation boundary: no nested per-call
+        # subprocess harness inside it.
+        env["REPRO_ISOLATE"] = "0"
+        if fault_injection:
+            env["REPRO_SERVE_FAULT_INJECTION"] = "1"
+        else:
+            env.pop("REPRO_SERVE_FAULT_INJECTION", None)
+        self.proc = subprocess.Popen(
+            cmd,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=self._stderr_file,
+            bufsize=0,
+            env=env,
+        )
+        ready = self._read_message(time.monotonic() + spawn_timeout)
+        if not (isinstance(ready, dict) and ready.get("ready")):
+            self.kill()
+            raise WorkerDeath(
+                f"{self.name} failed its ready handshake",
+                returncode=self.proc.poll(),
+                stderr_tail=self.stderr_tail(),
+            )
+        self.pid = ready.get("pid", self.proc.pid)
+
+    # ------------------------------------------------------------ streams
+    def _read_message(self, deadline: Optional[float]) -> Dict[str, Any]:
+        """Read one protocol line with a wall-clock deadline."""
+        fd = self.proc.stdout.fileno()
+        while True:
+            nl = self._rbuf.find(b"\n")
+            if nl >= 0:
+                line = bytes(self._rbuf[:nl])
+                del self._rbuf[: nl + 1]
+                if not line.strip():
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as err:
+                    raise WorkerDeath(
+                        f"{self.name} wrote junk on its protocol stream: {err}",
+                        returncode=self.proc.poll(),
+                        stderr_tail=self.stderr_tail(),
+                    ) from err
+                return obj
+            if len(self._rbuf) > protocol.MAX_MESSAGE_BYTES:
+                raise WorkerDeath(
+                    f"{self.name} response exceeds the message size limit",
+                    returncode=self.proc.poll(),
+                    stderr_tail=self.stderr_tail(),
+                )
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise WorkerTimeout(f"{self.name} exceeded the request backstop")
+            readable, _, _ = select.select(
+                [fd], [], [], min(remaining, 1.0) if remaining is not None else 1.0
+            )
+            if not readable:
+                continue
+            chunk = os.read(fd, 1 << 16)
+            if not chunk:
+                raise WorkerDeath(
+                    f"{self.name} died (EOF on protocol stream)",
+                    returncode=self._exit_code(),
+                    stderr_tail=self.stderr_tail(),
+                )
+            self._rbuf.extend(chunk)
+
+    def request(self, job: Dict[str, Any], timeout: Optional[float]) -> Dict[str, Any]:
+        """Send one job and await its response."""
+        line = json.dumps(job, separators=(",", ":"), sort_keys=True) + "\n"
+        try:
+            self.proc.stdin.write(line.encode("utf-8"))
+            self.proc.stdin.flush()
+        except (BrokenPipeError, OSError) as err:
+            raise WorkerDeath(
+                f"{self.name} died before accepting the request",
+                returncode=self._exit_code(),
+                stderr_tail=self.stderr_tail(),
+            ) from err
+        deadline = None if timeout is None else time.monotonic() + timeout
+        resp = self._read_message(deadline)
+        self.served = int(resp.get("served", self.served) or self.served)
+        if resp.get("rss_kb") is not None:
+            self.rss_kb = int(resp["rss_kb"])
+        return resp
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        try:
+            resp = self.request({"op": "ping"}, timeout)
+            return resp.get("status") == "ok"
+        except (WorkerDeath, WorkerTimeout):
+            return False
+
+    # ---------------------------------------------------------- lifecycle
+    def _exit_code(self, timeout: float = 2.0) -> Optional[int]:
+        """The worker's exit status after a death was observed.
+
+        EOF on the protocol stream can precede the exit status becoming
+        visible (the pipe closes before the process is reaped), so a
+        bare ``poll()`` here races to ``None``; wait briefly instead.
+        """
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            return self.proc.poll()
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stop(self, grace: float = 2.0) -> None:
+        """Graceful retirement: shutdown op, then EOF, then SIGKILL."""
+        if self.alive():
+            try:
+                self.proc.stdin.write(b'{"op":"shutdown"}\n')
+                self.proc.stdin.flush()
+                self.proc.stdin.close()
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                self.proc.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        self._cleanup_stderr()
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+        self._cleanup_stderr()
+
+    def stderr_tail(self, limit: int = 8192) -> str:
+        try:
+            self._stderr_file.flush()
+            with open(self._stderr_file.name, "rb") as f:
+                f.seek(0, os.SEEK_END)
+                size = f.tell()
+                f.seek(max(0, size - limit))
+                return f.read().decode(errors="replace")
+        except OSError:
+            return ""
+
+    def _cleanup_stderr(self) -> None:
+        try:
+            self._stderr_file.close()
+            os.unlink(self._stderr_file.name)
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Fixed-size pool of :class:`WorkerHandle` with supervised dispatch."""
+
+    def __init__(
+        self,
+        size: int = 2,
+        cache_root: Optional[str] = None,
+        recycle_after: int = 200,
+        memory_budget_kb: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        acquire_timeout: float = 30.0,
+        fault_injection: bool = False,
+    ):
+        self.size = max(1, int(size))
+        self.cache_root = cache_root
+        self.recycle_after = max(1, int(recycle_after))
+        self.memory_budget_kb = memory_budget_kb
+        #: Jitter is on by default here: N workers replaying against one
+        #: flaky backend must not retry in lockstep.
+        self.retry = retry if retry is not None else RetryPolicy(
+            retries=1, backoff=0.05, jitter=0.5
+        )
+        self.acquire_timeout = acquire_timeout
+        self.fault_injection = fault_injection
+        self._idle: "Queue[WorkerHandle]" = Queue()
+        self._lock = threading.Lock()
+        self._workers: List[WorkerHandle] = []
+        self._closed = False
+        self.stats_counters: Dict[str, int] = {
+            "spawned": 0, "deaths": 0, "recycled": 0, "replays": 0,
+            "timeouts": 0, "requests": 0, "saturated": 0,
+        }
+        self._in_flight = 0
+
+    # ---------------------------------------------------------- lifecycle
+    def start(self) -> "WorkerPool":
+        for _ in range(self.size):
+            self._add_worker()
+        return self
+
+    def _add_worker(self) -> None:
+        handle = WorkerHandle(self.cache_root, self.fault_injection)
+        with self._lock:
+            self._workers.append(handle)
+            self.stats_counters["spawned"] += 1
+        self._idle.put(handle)
+
+    def _retire(self, handle: WorkerHandle, *, kill: bool,
+                counter: Optional[str] = None) -> None:
+        with self._lock:
+            if handle in self._workers:
+                self._workers.remove(handle)
+            if counter:
+                self.stats_counters[counter] += 1
+        if kill:
+            handle.kill()
+        else:
+            handle.stop()
+        if not self._closed:
+            try:
+                self._add_worker()
+            except WorkerDeath:
+                # The replacement failed its handshake; the next submit
+                # that fails to acquire a worker will surface saturation.
+                pass
+
+    def close(self) -> None:
+        self._closed = True
+        with self._lock:
+            workers = list(self._workers)
+            self._workers.clear()
+        for handle in workers:
+            handle.stop()
+        while True:
+            try:
+                self._idle.get_nowait()
+            except Empty:
+                break
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- health
+    def health_check(self) -> int:
+        """Ping every currently-idle worker; replace the unresponsive.
+        Returns the number of workers replaced."""
+        replaced = 0
+        checked: List[WorkerHandle] = []
+        while True:
+            try:
+                handle = self._idle.get_nowait()
+            except Empty:
+                break
+            if handle.alive() and handle.ping():
+                checked.append(handle)
+            else:
+                self._retire(handle, kill=True, counter="deaths")
+                replaced += 1
+        for handle in checked:
+            self._idle.put(handle)
+        return replaced
+
+    # ----------------------------------------------------------- dispatch
+    def _checkout(self) -> Optional[WorkerHandle]:
+        deadline = time.monotonic() + self.acquire_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                handle = self._idle.get(timeout=min(remaining, 1.0))
+            except Empty:
+                continue
+            if not handle.alive():
+                self._retire(handle, kill=True, counter="deaths")
+                continue
+            return handle
+
+    def _checkin(self, handle: WorkerHandle) -> None:
+        over_requests = handle.served >= self.recycle_after
+        over_memory = (
+            self.memory_budget_kb is not None
+            and handle.rss_kb is not None
+            and handle.rss_kb > self.memory_budget_kb
+        )
+        if over_requests or over_memory:
+            self._retire(handle, kill=False, counter="recycled")
+        else:
+            self._idle.put(handle)
+
+    def _write_crash_bundle(self, job: Dict[str, Any], death: WorkerDeath) -> Optional[str]:
+        """Minimized repro bundle for a worker death (no array payloads)."""
+        try:
+            root = crash_dir()
+            os.makedirs(root, exist_ok=True)
+            stem = "".join(
+                c if c.isalnum() or c in "-_." else "_"
+                for c in str(job.get("tenant", "tenant"))
+            ) or "tenant"
+            bundle = _unique_bundle_dir(root, f"serve_{stem}")
+            manifest = {
+                "op": job.get("op"),
+                "tenant": job.get("tenant"),
+                "backend": job.get("backend", "python"),
+                "program": job.get("program"),
+                "returncode": death.returncode,
+                "arrays": {
+                    name: {"dtype": spec.get("dtype"), "shape": spec.get("shape")}
+                    for name, spec in (job.get("arrays") or {}).items()
+                    if isinstance(spec, dict)
+                },
+                "symbols": job.get("symbols") or {},
+            }
+            with open(os.path.join(bundle, "manifest.json"), "w") as f:
+                json.dump(manifest, f, indent=2, sort_keys=True)
+            if job.get("sdfg") is not None:
+                with open(os.path.join(bundle, "sdfg.json"), "w") as f:
+                    json.dump(job["sdfg"], f, indent=2, sort_keys=True)
+            with open(os.path.join(bundle, "stderr.txt"), "w") as f:
+                f.write(death.stderr_tail or "")
+            return bundle
+        except OSError:
+            return None
+
+    def submit(self, job: Dict[str, Any], timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Dispatch one job; always returns a protocol response payload.
+
+        Worker deaths are contained: bundle, respawn, replay (with
+        jittered backoff) up to ``retry.retries`` times, then a
+        structured ``E201`` error.  Backstop timeouts kill the worker
+        and yield ``R805`` without replay.
+        """
+        if timeout is None:
+            deadline = job.get("deadline")
+            timeout = (
+                float(deadline) + 10.0 if deadline else DEFAULT_REQUEST_TIMEOUT
+            )
+        with self._lock:
+            self.stats_counters["requests"] += 1
+        attempt = 0
+        last_bundle: Optional[str] = None
+        while True:
+            handle = self._checkout()
+            if handle is None:
+                with self._lock:
+                    self.stats_counters["saturated"] += 1
+                return protocol.rejected_response(
+                    "R806",
+                    f"worker pool saturated: no worker became available "
+                    f"within {self.acquire_timeout:g}s",
+                    retry_after=self.acquire_timeout,
+                )
+            with self._lock:
+                self._in_flight += 1
+            try:
+                resp = handle.request(job, timeout)
+            except WorkerDeath as death:
+                with self._lock:
+                    self.stats_counters["deaths"] += 1
+                last_bundle = self._write_crash_bundle(job, death) or last_bundle
+                self._retire(handle, kill=True)
+                if attempt < self.retry.retries:
+                    time.sleep(self.retry.delay(attempt))
+                    attempt += 1
+                    with self._lock:
+                        self.stats_counters["replays"] += 1
+                    continue  # the finally clause settles _in_flight
+                detail = (
+                    f"killed by signal {-death.returncode}"
+                    if death.returncode is not None and death.returncode < 0
+                    else f"exit status {death.returncode}"
+                )
+                return protocol.error_response(
+                    "E201",
+                    f"worker died while executing the request ({detail}) "
+                    f"after {attempt + 1} attempt(s)"
+                    + (f"; repro bundle at {last_bundle}" if last_bundle else ""),
+                    attempts=attempt + 1,
+                    bundle=last_bundle,
+                    returncode=death.returncode,
+                    retryable=True,
+                )
+            except WorkerTimeout:
+                with self._lock:
+                    self.stats_counters["timeouts"] += 1
+                self._retire(handle, kill=True)
+                return protocol.error_response(
+                    "R805",
+                    f"request exceeded its {timeout:g}s wall-clock backstop; "
+                    "the worker was killed",
+                    attempts=attempt + 1,
+                )
+            else:
+                self._checkin(handle)
+                if attempt:
+                    resp.setdefault("replays", attempt)
+                return resp
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            out = dict(self.stats_counters)
+            out["size"] = self.size
+            out["alive"] = sum(1 for w in self._workers if w.alive())
+            out["in_flight"] = self._in_flight
+        return out

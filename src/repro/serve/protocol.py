@@ -1,0 +1,213 @@
+"""Wire protocol of the compile-and-execute service.
+
+Requests and responses are newline-delimited JSON objects ("JSON
+lines"): trivially debuggable with ``socat``, dependency-free, and safe
+to pipeline.  Arrays travel as base64-encoded contiguous buffers with
+explicit dtype/shape so the receiving side can validate the payload
+*before* allocating from it.
+
+Every fault surfaces as a structured payload carrying a stable
+diagnostic code (see :mod:`repro.diagnostics`):
+
+========= ============================================================
+status     meaning
+========= ============================================================
+``ok``     the request was served; results attached
+``error``  the request was admitted but failed (``E2xx``/``R805``/V-codes)
+``rejected`` admission control refused it fast (``R806``–``R808``) —
+           the 429 of this protocol; ``retry_after`` says when to come back
+========= ============================================================
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, IO, Optional
+
+import numpy as np
+
+from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
+
+#: Protocol schema version; servers reject mismatched clients with E202.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one serialized message; oversized requests are a
+#: denial-of-service vector, not a workload.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+#: Operations a client may request.
+OPS = ("ping", "stats", "compile", "execute", "shutdown")
+
+
+class ProtocolError(DiagnosticError):
+    """Malformed or oversized message (code ``E202``)."""
+
+    def __init__(self, message: str, code: str = "E202"):
+        super().__init__(make_diagnostic(code, message, Severity.ERROR))
+
+
+# ---------------------------------------------------------------- arrays
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """JSON-safe encoding of one ndarray (dtype ‖ shape ‖ raw buffer)."""
+    arr = np.asarray(arr)
+    # NB: ascontiguousarray promotes 0-d to shape (1,); keep arr.shape.
+    contiguous = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(contiguous.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: Any) -> np.ndarray:
+    """Decode and *validate* one array payload.
+
+    The byte count must match dtype x shape exactly — a short buffer
+    must never materialize as an array that reads out of bounds.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"array payload must be an object, got {type(obj).__name__}")
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(d) for d in obj["shape"])
+        raw = base64.b64decode(obj["data"])
+    except (KeyError, TypeError, ValueError) as err:
+        raise ProtocolError(f"malformed array payload: {err}") from err
+    if any(d < 0 for d in shape):
+        raise ProtocolError(f"negative dimension in array shape {shape}")
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if shape else dtype.itemsize
+    if len(raw) != expected:
+        raise ProtocolError(
+            f"array payload size mismatch: {len(raw)} bytes for "
+            f"dtype {dtype} shape {shape} (expected {expected})"
+        )
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def encode_arrays(arrays: Dict[str, np.ndarray]) -> Dict[str, Any]:
+    return {name: encode_array(arr) for name, arr in arrays.items()}
+
+
+def decode_arrays(obj: Any) -> Dict[str, np.ndarray]:
+    if not isinstance(obj, dict):
+        raise ProtocolError("'arrays' must be an object of name -> payload")
+    return {str(name): decode_array(payload) for name, payload in obj.items()}
+
+
+def decode_symbols(obj: Any) -> Dict[str, int]:
+    if obj is None:
+        return {}
+    if not isinstance(obj, dict):
+        raise ProtocolError("'symbols' must be an object of name -> int")
+    out = {}
+    for name, value in obj.items():
+        try:
+            out[str(name)] = int(value)
+        except (TypeError, ValueError) as err:
+            raise ProtocolError(f"symbol {name!r} is not an integer: {value!r}") from err
+    return out
+
+
+# --------------------------------------------------------------- framing
+def send_message(stream: IO[str], obj: Dict[str, Any]) -> None:
+    """Write one message (compact JSON + newline) and flush."""
+    line = json.dumps(obj, separators=(",", ":"), sort_keys=True)
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds limit of {MAX_MESSAGE_BYTES}"
+        )
+    stream.write(line)
+    stream.write("\n")
+    stream.flush()
+
+
+def recv_message(stream: IO[str]) -> Optional[Dict[str, Any]]:
+    """Read one message; None on clean EOF; ``ProtocolError`` on junk."""
+    line = stream.readline(MAX_MESSAGE_BYTES + 2)
+    if not line:
+        return None
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"incoming message exceeds limit of {MAX_MESSAGE_BYTES} bytes"
+        )
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ProtocolError(f"message is not valid JSON: {err}") from err
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# -------------------------------------------------------------- payloads
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    payload = {"status": "ok", "v": PROTOCOL_VERSION}
+    payload.update(fields)
+    return payload
+
+
+def error_response(code: str, message: str, **fields: Any) -> Dict[str, Any]:
+    payload = {
+        "status": "error",
+        "v": PROTOCOL_VERSION,
+        "code": code,
+        "message": message,
+    }
+    payload.update(fields)
+    return payload
+
+
+def rejected_response(
+    code: str, message: str, retry_after: Optional[float] = None, **fields: Any
+) -> Dict[str, Any]:
+    """Fast admission rejection — the service-level 429."""
+    payload = {
+        "status": "rejected",
+        "v": PROTOCOL_VERSION,
+        "code": code,
+        "message": message,
+    }
+    if retry_after is not None:
+        payload["retry_after"] = round(float(retry_after), 6)
+    payload.update(fields)
+    return payload
+
+
+def validate_request(obj: Dict[str, Any]) -> Dict[str, Any]:
+    """Shape-check an incoming request; raises ``ProtocolError``."""
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    if obj.get("v", PROTOCOL_VERSION) != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: client v{obj.get('v')}, "
+            f"server v{PROTOCOL_VERSION}"
+        )
+    tenant = obj.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant or len(tenant) > 128:
+        raise ProtocolError(f"invalid tenant {tenant!r}")
+    if op in ("compile", "execute"):
+        if obj.get("sdfg") is None and not obj.get("program"):
+            raise ProtocolError(f"{op} request needs 'sdfg' and/or 'program'")
+        if obj.get("sdfg") is not None and not isinstance(obj["sdfg"], dict):
+            raise ProtocolError("'sdfg' must be a serialized SDFG object")
+        backend = obj.get("backend", "python")
+        if backend not in ("python", "cpp", "interpreter"):
+            raise ProtocolError(f"unknown backend {backend!r}")
+        deadline = obj.get("deadline")
+        if deadline is not None:
+            try:
+                if float(deadline) <= 0:
+                    raise ValueError
+            except (TypeError, ValueError):
+                raise ProtocolError(f"invalid deadline {deadline!r}") from None
+        sanitize = obj.get("sanitize")
+        if sanitize not in (None, False, True, "raise", "collect"):
+            raise ProtocolError(f"invalid sanitize mode {sanitize!r}")
+    return obj

@@ -1,0 +1,289 @@
+"""The persistent service worker (``python -m repro.serve.worker``).
+
+One worker is one long-lived process owning the *unsafe* half of the
+service: it validates, compiles, and executes tenant SDFGs **in
+process** — it is the crash-isolation boundary, generalizing the
+spawn-per-call harness of :mod:`repro.runtime.isolation` into a warm
+pool member.  If generated code segfaults, the worker dies and the pool
+supervisor (:mod:`repro.serve.pool`) respawns it and replays the
+request; the daemon never executes tenant code itself.
+
+Because the worker survives across requests it keeps state the
+spawn-per-call harness could not:
+
+* an LRU of fully-built :class:`~repro.codegen.compiler.CompiledSDFG`
+  artifacts keyed by ``(content_hash, backend, tenant, sanitize)`` — a
+  warm execute skips compile *and* ``exec`` *and* argument re-validation
+  (the marshaling plan lives on the artifact);
+* per-tenant :class:`~repro.codegen.progcache.ProgramCache` tiers
+  (disk-backed under ``--cache-root``) so a recycled worker's
+  replacement warms up from disk instead of from scratch.
+
+Protocol: JSON lines on stdin/stdout (see :mod:`repro.serve.protocol`).
+The worker re-points ``sys.stdout`` at stderr right after startup so a
+stray ``print`` in tasklet code can never corrupt the protocol stream.
+
+Fault injection (``inject_fault`` request field) is honored only when
+the supervisor sets ``REPRO_SERVE_FAULT_INJECTION=1`` — it exists so the
+fault-tolerance suite and the CI load test can force genuine worker
+deaths (``SIGSEGV``) and hangs without depending on a host C++ compiler.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, TextIO
+
+from repro.diagnostics import DiagnosticError
+from repro.serve import protocol
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+#: Max fully-built artifacts kept hot in one worker.
+MAX_PROGRAMS = 32
+
+
+def _rss_kb() -> Optional[int]:
+    """Peak resident set size in KiB (None where unavailable)."""
+    if resource is None:
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return int(usage // 1024) if sys.platform == "darwin" else int(usage)
+
+
+def fault_injection_enabled() -> bool:
+    return os.environ.get("REPRO_SERVE_FAULT_INJECTION", "").strip().lower() in (
+        "1", "true", "on", "yes",
+    )
+
+
+class WorkerRuntime:
+    """Request dispatcher holding the warm state of one worker."""
+
+    def __init__(self, cache_root: Optional[str] = None):
+        self.cache_root = cache_root
+        #: (content_hash, backend, tenant, sanitize) -> CompiledSDFG
+        self._programs: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._mem_caches: Dict[str, Any] = {}
+        self.served = 0
+        self.started = time.monotonic()
+
+    # ----------------------------------------------------------- caches
+    def _tenant_cache(self, tenant: str):
+        from repro.codegen.progcache import ProgramCache, namespaced_cache
+
+        if self.cache_root:
+            return namespaced_cache(self.cache_root, tenant)
+        cache = self._mem_caches.get(tenant)
+        if cache is None:
+            cache = self._mem_caches[tenant] = ProgramCache()
+        return cache
+
+    def _remember(self, key: tuple, compiled: Any) -> None:
+        self._programs[key] = compiled
+        self._programs.move_to_end(key)
+        while len(self._programs) > MAX_PROGRAMS:
+            self._programs.popitem(last=False)
+
+    # ---------------------------------------------------------- faults
+    @staticmethod
+    def _maybe_inject_fault(job: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        fault = job.get("inject_fault")
+        if not fault:
+            return None
+        if not fault_injection_enabled():
+            return protocol.error_response(
+                "E202",
+                "fault injection requested but REPRO_SERVE_FAULT_INJECTION "
+                "is not set on this worker",
+            )
+        if fault == "segv":
+            # A genuine fatal signal: the same death mode as a wild
+            # pointer in generated native code.
+            os.kill(os.getpid(), signal.SIGSEGV)
+        elif fault == "exit":
+            os._exit(70)
+        elif fault == "hang":
+            time.sleep(float(job.get("hang_seconds", 3600.0)))
+        return protocol.error_response("E202", f"unknown inject_fault {fault!r}")
+
+    # --------------------------------------------------------- handlers
+    def handle(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        op = job.get("op")
+        if op == "ping":
+            return protocol.ok_response(
+                op="pong", served=self.served, rss_kb=_rss_kb(),
+                uptime=round(time.monotonic() - self.started, 6),
+            )
+        if op == "shutdown":
+            return protocol.ok_response(op="shutdown")
+        if op in ("compile", "execute"):
+            injected = self._maybe_inject_fault(job)
+            if injected is not None:
+                return injected
+            try:
+                return self._compile_or_execute(job)
+            except DiagnosticError as err:
+                return protocol.error_response(
+                    err.code, str(err), op=op, served=self.served, rss_kb=_rss_kb()
+                )
+            except (TypeError, ValueError, KeyError) as err:
+                # Bad arguments / malformed SDFG JSON: the request is at
+                # fault, not the worker.
+                return protocol.error_response(
+                    "E202", f"{type(err).__name__}: {err}", op=op,
+                    served=self.served, rss_kb=_rss_kb(),
+                )
+            except Exception as err:  # noqa: BLE001 - the worker must not die quietly
+                return protocol.error_response(
+                    "E204", f"{type(err).__name__}: {err}", op=op,
+                    served=self.served, rss_kb=_rss_kb(),
+                )
+        return protocol.error_response("E202", f"unknown worker op {op!r}")
+
+    def _compile_or_execute(self, job: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.codegen.compiler import compile_sdfg
+        from repro.sdfg.serialize import content_hash, sdfg_from_json
+
+        op = job["op"]
+        tenant = str(job.get("tenant", "default"))
+        backend = job.get("backend", "python")
+        sanitize = job.get("sanitize") or None
+        if sanitize is True:
+            sanitize = "raise"
+
+        sdfg_json = job.get("sdfg")
+        program = job.get("program")
+        if program is None and sdfg_json is None:
+            return protocol.error_response("E202", "request carries neither 'sdfg' nor 'program'")
+
+        sdfg = None
+        if program is None:
+            sdfg = sdfg_from_json(sdfg_json)
+            program = content_hash(sdfg)
+        key = (program, backend, tenant, sanitize or "")
+
+        compiled = self._programs.get(key)
+        warm = compiled is not None
+        if warm:
+            self._programs.move_to_end(key)
+        else:
+            if sdfg is None and sdfg_json is None:
+                # Execute-by-key from a client whose compile landed on a
+                # different (or recycled) worker: ask it to resend.
+                return protocol.error_response(
+                    "E203",
+                    f"program {program[:16]}… is not resident in this worker; "
+                    "resend the request with the 'sdfg' body",
+                    program=program,
+                )
+            if sdfg is None:
+                sdfg = sdfg_from_json(sdfg_json)
+            compiled = compile_sdfg(
+                sdfg,
+                backend=backend,
+                cache=self._tenant_cache(tenant),
+                sanitize=sanitize,
+                isolate=False,  # this worker IS the isolation boundary
+                cache_namespace=tenant,
+            )
+            self._remember(key, compiled)
+
+        self.served += 1
+        base = dict(
+            op=op,
+            program=program,
+            warm=warm,
+            cache_hit=bool(getattr(compiled, "cache_hit", False)),
+            backend=compiled.backend,
+            served=self.served,
+            rss_kb=_rss_kb(),
+        )
+        if op == "compile":
+            return protocol.ok_response(**base)
+
+        arrays = protocol.decode_arrays(job.get("arrays") or {})
+        symbols = protocol.decode_symbols(job.get("symbols"))
+        deadline = job.get("deadline")
+        compiled.deadline = float(deadline) if deadline else None
+        budget = job.get("memory_budget")
+        compiled.memory_budget = int(budget) if budget else None
+        compiled.sanitize = sanitize
+
+        start = time.perf_counter()
+        compiled(**arrays, **symbols)
+        runtime = time.perf_counter() - start
+
+        findings = [
+            f.to_json() if hasattr(f, "to_json") else str(f)
+            for f in (compiled.last_findings or [])
+        ]
+        return protocol.ok_response(
+            arrays=protocol.encode_arrays(arrays),
+            runtime=round(runtime, 9),
+            degradation=[
+                {k: v for k, v in hop.items() if k != "message"}
+                for hop in compiled.degradation
+            ],
+            findings=findings,
+            **dict(base, backend=compiled.backend),
+        )
+
+
+# =====================================================================
+# Entry point
+# =====================================================================
+
+
+def _protect_protocol_stream() -> TextIO:
+    """Claim fd 1 for the protocol; stray prints go to stderr."""
+    proto = os.fdopen(os.dup(1), "w", encoding="utf-8", newline="\n")
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+    return proto
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.worker",
+        description="repro service worker (spawned by the pool supervisor)",
+    )
+    parser.add_argument("--cache-root", default=None,
+                        help="root directory for per-tenant disk program caches")
+    args = parser.parse_args(argv)
+
+    proto_out = _protect_protocol_stream()
+    runtime = WorkerRuntime(cache_root=args.cache_root)
+    protocol.send_message(proto_out, {"ready": True, "pid": os.getpid()})
+
+    stdin = sys.stdin
+    while True:
+        try:
+            job = protocol.recv_message(stdin)
+        except protocol.ProtocolError as err:
+            protocol.send_message(
+                proto_out, protocol.error_response(err.code, str(err))
+            )
+            continue
+        if job is None:  # supervisor closed our stdin: clean retirement
+            return 0
+        response = runtime.handle(job)
+        if "id" in job:
+            response["id"] = job["id"]
+        protocol.send_message(proto_out, response)
+        if job.get("op") == "shutdown":
+            return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

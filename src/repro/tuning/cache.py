@@ -28,6 +28,7 @@ import json
 import os
 from typing import Any, Dict, Optional
 
+from repro.filelock import FileLock
 from repro.instrumentation import InstrumentationRecorder
 from repro.sdfg.serialize import content_hash
 
@@ -66,6 +67,14 @@ class TuningCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"{key}.json")
 
+    def _dir_lock(self) -> Optional[FileLock]:
+        """Best-effort cross-process lock for multi-file operations
+        (eviction, quarantine); see :mod:`repro.filelock`.  Concurrent
+        worker processes share tuning-cache directories, and two racing
+        evictions must not double-delete or interleave with a put."""
+        lock = FileLock(os.path.join(self.cache_dir, ".lock"), timeout=5.0)
+        return lock if lock.acquire(best_effort=True) else None
+
     # ------------------------------------------------------------- get/put
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Look up an entry; None on miss.  Corrupt or stale-schema files
@@ -87,10 +96,14 @@ class TuningCache:
         except (OSError, ValueError):
             self._count("corrupt")
             self._count("miss")
+            lock = self._dir_lock()
             try:
                 os.remove(path)
             except OSError:
                 pass
+            finally:
+                if lock is not None:
+                    lock.release()
             return None
         self._count("hit")
         try:
@@ -130,17 +143,22 @@ class TuningCache:
         return out
 
     def _evict(self) -> None:
-        entries = self._entries()
-        if len(entries) <= self.max_entries:
-            return
-        entries.sort()  # oldest mtime first
-        for _, path in entries[: len(entries) - self.max_entries]:
-            try:
-                os.remove(path)
-                self.evictions += 1
-                self._count("evict")
-            except OSError:
-                pass
+        lock = self._dir_lock()
+        try:
+            entries = self._entries()
+            if len(entries) <= self.max_entries:
+                return
+            entries.sort()  # oldest mtime first
+            for _, path in entries[: len(entries) - self.max_entries]:
+                try:
+                    os.remove(path)
+                    self.evictions += 1
+                    self._count("evict")
+                except OSError:
+                    pass
+        finally:
+            if lock is not None:
+                lock.release()
 
     # ------------------------------------------------------------ counters
     def _count(self, what: str) -> None:

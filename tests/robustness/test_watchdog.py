@@ -259,3 +259,112 @@ def test_watchdog_violation_feeds_breaker():
         compiled(**kwargs)
     assert BREAKERS.failures("python") == 1
     assert BREAKERS.last_code("python") == "R805"
+
+
+# ----------------------------------------------------------- retry jitter
+def test_retry_jitter_spreads_delays_within_bounds():
+    """With jitter=j, the delay for attempt n is uniform over
+    [b*2^n*(1-j), b*2^n*(1+j)] — never negative, mean preserved."""
+    import random
+
+    policy = RetryPolicy(retries=3, backoff=0.1, jitter=0.5,
+                         rng=random.Random(42))
+    for attempt in range(4):
+        base = 0.1 * (2 ** attempt)
+        delays = [policy.delay(attempt) for _ in range(200)]
+        assert all(base * 0.5 <= d <= base * 1.5 for d in delays)
+        spread = max(delays) - min(delays)
+        assert spread > base * 0.5, "jitter must actually spread the delays"
+
+
+def test_retry_jitter_deterministic_with_injected_rng():
+    import random
+
+    a = RetryPolicy(backoff=0.05, jitter=0.3, rng=random.Random(7))
+    b = RetryPolicy(backoff=0.05, jitter=0.3, rng=random.Random(7))
+    assert [a.delay(n) for n in (0, 1, 2)] == [b.delay(n) for n in (0, 1, 2)]
+
+
+def test_retry_no_jitter_is_pure_exponential():
+    policy = RetryPolicy(backoff=0.05, jitter=0.0)
+    assert [policy.delay(n) for n in (0, 1, 2)] == [0.05, 0.1, 0.2]
+
+
+def test_retry_jitter_clamped_and_from_env(monkeypatch):
+    assert RetryPolicy(jitter=2.5).jitter == 1.0
+    assert RetryPolicy(jitter=-1.0).jitter == 0.0
+    monkeypatch.setenv("REPRO_RETRY_JITTER", "0.4")
+    assert RetryPolicy.from_env().jitter == 0.4
+    policy = RetryPolicy(backoff=0.1, jitter=1.0)
+    for attempt in range(3):
+        assert policy.delay(attempt) >= 0.0, "full jitter never goes negative"
+
+
+# ------------------------------------------- half-open probe concurrency
+def test_half_open_admits_exactly_one_probe_across_threads():
+    """N threads race is_open() after the cooldown: exactly one caller
+    is admitted as the probe, every loser keeps being short-circuited."""
+    import threading
+
+    reg = CircuitBreakerRegistry(threshold=2, cooldown=0.05)
+    reg.record_failure("cpp", code="E201")
+    reg.record_failure("cpp", code="E201")
+    assert reg.is_open("cpp")
+    time.sleep(0.06)
+
+    results = []
+    barrier = threading.Barrier(8)
+
+    def racer():
+        barrier.wait()
+        results.append(reg.is_open("cpp"))
+
+    threads = [threading.Thread(target=racer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert results.count(False) == 1, "exactly one half-open probe"
+    assert results.count(True) == 7, "losers stay short-circuited"
+    assert reg.state("cpp") == "half_open"
+
+    # While the probe is in flight, later callers are still rejected.
+    assert reg.is_open("cpp")
+
+    reg.record_success("cpp")
+    assert reg.state("cpp") == "closed"
+    assert not reg.is_open("cpp")
+
+
+def test_half_open_transitions_are_logged_and_broadcast():
+    seen = []
+    reg = CircuitBreakerRegistry(threshold=1, cooldown=0.05)
+    reg.on_transition(lambda key, old, new: seen.append((key, old, new)))
+
+    reg.record_failure("tenant_x", code="E201")
+    time.sleep(0.06)
+    assert not reg.is_open("tenant_x")  # admitted as the probe
+    reg.record_failure("tenant_x", code="E201")  # probe fails: re-open
+    time.sleep(0.06)
+    assert not reg.is_open("tenant_x")  # second probe
+    reg.record_success("tenant_x")  # probe succeeds: closed
+
+    expected = [
+        ("tenant_x", "closed", "open"),
+        ("tenant_x", "open", "half_open"),
+        ("tenant_x", "half_open", "open"),
+        ("tenant_x", "open", "half_open"),
+        ("tenant_x", "half_open", "closed"),
+    ]
+    assert seen == expected
+    assert reg.transitions == expected, "bounded log mirrors the listeners"
+
+
+def test_failed_probe_restarts_full_cooldown():
+    reg = CircuitBreakerRegistry(threshold=1, cooldown=0.2)
+    reg.record_failure("cpp", code="E201")
+    time.sleep(0.21)
+    assert not reg.is_open("cpp")  # the probe
+    reg.record_failure("cpp", code="E201")  # probe fails
+    assert reg.is_open("cpp")
+    assert reg.cooldown_remaining("cpp") > 0.1, "cooldown restarted in full"

@@ -1,0 +1,210 @@
+"""Admission-control gates (R806/R807/R808) and load shedding (W801)."""
+
+import time
+
+import pytest
+
+from repro.instrumentation import InstrumentationRecorder
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    LoadShedder,
+    TenantPolicy,
+)
+
+
+def controller(**policy_kw):
+    policy_kw.setdefault("breaker_cooldown", 0.2)
+    return AdmissionController(default_policy=TenantPolicy(**policy_kw))
+
+
+# --------------------------------------------------------- in-flight cap
+def test_inflight_cap_rejects_r806_and_recovers():
+    ctrl = controller(max_inflight=2)
+    t1 = ctrl.admit("alice")
+    t2 = ctrl.admit("alice")
+    with pytest.raises(AdmissionError) as exc:
+        ctrl.admit("alice")
+    assert exc.value.code == "R806"
+    assert exc.value.retry_after is not None
+
+    # Other tenants have their own cap.
+    ctrl.admit("bob").complete()
+
+    t1.complete()
+    t2.complete()
+    ctrl.admit("alice").complete()  # slot freed
+
+
+def test_ticket_complete_is_idempotent():
+    ctrl = controller(max_inflight=1)
+    ticket = ctrl.admit("alice")
+    ticket.complete()
+    ticket.complete()
+    ticket.complete()
+    stats = ctrl.stats()["tenants"]["alice"]
+    assert stats["inflight"] == 0
+    assert stats["ok"] == 1, "double settle must not double count"
+
+
+# ------------------------------------------------------- circuit breaker
+def test_breaker_opens_on_contained_failures_and_rejects_r807():
+    ctrl = controller(breaker_threshold=3)
+    for _ in range(3):
+        ctrl.admit("mallory").complete(failure_code="E201")
+    with pytest.raises(AdmissionError) as exc:
+        ctrl.admit("mallory")
+    assert exc.value.code == "R807"
+    assert exc.value.retry_after is not None and exc.value.retry_after > 0
+    # A different tenant is untouched by mallory's breaker.
+    ctrl.admit("alice").complete()
+
+
+def test_breaker_half_open_probe_closes_on_success():
+    ctrl = controller(breaker_threshold=2, breaker_cooldown=0.1)
+    for _ in range(2):
+        ctrl.admit("mallory").complete(failure_code="E201")
+    with pytest.raises(AdmissionError):
+        ctrl.admit("mallory")
+    time.sleep(0.15)
+    probe = ctrl.admit("mallory")  # the single half-open probe
+    assert ctrl.breakers.state("mallory") == "half_open"
+    probe.complete(cost_seconds=0.01)  # success
+    assert ctrl.breakers.state("mallory") == "closed"
+    ctrl.admit("mallory").complete()
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    ctrl = controller(breaker_threshold=2, breaker_cooldown=0.1)
+    for _ in range(2):
+        ctrl.admit("mallory").complete(failure_code="E201")
+    time.sleep(0.15)
+    probe = ctrl.admit("mallory")
+    probe.complete(failure_code="R805")
+    assert ctrl.breakers.state("mallory") == "open"
+    with pytest.raises(AdmissionError) as exc:
+        ctrl.admit("mallory")
+    assert exc.value.code == "R807"
+
+
+def test_validation_failures_do_not_charge_the_breaker():
+    ctrl = controller(breaker_threshold=2)
+    for _ in range(5):
+        ctrl.admit("clumsy").complete(failure_code="V202")
+    ctrl.admit("clumsy").complete()  # still admitted
+    assert ctrl.breakers.state("clumsy") == "closed"
+
+
+# ------------------------------------------------------- deadline budget
+def test_rolling_budget_rejects_r808_until_window_expires():
+    ctrl = controller(budget_seconds=0.1, budget_window=0.4)
+    ctrl.admit("hog").complete(cost_seconds=0.15)  # blows the budget
+    with pytest.raises(AdmissionError) as exc:
+        ctrl.admit("hog")
+    assert exc.value.code == "R808"
+    assert 0.0 <= exc.value.retry_after <= 0.4
+    # Light tenants are unaffected.
+    ctrl.admit("alice").complete(cost_seconds=0.01)
+    # The window rolls over and the hog is welcome again.
+    time.sleep(0.45)
+    ctrl.admit("hog").complete(cost_seconds=0.01)
+
+
+def test_budget_unlimited_by_default():
+    ctrl = controller()
+    for _ in range(10):
+        ctrl.admit("heavy").complete(cost_seconds=100.0)
+    ctrl.admit("heavy").complete()
+
+
+# ------------------------------------------------------- deadline clamp
+def test_clamp_deadline():
+    ctrl = AdmissionController(default_policy=TenantPolicy(deadline_cap=5.0))
+    assert ctrl.clamp_deadline("t", None) == 5.0, "cap is the default"
+    assert ctrl.clamp_deadline("t", 2.0) == 2.0
+    assert ctrl.clamp_deadline("t", 50.0) == 5.0, "requests cannot exceed the cap"
+    uncapped = AdmissionController(default_policy=TenantPolicy(deadline_cap=None))
+    assert uncapped.clamp_deadline("t", None) is None
+    assert uncapped.clamp_deadline("t", 50.0) == 50.0
+
+
+def test_per_tenant_policy_overrides_default():
+    ctrl = AdmissionController(
+        default_policy=TenantPolicy(max_inflight=8),
+        policies={"cheap": TenantPolicy(max_inflight=1)},
+    )
+    ctrl.admit("cheap")
+    with pytest.raises(AdmissionError):
+        ctrl.admit("cheap")
+    for _ in range(8):
+        ctrl.admit("normal")
+
+
+# ------------------------------------------------------------- shedding
+def test_shed_levels_track_pressure():
+    shedder = LoadShedder(capacity=2)
+    assert shedder.level() == 0
+    for _ in range(2):
+        shedder.enter()
+    assert shedder.level() == 0, "at capacity is still full service"
+    shedder.enter()
+    assert shedder.level() == 1
+    for _ in range(2):
+        shedder.enter()
+    assert shedder.level() == 2
+    for _ in range(2):
+        shedder.enter()
+    assert shedder.level() == 3
+    for _ in range(7):
+        shedder.exit()
+    assert shedder.level() == 0, "recovers the moment load drops"
+
+
+def test_shed_strips_options_in_documented_order():
+    shedder = LoadShedder(capacity=1)
+    job = {"backend": "cpp", "sanitize": "collect", "profile": True}
+
+    shedder.enter()
+    out, shed = shedder.apply(dict(job))
+    assert shed == [], "no shedding at full service"
+
+    shedder.enter()  # level 1
+    out, shed = shedder.apply(dict(job))
+    assert "sanitize" in shed and "profile" in shed
+    assert out["backend"] == "cpp", "level 1 keeps the backend"
+
+    shedder.enter()  # level 2
+    out, shed = shedder.apply(dict(job))
+    assert out["backend"] == "python"
+    assert "backend:cpp->python" in shed
+
+    shedder.enter()  # level 3
+    out, shed = shedder.apply(dict(job))
+    assert out["backend"] == "interpreter"
+
+
+def test_shed_does_not_mutate_the_original_job():
+    shedder = LoadShedder(capacity=1)
+    for _ in range(4):
+        shedder.enter()
+    job = {"backend": "cpp", "sanitize": "raise"}
+    out, shed = shedder.apply(job)
+    assert job == {"backend": "cpp", "sanitize": "raise"}
+    assert out is not job
+
+
+# ------------------------------------------------------ instrumentation
+def test_admission_emits_serve_and_breaker_events():
+    recorder = InstrumentationRecorder()
+    ctrl = AdmissionController(
+        default_policy=TenantPolicy(breaker_threshold=1, breaker_cooldown=60.0),
+        recorder=recorder,
+    )
+    ctrl.admit("mallory").complete(failure_code="E201")
+    with pytest.raises(AdmissionError):
+        ctrl.admit("mallory")
+    labels = set(recorder.root.children.keys())
+    assert ("serve", "admit[mallory]") in labels
+    assert ("serve", "failure[mallory]:E201") in labels
+    assert ("breaker", "mallory:closed->open") in labels
+    assert ("serve", "reject[mallory]:R807") in labels

@@ -1,0 +1,190 @@
+"""End-to-end daemon tests over a real Unix socket."""
+
+import json
+import os
+import socket
+
+import numpy as np
+import pytest
+
+from repro.runtime.watchdog import RetryPolicy
+from repro.serve.admission import TenantPolicy
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import SDFGServer, ServeConfig
+from repro.serve.loadtest import scale_sdfg
+
+
+@pytest.fixture
+def server(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path / "crashes"))
+    cfg = ServeConfig(
+        socket_path=str(tmp_path / "serve.sock"),
+        workers=2,
+        cache_root=str(tmp_path / "cache"),
+        fault_injection=True,
+        default_policy=TenantPolicy(breaker_threshold=3, breaker_cooldown=0.5,
+                                    deadline_cap=20.0),
+        retry=RetryPolicy(retries=1, backoff=0.01, jitter=0.5),
+        health_interval=600.0,
+    )
+    with SDFGServer(cfg) as srv:
+        yield srv
+
+
+def client(server, tenant="default"):
+    return ServeClient(socket_path=server.config.socket_path, tenant=tenant)
+
+
+def test_ping_and_stats(server):
+    with client(server) as c:
+        pong = c.ping()
+        assert pong["status"] == "ok" and pong["op"] == "pong"
+        stats = c.stats()
+        assert stats["status"] == "ok"
+        assert stats["pool"]["size"] == 2
+        assert stats["requests"]["total"] >= 1
+
+
+def test_compile_then_execute_round_trip(server):
+    sdfg = scale_sdfg(2.0)
+    with client(server, tenant="alice") as c:
+        compiled = c.compile(sdfg)
+        assert compiled["status"] == "ok"
+        assert len(compiled["program"]) == 64, "content hash is the key"
+
+        a = np.arange(16, dtype=np.float64)
+        out = c.execute(sdfg, arrays={"A": a}, symbols={"N": 16})
+        assert out["status"] == "ok"
+        np.testing.assert_allclose(out["arrays"]["A"], a * 2.0)
+        assert out["tenant"] == "alice"
+
+
+def test_execute_by_key_resends_on_e203(server):
+    """A key-only execute that misses (worker respawned, or landed on
+    the other worker) is transparently resent with the SDFG body."""
+    sdfg = scale_sdfg(2.0)
+    with client(server, tenant="alice") as c:
+        program = c.compile(sdfg)["program"]
+        a = np.arange(8, dtype=np.float64)
+        # Drive enough key-based executes to hit both pool workers.
+        for _ in range(4):
+            out = c.execute(sdfg=sdfg, program=program, arrays={"A": a.copy()},
+                            symbols={"N": 8})
+            assert out["status"] == "ok"
+
+
+def test_malformed_requests_get_e202_connection_survives(server):
+    with client(server) as c:
+        resp = c.request({"op": "frobnicate"})
+        assert resp["status"] == "error" and resp["code"] == "E202"
+        resp = c.request({"op": "execute"})  # no sdfg/program
+        assert resp["code"] == "E202"
+        # Raw junk on the wire: the daemon answers and keeps the line open.
+        c._stream.write("this is not json\n")
+        c._stream.flush()
+        import repro.serve.protocol as protocol
+
+        resp = protocol.recv_message(c._stream)
+        assert resp["code"] == "E202"
+        assert c.ping()["status"] == "ok", "connection still usable"
+
+
+def test_strict_client_raises_serve_error(server):
+    with client(server) as c:
+        with pytest.raises(ServeError) as exc:
+            c.execute(scale_sdfg(2.0), arrays={}, symbols={"N": 4},
+                      inject_fault="segv", deadline=10.0)
+        assert exc.value.code == "E201"
+
+
+def test_tenant_caches_are_isolated_on_disk(server):
+    sdfg = scale_sdfg(5.0, name="tenant_iso")
+    a = np.arange(4, dtype=np.float64)
+    with client(server, tenant="alice") as c:
+        c.execute(sdfg, arrays={"A": a.copy()}, symbols={"N": 4})
+    with client(server, tenant="bob") as c:
+        c.execute(sdfg, arrays={"A": a.copy()}, symbols={"N": 4})
+    root = server.config.cache_root
+    assert os.path.isdir(os.path.join(root, "alice"))
+    assert os.path.isdir(os.path.join(root, "bob"))
+    # Same program, namespaced keys: no entry file is shared.
+    alice = {f for f in os.listdir(os.path.join(root, "alice")) if f.endswith(".json")}
+    bob = {f for f in os.listdir(os.path.join(root, "bob")) if f.endswith(".json")}
+    assert alice and bob
+
+
+def test_daemon_survives_worker_segfault_and_stays_warm(server):
+    sdfg = scale_sdfg(2.0)
+    a = np.arange(8, dtype=np.float64)
+    with client(server, tenant="alice") as c:
+        assert c.execute(sdfg, arrays={"A": a.copy()}, symbols={"N": 8})["status"] == "ok"
+    with client(server, tenant="mallory") as c:
+        resp = c.execute(scale_sdfg(3.0), arrays={}, symbols={"N": 4},
+                         inject_fault="segv", deadline=10.0, strict=False)
+        assert resp["status"] == "error" and resp["code"] == "E201"
+    with client(server, tenant="alice") as c:
+        out = c.execute(sdfg, arrays={"A": a.copy()}, symbols={"N": 8})
+        assert out["status"] == "ok"
+        np.testing.assert_allclose(out["arrays"]["A"], a * 2.0)
+    assert server.pool.stats()["alive"] == 2
+
+
+def test_concurrent_clients_multiplex_one_daemon(server):
+    import threading
+
+    sdfg = scale_sdfg(2.0)
+    errors = []
+
+    def hammer(tenant):
+        try:
+            with client(server, tenant=tenant) as c:
+                for _ in range(5):
+                    a = np.arange(8, dtype=np.float64)
+                    out = c.execute(sdfg, arrays={"A": a}, symbols={"N": 8})
+                    assert out["status"] == "ok", out
+                    np.testing.assert_allclose(out["arrays"]["A"],
+                                               np.arange(8) * 2.0)
+        except Exception as err:  # noqa: BLE001
+            errors.append(f"{tenant}: {err}")
+
+    threads = [threading.Thread(target=hammer, args=(t,))
+               for t in ("alice", "bob", "carol")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, errors
+
+
+def test_shutdown_op_stops_the_daemon(tmp_path):
+    cfg = ServeConfig(socket_path=str(tmp_path / "s.sock"), workers=1)
+    srv = SDFGServer(cfg).start()
+    try:
+        with ServeClient(socket_path=cfg.socket_path) as c:
+            assert c.shutdown()["status"] == "ok"
+        srv._stop.wait(timeout=10)
+        assert srv._stop.is_set()
+    finally:
+        srv.stop()
+
+
+def test_shutdown_op_can_be_disabled(tmp_path):
+    cfg = ServeConfig(socket_path=str(tmp_path / "s.sock"), workers=1,
+                      allow_shutdown=False)
+    with SDFGServer(cfg) as srv:
+        with ServeClient(socket_path=cfg.socket_path) as c:
+            resp = c.shutdown()
+            assert resp["status"] == "error" and resp["code"] == "E202"
+            assert c.ping()["status"] == "ok"
+        assert not srv._stop.is_set()
+
+
+def test_tcp_transport(tmp_path):
+    cfg = ServeConfig(tcp=("127.0.0.1", 0), workers=1)
+    with SDFGServer(cfg) as srv:
+        host, port = srv.address[0], srv.address[1]
+        with ServeClient(tcp=(host, port)) as c:
+            assert c.ping()["status"] == "ok"
+            a = np.arange(4, dtype=np.float64)
+            out = c.execute(scale_sdfg(2.0), arrays={"A": a}, symbols={"N": 4})
+            np.testing.assert_allclose(out["arrays"]["A"], a * 2.0)
