@@ -329,11 +329,20 @@ def safe_namespace(namespace: str) -> str:
     """Filesystem- and key-safe form of a tenant namespace.
 
     Dots are allowed mid-name, but a namespace that is *only* dots
-    (``"."``, ``".."``) would traverse out of the cache root."""
+    (``"."``, ``".."``) would traverse out of the cache root.
+
+    The mapping must be **injective**: sanitizing alone would collapse
+    distinct tenants onto one directory and one variant key (``'a/b'``
+    and ``'a_b'`` both sanitize to ``'a_b'``), silently merging their
+    caches.  A short hash of the *raw* name is therefore always
+    appended — tenant names are caller-chosen, so even a deliberately
+    crafted name cannot collide with another tenant's namespace."""
+    digest = hashlib.sha256(namespace.encode("utf-8")).hexdigest()[:8]
     safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in namespace)
+    safe = safe[:64]
     if not safe.strip("."):
-        return "default"
-    return safe
+        safe = "default"
+    return f"{safe}-{digest}"
 
 
 def namespaced_cache(root_dir: str, namespace: str,

@@ -218,6 +218,9 @@ class CircuitBreakerRegistry:
         self._probe_inflight: Dict[str, bool] = {}
         self._threshold = threshold
         self._cooldown = cooldown
+        self._limit_resolver: Optional[
+            Callable[[str], Tuple[Optional[int], Optional[float]]]
+        ] = None
         self._listeners: List[Callable[[str, str, str], None]] = []
         #: Bounded log of ``(key, old_state, new_state)`` transitions.
         self.transitions: List[Tuple[str, str, str]] = []
@@ -235,6 +238,30 @@ class CircuitBreakerRegistry:
             return self._cooldown
         val = _env_float("REPRO_BREAKER_COOLDOWN")
         return val if val is not None else 300.0
+
+    def set_limit_resolver(
+        self, resolver: Callable[[str], Tuple[Optional[int], Optional[float]]]
+    ) -> None:
+        """Install a per-key ``(threshold, cooldown)`` resolver.
+
+        The serve layer uses this to honor per-tenant breaker policy; a
+        ``None`` in either slot falls back to the registry default."""
+        with self._lock:
+            self._limit_resolver = resolver
+
+    def _threshold_for(self, key: str) -> int:
+        if self._limit_resolver is not None:
+            threshold, _ = self._limit_resolver(key)
+            if threshold is not None:
+                return max(1, int(threshold))
+        return self.threshold
+
+    def _cooldown_for(self, key: str) -> float:
+        if self._limit_resolver is not None:
+            _, cooldown = self._limit_resolver(key)
+            if cooldown is not None:
+                return max(0.0, float(cooldown))
+        return self.cooldown
 
     # -------------------------------------------------------- observation
     def on_transition(self, listener: Callable[[str, str, str], None]) -> None:
@@ -275,7 +302,7 @@ class CircuitBreakerRegistry:
                 return
             n = self._failures.get(key, 0) + 1
             self._failures[key] = n
-            if n >= self.threshold and key not in self._opened_at:
+            if n >= self._threshold_for(key) and key not in self._opened_at:
                 self._opened_at[key] = time.monotonic()
                 self._transition(key, OPEN)
 
@@ -302,7 +329,7 @@ class CircuitBreakerRegistry:
             opened = self._opened_at.get(key)
             if opened is None or self._state.get(key) != OPEN:
                 return 0.0
-            return max(0.0, self.cooldown - (time.monotonic() - opened))
+            return max(0.0, self._cooldown_for(key) - (time.monotonic() - opened))
 
     def is_open(self, key: str) -> bool:
         """True when calls to ``key`` must be short-circuited.
@@ -322,14 +349,31 @@ class CircuitBreakerRegistry:
             if opened is None:  # defensive: open without a timestamp
                 self._transition(key, CLOSED)
                 return False
-            if time.monotonic() - opened > self.cooldown:
+            if time.monotonic() - opened > self._cooldown_for(key):
                 # This caller becomes the single half-open probe.
                 self._opened_at.pop(key, None)
-                self._failures[key] = max(0, self.threshold - 1)
+                self._failures[key] = max(0, self._threshold_for(key) - 1)
                 self._probe_inflight[key] = True
                 self._transition(key, HALF_OPEN)
                 return False
             return True
+
+    def abort_probe(self, key: str) -> None:
+        """Roll back a half-open probe that never ran.
+
+        The admitted probe caller can still be rejected downstream (the
+        serve layer's in-flight cap or budget gate) before any work is
+        attempted; without a rollback the breaker would be stuck in
+        ``HALF_OPEN`` with a phantom probe forever.  The breaker returns
+        to ``OPEN`` with its cooldown already elapsed, so the very next
+        caller is re-admitted as a fresh probe.
+        """
+        with self._lock:
+            if self._state.get(key) != HALF_OPEN:
+                return
+            self._probe_inflight.pop(key, None)
+            self._opened_at[key] = time.monotonic() - self._cooldown_for(key) - 1e-3
+            self._transition(key, OPEN)
 
     def reset(self) -> None:
         with self._lock:

@@ -32,6 +32,7 @@ diagnostic so clients can see what they lost.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -134,6 +135,14 @@ class AdmissionController:
             threshold=self.default_policy.breaker_threshold,
             cooldown=self.default_policy.breaker_cooldown,
         )
+        # Honor per-tenant breaker knobs: a TenantPolicy in `policies`
+        # with its own threshold/cooldown overrides the default.
+        self.breakers.set_limit_resolver(
+            lambda tenant: (
+                self.policy(tenant).breaker_threshold,
+                self.policy(tenant).breaker_cooldown,
+            )
+        )
         # Mirror every breaker transition onto the instrumentation bus:
         # dashboards (and the half-open tests) watch these events.
         self.breakers.on_transition(self._on_breaker_transition)
@@ -162,7 +171,11 @@ class AdmissionController:
             state = self._state(tenant)
 
             # Gate 1: circuit breaker (cheapest; also the single-probe
-            # half-open admission).
+            # half-open admission).  If this caller is admitted as the
+            # half-open probe but a *later* gate rejects it, the probe
+            # must be rolled back — no Ticket exists, so nothing would
+            # ever settle it and the breaker would be stuck HALF_OPEN.
+            pre_state = self.breakers.state(tenant)
             if self.breakers.is_open(tenant):
                 state.rejected += 1
                 self.recorder.event("serve", f"reject[{tenant}]:R807",
@@ -178,8 +191,15 @@ class AdmissionController:
                     retry_after=retry_after,
                 )
 
+            became_probe = (
+                pre_state != "half_open"
+                and self.breakers.state(tenant) == "half_open"
+            )
+
             # Gate 2: concurrent in-flight cap.
             if state.inflight >= policy.max_inflight:
+                if became_probe:
+                    self.breakers.abort_probe(tenant)
                 state.rejected += 1
                 self.recorder.event("serve", f"reject[{tenant}]:R806",
                                     itype="COUNTER", iterations=1)
@@ -199,6 +219,8 @@ class AdmissionController:
                     spend.popleft()
                 spent = sum(cost for _, cost in spend)
                 if spent >= policy.budget_seconds:
+                    if became_probe:
+                        self.breakers.abort_probe(tenant)
                     state.rejected += 1
                     self.recorder.event("serve", f"reject[{tenant}]:R808",
                                         itype="COUNTER", iterations=1)
@@ -224,11 +246,17 @@ class AdmissionController:
         """Apply the tenant's deadline cap (the cap is also the default
         when the request names none)."""
         cap = self.policy(tenant).deadline_cap
-        if cap is None:
-            return requested
         if requested is None:
             return cap
-        return min(float(requested), cap)
+        try:
+            value = float(requested)
+        except (TypeError, ValueError):
+            return cap
+        if not math.isfinite(value) or value <= 0:
+            # Protocol validation already rejects these; never let a
+            # NaN/Infinity survive into worker timeouts regardless.
+            return cap
+        return value if cap is None else min(value, cap)
 
     def _settle(self, tenant: str, cost_seconds: float,
                 failure_code: Optional[str]) -> None:

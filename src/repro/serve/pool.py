@@ -31,6 +31,7 @@ thread down with it.
 from __future__ import annotations
 
 import json
+import math
 import os
 import select
 import subprocess
@@ -416,9 +417,14 @@ class WorkerPool:
         and yield ``R805`` without replay.
         """
         if timeout is None:
-            deadline = job.get("deadline")
+            try:
+                deadline = float(job.get("deadline") or 0.0)
+            except (TypeError, ValueError):
+                deadline = 0.0
             timeout = (
-                float(deadline) + 10.0 if deadline else DEFAULT_REQUEST_TIMEOUT
+                deadline + 10.0
+                if math.isfinite(deadline) and deadline > 0
+                else DEFAULT_REQUEST_TIMEOUT
             )
         with self._lock:
             self.stats_counters["requests"] += 1
@@ -475,6 +481,13 @@ class WorkerPool:
                     "the worker was killed",
                     attempts=attempt + 1,
                 )
+            except BaseException:
+                # Anything unexpected (bug, KeyboardInterrupt, ...): the
+                # worker's stream state is unknown and the handle is
+                # checked out — retire it so it can never leak, then let
+                # the caller see the real failure.
+                self._retire(handle, kill=True, counter="deaths")
+                raise
             else:
                 self._checkin(handle)
                 if attempt:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import base64
 import json
+import math
 from typing import Any, Dict, IO, Optional
 
 import numpy as np
@@ -202,8 +203,13 @@ def validate_request(obj: Dict[str, Any]) -> Dict[str, Any]:
             raise ProtocolError(f"unknown backend {backend!r}")
         deadline = obj.get("deadline")
         if deadline is not None:
+            # NaN/Infinity must be rejected here: json.loads accepts
+            # them, NaN compares False against everything (so a plain
+            # `<= 0` check passes it), and a NaN timeout downstream
+            # blows up select() after a worker was already checked out.
             try:
-                if float(deadline) <= 0:
+                value = float(deadline)
+                if not math.isfinite(value) or value <= 0:
                     raise ValueError
             except (TypeError, ValueError):
                 raise ProtocolError(f"invalid deadline {deadline!r}") from None

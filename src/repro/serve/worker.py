@@ -243,6 +243,34 @@ class WorkerRuntime:
 # =====================================================================
 
 
+def send_response(proto_out: TextIO, job: Dict[str, Any],
+                  response: Dict[str, Any]) -> None:
+    """Send one response, never letting an oversized payload kill us.
+
+    A result can legitimately exceed ``MAX_MESSAGE_BYTES`` even when the
+    request did not (e.g. a slim execute-by-program request whose output
+    arrays inflate past the frame cap).  Dying here would make the
+    supervisor replay the identical request into an identical death —
+    answer with a compact structured error instead.
+    """
+    if "id" in job:
+        response["id"] = job["id"]
+    try:
+        protocol.send_message(proto_out, response)
+    except protocol.ProtocolError as err:
+        fallback = protocol.error_response(
+            "E204",
+            f"response for op {job.get('op')!r} exceeds the protocol frame "
+            f"limit and was dropped ({err}); reduce the request's output "
+            "size",
+            op=job.get("op"),
+            rss_kb=_rss_kb(),
+        )
+        if "id" in job:
+            fallback["id"] = job["id"]
+        protocol.send_message(proto_out, fallback)
+
+
 def _protect_protocol_stream() -> TextIO:
     """Claim fd 1 for the protocol; stray prints go to stderr."""
     proto = os.fdopen(os.dup(1), "w", encoding="utf-8", newline="\n")
@@ -278,9 +306,7 @@ def main(argv=None) -> int:
         if job is None:  # supervisor closed our stdin: clean retirement
             return 0
         response = runtime.handle(job)
-        if "id" in job:
-            response["id"] = job["id"]
-        protocol.send_message(proto_out, response)
+        send_response(proto_out, job, response)
         if job.get("op") == "shutdown":
             return 0
 

@@ -87,6 +87,88 @@ def test_breaker_half_open_probe_failure_reopens():
     assert exc.value.code == "R807"
 
 
+def test_half_open_probe_rolled_back_when_inflight_cap_rejects():
+    """A probe rejected by a later gate must not strand the breaker.
+
+    Regression: the breaker gate admitted one caller as the half-open
+    probe, but when gate 2 (in-flight cap) then rejected that same
+    request no Ticket existed to settle it — the breaker stayed
+    HALF_OPEN with a phantom probe forever and the tenant was rejected
+    with R807 (retry_after=0) even after becoming healthy.
+    """
+    ctrl = controller(max_inflight=1, breaker_threshold=1,
+                      breaker_cooldown=0.05)
+    held = ctrl.admit("m")  # occupies the tenant's only in-flight slot
+    # A concurrent request's failure opens the breaker underneath it.
+    ctrl.breakers.record_failure("m", code="E201")
+    assert ctrl.breakers.state("m") == "open"
+
+    time.sleep(0.08)  # cooldown elapses while `held` is still in flight
+    with pytest.raises(AdmissionError) as exc:
+        ctrl.admit("m")  # admitted by gate 1 as probe, bounced by gate 2
+    assert exc.value.code == "R806"
+    assert ctrl.breakers.state("m") == "open", \
+        "the rejected probe must be rolled back, not stranded half-open"
+
+    # The rollback leaves the cooldown already elapsed: as soon as the
+    # slot frees, the tenant is immediately probed again.
+    held.complete(failure_code="E201")
+    probe = ctrl.admit("m")
+    assert ctrl.breakers.state("m") == "half_open"
+    probe.complete(cost_seconds=0.01)
+    assert ctrl.breakers.state("m") == "closed"
+
+
+def test_half_open_probe_rolled_back_when_budget_gate_rejects():
+    """Same leak through gate 3: breaker-opening failures also charge
+    the budget, so the probe can plausibly be rejected with R808."""
+    ctrl = controller(breaker_threshold=1, breaker_cooldown=0.05,
+                      budget_seconds=0.1, budget_window=10.0)
+    ctrl.admit("m").complete(cost_seconds=5.0, failure_code="E201")
+    assert ctrl.breakers.state("m") == "open"
+    time.sleep(0.08)
+    # Cooldown elapsed: this request passes gate 1 as the probe but is
+    # rejected by gate 3 (the 5s spend blew the 0.1s budget).
+    with pytest.raises(AdmissionError) as exc:
+        ctrl.admit("m")
+    assert exc.value.code == "R808"
+    assert ctrl.breakers.state("m") == "open", \
+        "the rejected probe must be rolled back, not stranded half-open"
+    # Once the budget clears, the tenant is re-probed — not R807-locked.
+    ctrl._tenants["m"].spend.clear()
+    probe = ctrl.admit("m")
+    assert ctrl.breakers.state("m") == "half_open"
+    probe.complete(cost_seconds=0.01)
+    assert ctrl.breakers.state("m") == "closed"
+
+
+def test_per_tenant_breaker_policy_is_honored():
+    """Regression: TenantPolicy.breaker_threshold/cooldown in `policies`
+    were silently ignored (the registry only saw the default policy)."""
+    ctrl = AdmissionController(
+        default_policy=TenantPolicy(breaker_threshold=5,
+                                    breaker_cooldown=60.0),
+        policies={"fragile": TenantPolicy(breaker_threshold=1,
+                                          breaker_cooldown=0.05)},
+    )
+    # The fragile tenant opens after a single failure...
+    ctrl.admit("fragile").complete(failure_code="E201")
+    assert ctrl.breakers.state("fragile") == "open"
+    # ... and its short per-tenant cooldown (not the 60s default)
+    # governs when the probe is re-admitted.
+    assert ctrl.breakers.cooldown_remaining("fragile") <= 0.05
+    time.sleep(0.08)
+    probe = ctrl.admit("fragile")
+    assert ctrl.breakers.state("fragile") == "half_open"
+    probe.complete()
+    # A default-policy tenant still needs 5 strikes.
+    for _ in range(4):
+        ctrl.admit("normal").complete(failure_code="E201")
+    assert ctrl.breakers.state("normal") == "closed"
+    ctrl.admit("normal").complete(failure_code="E201")
+    assert ctrl.breakers.state("normal") == "open"
+
+
 def test_validation_failures_do_not_charge_the_breaker():
     ctrl = controller(breaker_threshold=2)
     for _ in range(5):

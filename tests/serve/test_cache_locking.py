@@ -176,8 +176,10 @@ def test_namespaced_caches_do_not_share_files(tmp_path):
         key=key, backend="python", sdfg_name="s", source="def entry(): pass",
         arg_arrays=[], symbol_order=[]), None)
     assert bob.lookup(key) is None, "tenants must not see each other's entries"
-    assert os.path.exists(os.path.join(root, "alice", f"{key}.json"))
-    assert not os.path.exists(os.path.join(root, "bob", f"{key}.json"))
+    assert os.path.exists(
+        os.path.join(root, safe_namespace("alice"), f"{key}.json"))
+    assert not os.path.exists(
+        os.path.join(root, safe_namespace("bob"), f"{key}.json"))
 
     # Hostile namespace strings cannot escape the root.
     for hostile in ("..", ".", "....", "../evil", "a/b", "/etc/passwd", ""):
@@ -185,3 +187,11 @@ def test_namespaced_caches_do_not_share_files(tmp_path):
         assert "/" not in safe and safe.strip("."), (hostile, safe)
     evil = namespaced_cache(root, "..")
     assert os.path.realpath(evil.cache_dir).startswith(os.path.realpath(root))
+
+    # The mapping is injective: names that sanitize identically must
+    # still land in distinct namespaces (distinct dirs + variant keys).
+    assert safe_namespace("a/b") != safe_namespace("a_b")
+    assert safe_namespace("a.b") != safe_namespace("a_b")
+    assert namespaced_cache(root, "a/b") is not namespaced_cache(root, "a_b")
+    # ... while repeat calls for the same raw name stay stable.
+    assert safe_namespace("a/b") == safe_namespace("a/b")

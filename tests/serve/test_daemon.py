@@ -104,12 +104,16 @@ def test_tenant_caches_are_isolated_on_disk(server):
         c.execute(sdfg, arrays={"A": a.copy()}, symbols={"N": 4})
     with client(server, tenant="bob") as c:
         c.execute(sdfg, arrays={"A": a.copy()}, symbols={"N": 4})
+    from repro.codegen.progcache import safe_namespace
+
     root = server.config.cache_root
-    assert os.path.isdir(os.path.join(root, "alice"))
-    assert os.path.isdir(os.path.join(root, "bob"))
+    alice_dir = os.path.join(root, safe_namespace("alice"))
+    bob_dir = os.path.join(root, safe_namespace("bob"))
+    assert os.path.isdir(alice_dir)
+    assert os.path.isdir(bob_dir)
     # Same program, namespaced keys: no entry file is shared.
-    alice = {f for f in os.listdir(os.path.join(root, "alice")) if f.endswith(".json")}
-    bob = {f for f in os.listdir(os.path.join(root, "bob")) if f.endswith(".json")}
+    alice = {f for f in os.listdir(alice_dir) if f.endswith(".json")}
+    bob = {f for f in os.listdir(bob_dir) if f.endswith(".json")}
     assert alice and bob
 
 

@@ -136,6 +136,58 @@ def test_malformed_sdfg_is_a_request_error_not_a_death():
         assert pool.submit(scale_job())["status"] == "ok"
 
 
+def test_unexpected_dispatch_error_does_not_leak_the_worker(monkeypatch):
+    """Regression: submit() only caught WorkerDeath/WorkerTimeout, so any
+    other exception mid-request (e.g. a NaN deadline reaching select())
+    left the checked-out worker handle neither retired nor checked in —
+    each such request permanently drained one worker from the pool."""
+    from repro.serve.pool import WorkerHandle
+
+    with WorkerPool(size=1) as pool:
+        original = WorkerHandle.request
+
+        def boom(self, job, timeout):
+            raise RuntimeError("unexpected dispatch bug")
+
+        monkeypatch.setattr(WorkerHandle, "request", boom)
+        with pytest.raises(RuntimeError):
+            pool.submit(scale_job())
+        monkeypatch.setattr(WorkerHandle, "request", original)
+
+        # The handle was retired and replaced — not leaked: the pool
+        # still owns a live worker and serves the next request.
+        assert pool.stats()["in_flight"] == 0
+        assert pool.submit(scale_job())["status"] == "ok"
+
+
+def test_oversized_response_yields_error_not_worker_death(monkeypatch):
+    """Regression: a response exceeding MAX_MESSAGE_BYTES raised out of
+    the worker main loop, killing the worker; the supervisor then
+    replayed the identical request into an identical death and the
+    client saw a misleading retryable E201."""
+    import io
+    import json
+
+    from repro.serve import worker as worker_mod
+
+    monkeypatch.setattr(protocol, "MAX_MESSAGE_BYTES", 2048)
+    out = io.StringIO()
+    job = {"op": "execute", "id": 7}
+    worker_mod.send_response(out, job, protocol.ok_response(payload="x" * 8192))
+    lines = [line for line in out.getvalue().splitlines() if line]
+    assert len(lines) == 1, "exactly one (fallback) response on the stream"
+    resp = json.loads(lines[0])
+    assert resp["status"] == "error"
+    assert resp["code"] == "E204"
+    assert resp["id"] == 7, "the reply must still correlate to its request"
+    assert "frame limit" in resp["message"]
+
+    # Small responses pass through untouched.
+    out = io.StringIO()
+    worker_mod.send_response(out, job, protocol.ok_response(op="execute"))
+    assert json.loads(out.getvalue())["status"] == "ok"
+
+
 def test_health_check_replaces_dead_idle_workers():
     with WorkerPool(size=2) as pool:
         victim = pool._workers[0]

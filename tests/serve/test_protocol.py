@@ -112,6 +112,9 @@ def test_validate_accepts_minimal_requests():
     (_req(backend="fortran"), "unknown backend"),
     (_req(deadline=-1), "invalid deadline"),
     (_req(deadline="soon"), "invalid deadline"),
+    (_req(deadline=float("nan")), "invalid deadline"),
+    (_req(deadline=float("inf")), "invalid deadline"),
+    (_req(deadline=float("-inf")), "invalid deadline"),
     (_req(sanitize="maybe"), "invalid sanitize"),
 ])
 def test_validate_rejects_malformed_requests(bad, fragment):
@@ -119,6 +122,16 @@ def test_validate_rejects_malformed_requests(bad, fragment):
         protocol.validate_request(bad)
     assert exc.value.code == "E202"
     assert fragment in str(exc.value)
+
+
+def test_nan_deadline_on_the_wire_is_rejected():
+    # json.loads accepts bare NaN tokens, and NaN slips through naive
+    # `<= 0` checks — a NaN deadline once leaked a pool worker per
+    # request (select() rejects NaN timeouts after checkout).
+    raw = json.loads('{"op": "execute", "sdfg": {}, "deadline": NaN}')
+    with pytest.raises(ProtocolError) as exc:
+        protocol.validate_request(raw)
+    assert "invalid deadline" in str(exc.value)
 
 
 def test_response_shapes():
