@@ -502,13 +502,22 @@ def compile_sdfg(
 
 def _emit_symcache_events(crec, before, after) -> None:
     """Emit symbolic-engine cache hit/miss deltas as COUNTER events."""
+    from repro.telemetry.sink import active_sink
+
+    sink = active_sink()
     for name in sorted(after):
         h0, m0 = before.get(name, (0, 0))
         h1, m1 = after[name]
         if h1 > h0:
             crec.event("symcache", f"{name}[hit]", itype="COUNTER", iterations=h1 - h0)
+            if sink is not None:
+                sink.publish("cache", f"symcache:{name}",
+                             fields={"event": "hit", "n": h1 - h0})
         if m1 > m0:
             crec.event("symcache", f"{name}[miss]", itype="COUNTER", iterations=m1 - m0)
+            if sink is not None:
+                sink.publish("cache", f"symcache:{name}",
+                             fields={"event": "miss", "n": m1 - m0})
 
 
 def _rebuild_from_cache(sdfg, entry_rec, main, store, key) -> CompiledSDFG:

@@ -34,6 +34,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.filelock import FileLock
+from repro.telemetry.sink import active_sink
 
 #: Bump whenever generated-code semantics change; part of every key, so
 #: old entries become unreachable (and age out by LRU) rather than stale.
@@ -154,6 +155,12 @@ class ProgramCache:
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
+    def _tap(self, event: str, n: int = 1) -> None:
+        """Mirror one counter bump into the active telemetry sink."""
+        sink = active_sink()
+        if sink is not None:
+            sink.publish("cache", "progcache", fields={"event": event, "n": n})
+
     # ---------------------------------------------------------------- paths
     def _path(self, key: str) -> str:
         assert self.cache_dir is not None
@@ -184,9 +191,11 @@ class ProgramCache:
         if cached is not None:
             self._memory.move_to_end(key)
             self.hits += 1
+            self._tap("hit")
             return cached
         if self.cache_dir is None:
             self.misses += 1
+            self._tap("miss")
             return None
         path = self._path(key)
         try:
@@ -196,10 +205,13 @@ class ProgramCache:
                 raise ValueError("key mismatch in program cache entry")
         except FileNotFoundError:
             self.misses += 1
+            self._tap("miss")
             return None
         except (OSError, ValueError, json.JSONDecodeError):
             self.corrupt += 1
             self.misses += 1
+            self._tap("corrupt")
+            self._tap("miss")
             lock = self._dir_lock()
             try:
                 os.remove(path)
@@ -210,6 +222,7 @@ class ProgramCache:
                     lock.release()
             return None
         self.hits += 1
+        self._tap("hit")
         try:
             os.utime(path)  # refresh LRU recency
         except OSError:
@@ -229,6 +242,7 @@ class ProgramCache:
         """Store an entry in both tiers (disk write is atomic)."""
         self._remember(key, entry, fn)
         self.stores += 1
+        self._tap("store")
         if self.cache_dir is None:
             return
         record = entry.to_json()
@@ -253,6 +267,7 @@ class ProgramCache:
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
             self.evictions += 1
+            self._tap("evict")
 
     # ------------------------------------------------------------- eviction
     def _evict_disk(self) -> None:
@@ -278,6 +293,7 @@ class ProgramCache:
                 try:
                     os.remove(path)
                     self.evictions += 1
+                    self._tap("evict")
                 except OSError:
                     pass
         finally:

@@ -104,6 +104,9 @@ CODES: Dict[str, str] = {
     "R808": "tenant admission rejected: deadline budget exhausted",
     # --- service degradation (W8xx, warnings)
     "W801": "service degraded under load: request options shed",
+    # --- telemetry / performance regression (W9xx, warnings)
+    "W901": "kernel timing drifted past its stored baseline",
+    "W902": "kernel observed in telemetry but has no stored baseline",
 }
 
 

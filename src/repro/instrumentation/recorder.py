@@ -13,10 +13,12 @@ backend-consistency tests assert.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.instrumentation.types import InstrumentationType
+from repro.telemetry.sink import active_sink
 
 #: Event kinds, part of the report schema: IR elements and pipeline phases.
 KINDS = ("sdfg", "state", "map", "consume", "tasklet", "transformation",
@@ -135,20 +137,44 @@ class InstrumentationRecorder:
     Python modules, the compilation driver, and the guarded optimizer
     all call the same three methods.  Generated code receives the
     recorder as the ``__instr`` argument of its entry function.
+
+    The recorder is thread-safe: each thread gets its own enter/exit
+    stack (rooted at the shared tree), and mutation of the shared
+    :class:`EventNode` tree is serialized by a lock whose critical
+    section is a dict lookup plus a few additions.  Concurrent serve
+    workers and the daemon's connection threads can therefore report
+    into one recorder without corrupting counts.
+
+    When a telemetry sink is active (see :mod:`repro.telemetry.sink`),
+    every *timed* exit/event is also forwarded to it, so phase timings
+    and IR-element hot spots stream into the fleet aggregator.  Pure
+    counters (cache hits, admission decisions) are published at their
+    call sites, which know the proper labels.
     """
 
     def __init__(self):
         self._root = EventNode("root", "")
-        self._stack: List[EventNode] = [self._root]
-        self._starts: List[Optional[float]] = [None]
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    def _frames(self) -> Tuple[List[EventNode], List[Optional[float]]]:
+        """This thread's (stack, starts) pair, created on first use."""
+        tls = self._tls
+        stack = getattr(tls, "stack", None)
+        if stack is None:
+            stack = tls.stack = [self._root]
+            tls.starts = [None]
+        return stack, tls.starts
 
     # ----------------------------------------------------------- recording
     def enter(self, kind: str, label: str, itype: str = "TIMER") -> EventNode:
         """Open a nested event; must be paired with :meth:`exit`."""
-        node = self._stack[-1].child(kind, label, itype)
-        self._stack.append(node)
+        stack, starts = self._frames()
+        with self._lock:
+            node = stack[-1].child(kind, label, itype)
+        stack.append(node)
         timed = InstrumentationType[itype].records_time()
-        self._starts.append(time.perf_counter() if timed else None)
+        starts.append(time.perf_counter() if timed else None)
         return node
 
     def exit(
@@ -157,12 +183,22 @@ class InstrumentationRecorder:
         volume: Optional[int] = None,
     ) -> None:
         """Close the innermost open event, folding in its measurements."""
-        if len(self._stack) <= 1:
+        stack, starts = self._frames()
+        if len(stack) <= 1:
             raise RuntimeError("InstrumentationRecorder.exit without enter")
-        node = self._stack.pop()
-        start = self._starts.pop()
+        node = stack.pop()
+        start = starts.pop()
         duration = time.perf_counter() - start if start is not None else None
-        node.add(duration=duration, iterations=iterations, volume_bytes=volume)
+        with self._lock:
+            node.add(duration=duration, iterations=iterations,
+                     volume_bytes=volume)
+        if duration is not None:
+            sink = active_sink()
+            if sink is not None:
+                sink.publish(
+                    node.kind, node.label, duration,
+                    fields={"volume_bytes": volume} if volume else None,
+                )
 
     def event(
         self,
@@ -174,15 +210,27 @@ class InstrumentationRecorder:
         volume: Optional[int] = None,
     ) -> EventNode:
         """Record a leaf event with pre-measured values (pipeline phases)."""
-        node = self._stack[-1].child(kind, label, itype)
-        node.add(duration=duration, iterations=iterations, volume_bytes=volume)
+        stack, _ = self._frames()
+        with self._lock:
+            node = stack[-1].child(kind, label, itype)
+            node.add(duration=duration, iterations=iterations,
+                     volume_bytes=volume)
+        if duration is not None:
+            sink = active_sink()
+            if sink is not None:
+                sink.publish(
+                    kind, label, duration,
+                    fields={"volume_bytes": volume} if volume else None,
+                )
         return node
 
     def absorb(self, node: EventNode) -> None:
         """Graft an externally-built event tree under the current node
         (used to splice a compile pipeline's local tree into a caller's
         recorder)."""
-        self._stack[-1].child(node.kind, node.label, node.itype).merge(node)
+        stack, _ = self._frames()
+        with self._lock:
+            stack[-1].child(node.kind, node.label, node.itype).merge(node)
 
     # ------------------------------------------------------------- queries
     @property
@@ -190,14 +238,18 @@ class InstrumentationRecorder:
         return self._root
 
     def is_balanced(self) -> bool:
-        return len(self._stack) == 1
+        """True when *this thread* has no open enter/exit pair."""
+        stack, _ = self._frames()
+        return len(stack) == 1
 
     def report(self, sdfg: str, backend: str = ""):
         """Snapshot the collected tree into an immutable report."""
         from repro.instrumentation.report import InstrumentationReport
 
+        with self._lock:
+            events = list(self._root.children.values())
         return InstrumentationReport(
             sdfg=sdfg,
             backend=backend,
-            events=list(self._root.children.values()),
+            events=events,
         )

@@ -37,6 +37,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
+from repro.telemetry.sink import active_sink
 
 
 class WatchdogViolation(DiagnosticError):
@@ -47,6 +48,12 @@ class WatchdogViolation(DiagnosticError):
         super().__init__(diag)
         #: ``"deadline"`` or ``"memory"``.
         self.kind = kind
+        sink = active_sink()
+        if sink is not None:
+            sink.publish(
+                "watchdog", str(sdfg) if sdfg else "",
+                fields={"event": kind, "code": "R805"},
+            )
 
 
 def _env_float(name: str) -> Optional[float]:
@@ -277,6 +284,9 @@ class CircuitBreakerRegistry:
         self._state[key] = new_state
         if len(self.transitions) < 10000:
             self.transitions.append((key, old, new_state))
+        sink = active_sink()
+        if sink is not None:
+            sink.publish("breaker", key, fields={"old": old, "new": new_state})
         for listener in list(self._listeners):
             try:
                 listener(key, old, new_state)

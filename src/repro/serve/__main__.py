@@ -50,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="honor inject_fault requests (tests/CI only)")
     parser.add_argument("--no-shutdown-op", action="store_true",
                         help="refuse the 'shutdown' op (daemon stops on SIGTERM only)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable the telemetry sink and the 'metrics' op")
+    parser.add_argument("--telemetry-window", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="telemetry aggregation window width (default 60)")
+    parser.add_argument("--telemetry-capacity", type=int, default=4096,
+                        metavar="EVENTS",
+                        help="telemetry ring-buffer capacity (default 4096)")
     return parser
 
 
@@ -80,6 +88,9 @@ def main(argv=None) -> int:
                           jitter=args.retry_jitter),
         fault_injection=args.fault_injection,
         allow_shutdown=not args.no_shutdown_op,
+        telemetry=not args.no_telemetry,
+        telemetry_window=args.telemetry_window,
+        telemetry_capacity=args.telemetry_capacity,
     )
 
     server = SDFGServer(config)

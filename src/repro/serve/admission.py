@@ -41,6 +41,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
 from repro.instrumentation import InstrumentationRecorder
 from repro.runtime.watchdog import CircuitBreakerRegistry
+from repro.telemetry.sink import TelemetrySink
 
 #: Failure codes that charge a tenant's circuit breaker.  Validation
 #: errors and admission rejections do NOT: a tenant sending an invalid
@@ -125,10 +126,12 @@ class AdmissionController:
         default_policy: Optional[TenantPolicy] = None,
         policies: Optional[Dict[str, TenantPolicy]] = None,
         recorder: Optional[InstrumentationRecorder] = None,
+        sink: Optional[TelemetrySink] = None,
     ):
         self.default_policy = default_policy or TenantPolicy()
         self.policies = dict(policies or {})
         self.recorder = recorder or InstrumentationRecorder()
+        self.sink = sink
         self._lock = threading.Lock()
         self._tenants: Dict[str, _TenantState] = {}
         self.breakers = CircuitBreakerRegistry(
@@ -151,6 +154,15 @@ class AdmissionController:
         self.recorder.event(
             "breaker", f"{tenant}:{old}->{new}", itype="COUNTER", iterations=1
         )
+        if self.sink is not None:
+            self.sink.publish("breaker", tenant,
+                              fields={"old": old, "new": new})
+
+    def _publish_decision(self, tenant: str, decision: str,
+                          code: Optional[str] = None) -> None:
+        if self.sink is not None:
+            self.sink.publish("admission", tenant,
+                              fields={"event": decision, "code": code})
 
     def policy(self, tenant: str) -> TenantPolicy:
         return self.policies.get(tenant, self.default_policy)
@@ -180,6 +192,7 @@ class AdmissionController:
                 state.rejected += 1
                 self.recorder.event("serve", f"reject[{tenant}]:R807",
                                     itype="COUNTER", iterations=1)
+                self._publish_decision(tenant, "reject", "R807")
                 retry_after = self.breakers.cooldown_remaining(tenant)
                 raise AdmissionError(
                     "R807",
@@ -203,6 +216,7 @@ class AdmissionController:
                 state.rejected += 1
                 self.recorder.event("serve", f"reject[{tenant}]:R806",
                                     itype="COUNTER", iterations=1)
+                self._publish_decision(tenant, "reject", "R806")
                 raise AdmissionError(
                     "R806",
                     f"tenant {tenant!r} already has {state.inflight} requests "
@@ -224,6 +238,7 @@ class AdmissionController:
                     state.rejected += 1
                     self.recorder.event("serve", f"reject[{tenant}]:R808",
                                         itype="COUNTER", iterations=1)
+                    self._publish_decision(tenant, "reject", "R808")
                     retry_after = (
                         spend[0][0] + policy.budget_window - now if spend else 0.0
                     )
@@ -240,6 +255,7 @@ class AdmissionController:
             state.admitted += 1
             self.recorder.event("serve", f"admit[{tenant}]",
                                 itype="COUNTER", iterations=1)
+            self._publish_decision(tenant, "admit")
             return Ticket(self, tenant)
 
     def clamp_deadline(self, tenant: str, requested: Optional[float]) -> Optional[float]:

@@ -95,6 +95,11 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})
 
+    def metrics(self) -> Dict[str, Any]:
+        """One telemetry aggregate snapshot (``metrics`` field of the
+        response); errors when the server runs with telemetry off."""
+        return self.request({"op": "metrics"})
+
     def shutdown(self) -> Dict[str, Any]:
         return self.request({"op": "shutdown"})
 

@@ -46,6 +46,8 @@ from repro.serve.admission import (
     TenantPolicy,
 )
 from repro.serve.pool import WorkerPool
+from repro.telemetry.aggregate import WindowedAggregator
+from repro.telemetry.sink import TelemetrySink
 
 
 class ServeConfig:
@@ -65,6 +67,10 @@ class ServeConfig:
         fault_injection: bool = False,
         allow_shutdown: bool = True,
         health_interval: float = 10.0,
+        telemetry: bool = True,
+        telemetry_window: float = 60.0,
+        telemetry_capacity: int = 4096,
+        telemetry_windows: int = 15,
     ):
         self.socket_path = socket_path
         self.tcp = tcp
@@ -78,6 +84,10 @@ class ServeConfig:
         self.fault_injection = fault_injection
         self.allow_shutdown = allow_shutdown
         self.health_interval = health_interval
+        self.telemetry = telemetry
+        self.telemetry_window = max(1e-3, float(telemetry_window))
+        self.telemetry_capacity = max(64, int(telemetry_capacity))
+        self.telemetry_windows = max(1, int(telemetry_windows))
 
     def resolve_address(self) -> tuple:
         """(family, address) — Unix socket unless TCP was requested."""
@@ -98,10 +108,24 @@ class SDFGServer:
     def __init__(self, config: Optional[ServeConfig] = None):
         self.config = config or ServeConfig()
         self.recorder = InstrumentationRecorder()
+        # The fleet event bus: daemon-side producers (admission, pool,
+        # request accounting) publish into this sink explicitly, and the
+        # workers' process-local sinks are propagated into it by the
+        # pool, so one aggregator sees the whole fleet.
+        self.sink: Optional[TelemetrySink] = None
+        self.aggregator: Optional[WindowedAggregator] = None
+        if self.config.telemetry:
+            self.sink = TelemetrySink(capacity=self.config.telemetry_capacity)
+            self.aggregator = WindowedAggregator(
+                self.sink,
+                window_seconds=self.config.telemetry_window,
+                max_windows=self.config.telemetry_windows,
+            )
         self.admission = AdmissionController(
             default_policy=self.config.default_policy,
             policies=self.config.policies,
             recorder=self.recorder,
+            sink=self.sink,
         )
         self.pool = WorkerPool(
             size=self.config.workers,
@@ -110,6 +134,7 @@ class SDFGServer:
             memory_budget_kb=self.config.memory_budget_kb,
             retry=self.config.retry,
             fault_injection=self.config.fault_injection,
+            sink=self.sink,
         )
         self.shedder = LoadShedder(capacity=self.config.workers,
                                    recorder=self.recorder)
@@ -255,6 +280,16 @@ class SDFGServer:
             if op == "stats":
                 self._count("ok")  # before the snapshot: stats count themselves
                 return protocol.ok_response(op="stats", **self.stats())
+            if op == "metrics":
+                if self.aggregator is None:
+                    self._count("error")
+                    return protocol.error_response(
+                        "E202", "telemetry is disabled on this server"
+                    )
+                self._count("ok")
+                return protocol.ok_response(
+                    op="metrics", metrics=self.aggregator.snapshot()
+                )
             if op == "shutdown":
                 if not self.config.allow_shutdown:
                     self._count("error")
@@ -270,6 +305,15 @@ class SDFGServer:
                 "E204", f"internal error: {type(err).__name__}: {err}"
             )
 
+    def _publish_request(self, op: str, tenant: str, status: str,
+                         code: Optional[str] = None, shed: bool = False) -> None:
+        if self.sink is not None:
+            self.sink.publish(
+                "request", op,
+                fields={"tenant": tenant, "status": status, "code": code,
+                        "shed": shed},
+            )
+
     def _serve_job(self, request: Dict[str, Any]) -> Dict[str, Any]:
         tenant = request.get("tenant", "default")
         deadline = self.admission.clamp_deadline(tenant, request.get("deadline"))
@@ -279,6 +323,8 @@ class SDFGServer:
             ticket = self.admission.admit(tenant, deadline)
         except AdmissionError as err:
             self._count("rejected")
+            self._publish_request(request["op"], tenant, "rejected",
+                                  code=err.code)
             return protocol.rejected_response(
                 err.code, str(err), retry_after=err.retry_after, tenant=tenant
             )
@@ -328,6 +374,10 @@ class SDFGServer:
                 }
             )
         self._count(response.get("status", "error"))
+        self._publish_request(
+            request["op"], tenant, response.get("status", "error"),
+            code=response.get("code"), shed=bool(shed),
+        )
         return response
 
     # --------------------------------------------------------------- info
@@ -348,4 +398,5 @@ class SDFGServer:
             "breaker_transitions": [
                 list(t) for t in self.admission.breakers.transitions[-50:]
             ],
+            "telemetry": self.sink.stats() if self.sink is not None else None,
         }

@@ -31,18 +31,29 @@ from repro.serve.client import ServeClient
 
 
 # ------------------------------------------------------------- kernels
-def scale_sdfg(mult: float = 2.0, name: str = "serve_scale"):
-    """``A[i] *= mult`` — the workhorse request kernel."""
+def scale_sdfg(mult: float = 2.0, name: str = "serve_scale", work: int = 1):
+    """``A[i] *= mult`` — the workhorse request kernel.
+
+    ``work > 1`` pads the tasklet with value-preserving ``b = b * 1.0``
+    statements: the result is unchanged (drivers still verify
+    ``a * mult``), but each element costs ``work`` multiplies.  The CI
+    telemetry job uses this to inject a genuine slowdown that the
+    perf-drift detector must catch.  (Statements, not one long
+    expression — a deep BinOp chain would overflow the interpreter's
+    recursion limit.)
+    """
     from repro.sdfg import SDFG, Memlet, dtypes
 
     sdfg = SDFG(name)
     sdfg.add_array("A", ("N",), dtypes.float64)
     st = sdfg.add_state()
+    code = f"b = a * {float(mult)!r}"
+    code += "\nb = b * 1.0" * max(0, int(work) - 1)
     st.add_mapped_tasklet(
         "s",
         {"i": "0:N"},
         inputs={"a": Memlet.simple("A", "i")},
-        code=f"b = a * {float(mult)!r}",
+        code=code,
         outputs={"b": Memlet.simple("A", "i")},
     )
     return sdfg
@@ -82,11 +93,11 @@ class LoadtestResult:
         self.failures: List[str] = []
 
     def add(self, kind: str, tenant: str, status: str, code: Optional[str],
-            latency: float) -> None:
+            latency: float, **extra: Any) -> None:
         with self.lock:
             self.records.append(
                 {"kind": kind, "tenant": tenant, "status": status,
-                 "code": code, "latency": latency}
+                 "code": code, "latency": latency, **extra}
             )
 
     def fail(self, message: str) -> None:
@@ -113,7 +124,7 @@ def _drive_thread(
             start = time.monotonic()
             try:
                 if kind in ("warm", "cold"):
-                    n = 64
+                    n = int(step.get("n", 64))
                     a = rng.random(n)
                     expect = a * step["mult"]
                     resp = client.execute(
@@ -154,8 +165,15 @@ def _drive_thread(
             except (OSError, ConnectionError) as err:
                 result.fail(f"{kind} request for {tenant}: connection died: {err}")
                 return
-            result.add(kind, tenant, resp.get("status", "error"),
-                       resp.get("code"), time.monotonic() - start)
+            result.add(
+                kind, tenant, resp.get("status", "error"),
+                resp.get("code"), time.monotonic() - start,
+                kernel=step.get("kernel"),
+                runtime=resp.get("runtime"),
+                warm=resp.get("warm"),
+                cache_hit=resp.get("cache_hit"),
+                shed=bool(resp.get("shed")),
+            )
 
 
 def run_loadtest(
@@ -169,6 +187,8 @@ def run_loadtest(
     deadline_faults: int = 0,
     deadline_tenant: str = "slowpoke",
     workers: int = 2,
+    warm_n: int = 64,
+    warm_work: int = 1,
     output: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the drive; returns the report dict (see module docstring)."""
@@ -194,7 +214,10 @@ def run_loadtest(
     try:
         # Build the request plans up front so threads stay in lockstep
         # with nothing but the service between them and the answer.
-        warm = {t: scale_sdfg(2.0, name=f"warm_{t}").to_json() for t in tenants}
+        warm = {
+            t: scale_sdfg(2.0, name=f"warm_{t}", work=warm_work).to_json()
+            for t in tenants
+        }
         hog = runaway_sdfg().to_json() if deadline_faults else None
         crash = scale_sdfg(3.0, name="crash_vehicle").to_json() if faults else None
         cold_ids = itertools.count(1)
@@ -207,10 +230,12 @@ def run_loadtest(
                 mult = 1.0 + (k % 97) / 97.0
                 step = {
                     "kind": "cold", "tenant": tenant, "mult": mult,
+                    "kernel": f"cold_{k}",
                     "sdfg": scale_sdfg(mult, name=f"cold_{k}").to_json(),
                 }
             else:
                 step = {"kind": "warm", "tenant": tenant, "mult": 2.0,
+                        "kernel": f"warm_{tenant}", "n": warm_n,
                         "sdfg": warm[tenant]}
             plans[i % threads].append(step)
         # Faults interleave with healthy traffic: insert mid-plan so the
@@ -258,6 +283,29 @@ def run_loadtest(
     for rec in result.records:
         by_kind.setdefault(rec["kind"], []).append(rec["latency"])
     healthy = [r for r in result.records if r["kind"] in ("warm", "cold")]
+
+    # Per-kernel worker-reported runtimes (the execute wall clock inside
+    # the worker, i.e. the same measurement the telemetry aggregator
+    # windows) — these are the baseline fields `repro.telemetry check`
+    # compares live traffic against.  One-shot cold kernels are omitted:
+    # a single sample is not a baseline.
+    by_kernel: Dict[str, List[float]] = {}
+    for rec in healthy:
+        if rec["status"] == "ok" and rec.get("kernel") and rec.get("runtime") is not None:
+            by_kernel.setdefault(rec["kernel"], []).append(float(rec["runtime"]))
+    kernels = {
+        name: {
+            "count": len(samples),
+            "mean": sum(samples) / len(samples),
+            "p50": percentile(samples, 50),
+            "p95": percentile(samples, 95),
+            "p99": percentile(samples, 99),
+        }
+        for name, samples in sorted(by_kernel.items())
+        if len(samples) >= 2
+    }
+    artifact_hits = sum(1 for r in healthy if r.get("warm"))
+    progcache_hits = sum(1 for r in healthy if r.get("cache_hit"))
     report = {
         "bench": "serve",
         "requests": len(result.records),
@@ -268,7 +316,18 @@ def run_loadtest(
         "healthy": {
             "total": len(healthy),
             "ok": sum(1 for r in healthy if r["status"] == "ok"),
+            "errors": sum(1 for r in healthy if r["status"] == "error"),
+            "rejected": sum(1 for r in healthy if r["status"] == "rejected"),
+            "shed": sum(1 for r in healthy if r.get("shed")),
         },
+        "cache": {
+            "artifact_hits": artifact_hits,
+            "artifact_hit_rate": (
+                round(artifact_hits / len(healthy), 6) if healthy else None
+            ),
+            "progcache_hits": progcache_hits,
+        },
+        "kernels": kernels,
         "faults": {
             "injected": faults,
             "deadline": deadline_faults,
@@ -316,6 +375,12 @@ def main(argv=None) -> int:
                         help="forced-SIGSEGV requests from tenant 'mallory'")
     parser.add_argument("--deadline-faults", type=int, default=0,
                         help="runaway-loop requests from tenant 'slowpoke'")
+    parser.add_argument("--warm-n", type=int, default=64, metavar="N",
+                        help="array size of the warm kernels (default 64)")
+    parser.add_argument("--warm-work", type=int, default=1, metavar="W",
+                        help="value-preserving work multiplier inside the "
+                             "warm kernels (default 1; CI uses this to "
+                             "inject a slowdown)")
     parser.add_argument("--output", default=None, metavar="JSON",
                         help="write the report here (BENCH_serve.json)")
     args = parser.parse_args(argv)
@@ -328,11 +393,13 @@ def main(argv=None) -> int:
         cold_every=args.cold_every,
         faults=args.faults,
         deadline_faults=args.deadline_faults,
+        warm_n=args.warm_n,
+        warm_work=args.warm_work,
         output=args.output,
     )
     summary = {k: report[k] for k in
                ("requests", "wall_seconds", "throughput_rps", "healthy",
-                "faults", "latency", "passed")}
+                "cache", "kernels", "faults", "latency", "passed")}
     print(json.dumps(summary, indent=2, sort_keys=True))
     if not report["passed"]:
         for failure in report["failures"][:20]:

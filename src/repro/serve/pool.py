@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional
 from repro.runtime.isolation import _repo_pythonpath, _unique_bundle_dir, crash_dir
 from repro.runtime.watchdog import RetryPolicy
 from repro.serve import protocol
+from repro.telemetry.sink import TelemetryEvent, TelemetrySink
 
 #: Seconds granted to a worker for its ready handshake.
 DEFAULT_SPAWN_TIMEOUT = 30.0
@@ -74,11 +75,13 @@ class WorkerHandle:
     _seq = 0
 
     def __init__(self, cache_root: Optional[str], fault_injection: bool,
-                 spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT):
+                 spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
+                 sink: Optional[TelemetrySink] = None):
         WorkerHandle._seq += 1
         self.name = f"worker-{WorkerHandle._seq}"
         self.served = 0
         self.rss_kb: Optional[int] = None
+        self.sink = sink
         self._rbuf = bytearray()
         self._stderr_file = tempfile.NamedTemporaryFile(
             mode="w+b", prefix="repro_worker_", suffix=".stderr", delete=False
@@ -92,6 +95,11 @@ class WorkerHandle:
         # The worker is the isolation boundary: no nested per-call
         # subprocess harness inside it.
         env["REPRO_ISOLATE"] = "0"
+        if sink is not None:
+            # Workers collect into their own process-local ring and
+            # attach the delta to each response, so the fleet sink sees
+            # worker-side kernel timings and cache traffic.
+            env["REPRO_TELEMETRY"] = "1"
         if fault_injection:
             env["REPRO_SERVE_FAULT_INJECTION"] = "1"
         else:
@@ -174,7 +182,31 @@ class WorkerHandle:
         self.served = int(resp.get("served", self.served) or self.served)
         if resp.get("rss_kb") is not None:
             self.rss_kb = int(resp["rss_kb"])
+        self._propagate_telemetry(resp)
         return resp
+
+    def _propagate_telemetry(self, resp: Dict[str, Any]) -> None:
+        """Republish the worker's attached telemetry delta (original
+        timestamps preserved) into the supervisor's fleet sink."""
+        events = resp.pop("telemetry", None)
+        if self.sink is None or not isinstance(events, list):
+            return
+        for item in events:
+            if not (isinstance(item, list) and len(item) == 5):
+                continue
+            ts, kind, label, value, fields = item
+            try:
+                self.sink.publish(
+                    str(kind), str(label),
+                    None if value is None else float(value),
+                    ts=float(ts),
+                    fields=TelemetryEvent.fields_from_json(fields),
+                )
+            except (TypeError, ValueError):
+                continue
+        dropped = resp.pop("telemetry_dropped", None)
+        if dropped:
+            self.sink.publish("drop", self.name, float(dropped))
 
     def ping(self, timeout: float = 5.0) -> bool:
         try:
@@ -253,8 +285,10 @@ class WorkerPool:
         retry: Optional[RetryPolicy] = None,
         acquire_timeout: float = 30.0,
         fault_injection: bool = False,
+        sink: Optional[TelemetrySink] = None,
     ):
         self.size = max(1, int(size))
+        self.sink = sink
         self.cache_root = cache_root
         self.recycle_after = max(1, int(recycle_after))
         self.memory_budget_kb = memory_budget_kb
@@ -281,11 +315,17 @@ class WorkerPool:
             self._add_worker()
         return self
 
+    def _publish_worker_event(self, handle: "WorkerHandle", event: str) -> None:
+        if self.sink is not None:
+            self.sink.publish("worker", handle.name, fields={"event": event})
+
     def _add_worker(self) -> None:
-        handle = WorkerHandle(self.cache_root, self.fault_injection)
+        handle = WorkerHandle(self.cache_root, self.fault_injection,
+                              sink=self.sink)
         with self._lock:
             self._workers.append(handle)
             self.stats_counters["spawned"] += 1
+        self._publish_worker_event(handle, "spawn")
         self._idle.put(handle)
 
     def _retire(self, handle: WorkerHandle, *, kill: bool,
@@ -295,6 +335,10 @@ class WorkerPool:
                 self._workers.remove(handle)
             if counter:
                 self.stats_counters[counter] += 1
+        if counter:
+            self._publish_worker_event(
+                handle, {"deaths": "death", "recycled": "recycle"}[counter]
+            )
         if kill:
             handle.kill()
         else:
@@ -448,6 +492,7 @@ class WorkerPool:
             except WorkerDeath as death:
                 with self._lock:
                     self.stats_counters["deaths"] += 1
+                self._publish_worker_event(handle, "death")
                 last_bundle = self._write_crash_bundle(job, death) or last_bundle
                 self._retire(handle, kill=True)
                 if attempt < self.retry.retries:
@@ -455,6 +500,7 @@ class WorkerPool:
                     attempt += 1
                     with self._lock:
                         self.stats_counters["replays"] += 1
+                    self._publish_worker_event(handle, "replay")
                     continue  # the finally clause settles _in_flight
                 detail = (
                     f"killed by signal {-death.returncode}"
@@ -474,6 +520,7 @@ class WorkerPool:
             except WorkerTimeout:
                 with self._lock:
                     self.stats_counters["timeouts"] += 1
+                self._publish_worker_event(handle, "timeout")
                 self._retire(handle, kill=True)
                 return protocol.error_response(
                     "R805",

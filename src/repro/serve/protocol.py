@@ -38,7 +38,7 @@ PROTOCOL_VERSION = 1
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
 #: Operations a client may request.
-OPS = ("ping", "stats", "compile", "execute", "shutdown")
+OPS = ("ping", "stats", "metrics", "compile", "execute", "shutdown")
 
 
 class ProtocolError(DiagnosticError):

@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, TextIO
 
 from repro.diagnostics import DiagnosticError
 from repro.serve import protocol
+from repro.telemetry.sink import active_sink
 
 try:
     import resource
@@ -75,6 +76,9 @@ class WorkerRuntime:
         self._mem_caches: Dict[str, Any] = {}
         self.served = 0
         self.started = time.monotonic()
+        #: Drain cursor into this process's telemetry sink (the delta
+        #: since the last response is attached to the next one).
+        self._telemetry_cursor = 0
 
     # ----------------------------------------------------------- caches
     def _tenant_cache(self, tenant: str):
@@ -130,24 +134,40 @@ class WorkerRuntime:
             if injected is not None:
                 return injected
             try:
-                return self._compile_or_execute(job)
+                response = self._compile_or_execute(job)
             except DiagnosticError as err:
-                return protocol.error_response(
+                response = protocol.error_response(
                     err.code, str(err), op=op, served=self.served, rss_kb=_rss_kb()
                 )
             except (TypeError, ValueError, KeyError) as err:
                 # Bad arguments / malformed SDFG JSON: the request is at
                 # fault, not the worker.
-                return protocol.error_response(
+                response = protocol.error_response(
                     "E202", f"{type(err).__name__}: {err}", op=op,
                     served=self.served, rss_kb=_rss_kb(),
                 )
             except Exception as err:  # noqa: BLE001 - the worker must not die quietly
-                return protocol.error_response(
+                response = protocol.error_response(
                     "E204", f"{type(err).__name__}: {err}", op=op,
                     served=self.served, rss_kb=_rss_kb(),
                 )
+            return self._attach_telemetry(response)
         return protocol.error_response("E202", f"unknown worker op {op!r}")
+
+    def _attach_telemetry(self, response: Dict[str, Any]) -> Dict[str, Any]:
+        """Attach this process's telemetry delta to the response so the
+        supervisor can republish it into the fleet sink."""
+        sink = active_sink()
+        if sink is None:
+            return response
+        events, self._telemetry_cursor, dropped = sink.drain(
+            self._telemetry_cursor
+        )
+        if events:
+            response["telemetry"] = [ev.to_json() for ev in events]
+        if dropped:
+            response["telemetry_dropped"] = dropped
+        return response
 
     def _compile_or_execute(self, job: Dict[str, Any]) -> Dict[str, Any]:
         from repro.codegen.compiler import compile_sdfg
@@ -173,6 +193,10 @@ class WorkerRuntime:
 
         compiled = self._programs.get(key)
         warm = compiled is not None
+        sink = active_sink()
+        if sink is not None:
+            sink.publish("cache", "artifacts",
+                         fields={"event": "hit" if warm else "miss", "n": 1})
         if warm:
             self._programs.move_to_end(key)
         else:
@@ -221,6 +245,14 @@ class WorkerRuntime:
         start = time.perf_counter()
         compiled(**arrays, **symbols)
         runtime = time.perf_counter() - start
+
+        if sink is not None:
+            kernel = getattr(getattr(compiled, "sdfg", None), "name", None)
+            sink.publish(
+                "kernel", kernel or str(program)[:16], runtime,
+                fields={"backend": compiled.backend, "warm": warm,
+                        "tenant": tenant},
+            )
 
         findings = [
             f.to_json() if hasattr(f, "to_json") else str(f)

@@ -1,0 +1,214 @@
+"""Performance-regression detection against stored benchmark baselines.
+
+The detector compares *observed* windowed kernel timings (from a
+:meth:`~repro.telemetry.aggregate.WindowedAggregator.snapshot`, live or
+saved) against *baseline* timings stored in ``BENCH_*.json`` files —
+the serve benchmark's per-kernel percentiles and the fast-path
+benchmark's flat metric map both load.  A kernel whose observed p50
+exceeds ``threshold ×`` its baseline yields a ``W901`` structured
+diagnostic carrying kernel, window, baseline, observed, and ratio; an
+observed kernel with *no* stored baseline yields ``W902`` — a missing
+baseline is a finding, never a silent pass.
+
+Baseline resolution convention (see ``benchmarks/baselines/README.md``):
+a directory of ``BENCH_*.json`` files, written there by benchmark runs
+with ``REPRO_BENCH_REPORTS`` pointing at it; kernels resolve by name
+across every file, first file (sorted) wins on duplicates.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.diagnostics import Diagnostic, Severity
+
+#: Observed/baseline ratio past which a kernel counts as drifted.
+DEFAULT_THRESHOLD = 1.5
+
+#: Kernels with fewer observations than this are not judged (one noisy
+#: sample is not a regression).
+DEFAULT_MIN_SAMPLES = 3
+
+
+@dataclass
+class PerfDrift:
+    """One kernel's timing drift past its baseline (code ``W901``)."""
+
+    kernel: str
+    baseline: float
+    observed: float
+    ratio: float
+    threshold: float
+    samples: int = 0
+    window: Optional[str] = None
+    source: Optional[str] = None
+
+    def to_diagnostic(self) -> Diagnostic:
+        return Diagnostic(
+            code="W901",
+            severity=Severity.WARNING,
+            message=(
+                f"kernel {self.kernel!r} p50 drifted to {self.observed * 1e3:.3f}ms, "
+                f"{self.ratio:.2f}x its baseline of {self.baseline * 1e3:.3f}ms "
+                f"(threshold {self.threshold:g}x, {self.samples} samples"
+                + (f", window {self.window}" if self.window else "")
+                + (f", baseline from {self.source}" if self.source else "")
+                + ")"
+            ),
+            data=self.kernel,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "code": "W901",
+            "kernel": self.kernel,
+            "baseline": self.baseline,
+            "observed": self.observed,
+            "ratio": round(self.ratio, 6),
+            "threshold": self.threshold,
+            "samples": self.samples,
+            "window": self.window,
+            "source": self.source,
+        }
+
+
+@dataclass
+class DriftReport:
+    """Everything one ``check`` run found."""
+
+    drifts: List[PerfDrift] = field(default_factory=list)
+    missing: List[Diagnostic] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    def diagnostics(self) -> List[Diagnostic]:
+        return [d.to_diagnostic() for d in self.drifts] + list(self.missing)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "drifts": [d.to_json() for d in self.drifts],
+            "missing": [d.to_json() for d in self.missing],
+            "checked": self.checked,
+            "skipped": self.skipped,
+        }
+
+
+# ---------------------------------------------------------------- baselines
+def _baselines_from_payload(obj: Any, source: str) -> Dict[str, Tuple[float, str]]:
+    """Extract ``{kernel: (seconds, source)}`` from one BENCH payload.
+
+    Two shapes load:
+
+    * serve-style: a ``"kernels"`` object of per-kernel summaries whose
+      ``p50`` (fallback ``mean``) is the baseline;
+    * fast-path style: a flat object of numeric metrics, each metric
+      name a baseline key.
+    """
+    out: Dict[str, Tuple[float, str]] = {}
+    if not isinstance(obj, dict):
+        return out
+    kernels = obj.get("kernels")
+    if isinstance(kernels, dict):
+        for name, summary in kernels.items():
+            if not isinstance(summary, dict):
+                continue
+            value = summary.get("p50")
+            if value is None:
+                value = summary.get("mean")
+            if isinstance(value, (int, float)) and value > 0:
+                out[str(name)] = (float(value), source)
+        return out
+    for name, value in obj.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool) and value > 0:
+            out[str(name)] = (float(value), source)
+    return out
+
+
+def load_baselines(*paths: str) -> Dict[str, Tuple[float, str]]:
+    """Load baselines from files and/or directories of ``BENCH_*.json``.
+
+    Returns ``{kernel: (seconds, source_file)}``.  Unreadable or
+    malformed files raise — a broken baseline store must be loud, not
+    an accidental all-pass.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            found = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+            files.extend(found)
+        else:
+            files.append(path)
+    baselines: Dict[str, Tuple[float, str]] = {}
+    for path in files:
+        with open(path) as f:
+            payload = json.load(f)
+        for kernel, entry in _baselines_from_payload(
+            payload, os.path.basename(path)
+        ).items():
+            baselines.setdefault(kernel, entry)
+    return baselines
+
+
+# ------------------------------------------------------------------- checks
+def observed_kernels(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """The merged per-kernel stats of an aggregator snapshot."""
+    kernels = snapshot.get("kernels")
+    return kernels if isinstance(kernels, dict) else {}
+
+
+def check_drift(
+    snapshot: Dict[str, Any],
+    baselines: Dict[str, Tuple[float, str]],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+    window: Optional[str] = None,
+) -> DriftReport:
+    """Compare a snapshot's kernels against baselines.
+
+    Firing is strictly-greater-than: a kernel sitting *exactly* at
+    ``threshold × baseline`` has not drifted past it.  Kernels with
+    fewer than ``min_samples`` observations are listed as skipped.
+    """
+    report = DriftReport()
+    threshold = float(threshold)
+    for kernel, stats in sorted(observed_kernels(snapshot).items()):
+        count = int(stats.get("count") or 0)
+        observed = stats.get("p50")
+        if observed is None:
+            observed = stats.get("mean")
+        if observed is None or count < max(1, int(min_samples)):
+            report.skipped.append(kernel)
+            continue
+        entry = baselines.get(kernel)
+        if entry is None:
+            report.missing.append(Diagnostic(
+                code="W902",
+                severity=Severity.WARNING,
+                message=(
+                    f"kernel {kernel!r} has {count} observations but no "
+                    "stored baseline; run the benchmark with "
+                    "REPRO_BENCH_REPORTS pointing at the baselines "
+                    "directory to record one"
+                ),
+                data=kernel,
+            ))
+            continue
+        baseline, source = entry
+        report.checked.append(kernel)
+        ratio = float(observed) / baseline if baseline > 0 else float("inf")
+        if ratio > threshold:
+            report.drifts.append(PerfDrift(
+                kernel=kernel,
+                baseline=baseline,
+                observed=float(observed),
+                ratio=ratio,
+                threshold=threshold,
+                samples=count,
+                window=window,
+                source=source,
+            ))
+    return report

@@ -31,6 +31,7 @@ from typing import Any, Dict, Optional
 from repro.filelock import FileLock
 from repro.instrumentation import InstrumentationRecorder
 from repro.sdfg.serialize import content_hash
+from repro.telemetry.sink import active_sink
 
 #: Bump when the entry layout changes; mismatched entries are evicted.
 CACHE_SCHEMA_VERSION = 1
@@ -168,6 +169,9 @@ class TuningCache:
             self.misses += 1
         if self.recorder is not None:
             self.recorder.event("cache", what, itype="COUNTER")
+        sink = active_sink()
+        if sink is not None:
+            sink.publish("cache", "tuning", fields={"event": what, "n": 1})
 
     def stats(self) -> Dict[str, int]:
         return {

@@ -1,0 +1,140 @@
+"""Perf-drift detection: baseline loading (both BENCH shapes), W901
+threshold-boundary semantics, W902 missing-baseline reporting."""
+
+import json
+
+import pytest
+
+from repro.diagnostics import CODES, Severity
+from repro.telemetry.regression import (
+    PerfDrift,
+    check_drift,
+    load_baselines,
+)
+
+
+def snapshot_with(kernels):
+    return {"kernels": kernels, "windows": [], "totals": {}}
+
+
+def stats(p50, count=10):
+    return {"count": count, "p50": p50, "mean": p50}
+
+
+# ---------------------------------------------------------------- baselines
+def test_load_serve_shape_baselines(tmp_path):
+    path = tmp_path / "BENCH_serve.json"
+    path.write_text(json.dumps({
+        "kernels": {
+            "warm_alice": {"p50": 0.002, "p99": 0.005, "count": 50},
+            "meanonly": {"mean": 0.004, "count": 5},
+            "broken": {"p50": None, "mean": None},
+            "zeroed": {"p50": 0.0},
+        },
+        "latency": {"warm": {"p50": 0.001}},
+    }))
+    baselines = load_baselines(str(path))
+    assert baselines["warm_alice"] == (0.002, "BENCH_serve.json")
+    assert baselines["meanonly"] == (0.004, "BENCH_serve.json")
+    assert "broken" not in baselines and "zeroed" not in baselines
+    # The serve shape loads ONLY the kernels section, not latency etc.
+    assert set(baselines) == {"warm_alice", "meanonly"}
+
+
+def test_load_flat_shape_baselines(tmp_path):
+    path = tmp_path / "BENCH_pr4.json"
+    path.write_text(json.dumps({
+        "gemm_warm_seconds": 0.003,
+        "speedup": 12.5,
+        "enabled": True,  # bools are not timings
+        "note": "text",
+    }))
+    baselines = load_baselines(str(path))
+    assert baselines["gemm_warm_seconds"] == (0.003, "BENCH_pr4.json")
+    assert "enabled" not in baselines and "note" not in baselines
+
+
+def test_load_baselines_from_directory_first_file_wins(tmp_path):
+    (tmp_path / "BENCH_aaa.json").write_text(
+        json.dumps({"kernels": {"k": {"p50": 0.001}}}))
+    (tmp_path / "BENCH_zzz.json").write_text(
+        json.dumps({"kernels": {"k": {"p50": 0.9}, "only_z": {"p50": 0.2}}}))
+    (tmp_path / "ignored.json").write_text("{}")
+    baselines = load_baselines(str(tmp_path))
+    assert baselines["k"] == (0.001, "BENCH_aaa.json")
+    assert baselines["only_z"][0] == 0.2
+
+
+def test_malformed_baseline_file_is_loud(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text("{not json")
+    with pytest.raises(json.JSONDecodeError):
+        load_baselines(str(path))
+    with pytest.raises(FileNotFoundError):
+        load_baselines(str(tmp_path / "BENCH_absent.json"))
+
+
+# -------------------------------------------------------------- thresholds
+def test_drift_fires_strictly_past_threshold():
+    baselines = {"k": (1.0, "BENCH_serve.json")}
+    # Exactly at threshold x baseline: NOT a drift.
+    at = check_drift(snapshot_with({"k": stats(1.5)}), baselines, threshold=1.5)
+    assert at.drifts == [] and at.checked == ["k"]
+    # A hair past: fires.
+    past = check_drift(
+        snapshot_with({"k": stats(1.5000001)}), baselines, threshold=1.5
+    )
+    assert len(past.drifts) == 1
+    drift = past.drifts[0]
+    assert drift.kernel == "k"
+    assert drift.baseline == 1.0 and drift.observed == 1.5000001
+    assert drift.ratio > 1.5
+    # And comfortably under never fires.
+    under = check_drift(snapshot_with({"k": stats(0.9)}), baselines, threshold=1.5)
+    assert under.drifts == []
+
+
+def test_min_samples_skips_cold_one_shots():
+    baselines = {"k": (0.001, "b")}
+    report = check_drift(
+        snapshot_with({"k": stats(1.0, count=2)}), baselines, min_samples=3
+    )
+    assert report.drifts == [] and report.skipped == ["k"]
+    report = check_drift(
+        snapshot_with({"k": stats(1.0, count=3)}), baselines, min_samples=3
+    )
+    assert len(report.drifts) == 1 and report.skipped == []
+
+
+def test_missing_baseline_is_w902_not_silence():
+    report = check_drift(snapshot_with({"mystery": stats(0.5)}), {})
+    assert report.drifts == []
+    assert len(report.missing) == 1
+    diag = report.missing[0]
+    assert diag.code == "W902" and diag.severity is Severity.WARNING
+    assert "mystery" in diag.message and "REPRO_BENCH_REPORTS" in diag.message
+
+
+def test_w901_diagnostic_payload_and_registry():
+    assert "W901" in CODES and "W902" in CODES
+    drift = PerfDrift(
+        kernel="gemm", baseline=0.001, observed=0.0105, ratio=10.5,
+        threshold=1.5, samples=40, window="60s", source="BENCH_serve.json",
+    )
+    diag = drift.to_diagnostic()
+    assert diag.code == "W901" and diag.severity is Severity.WARNING
+    for fragment in ("gemm", "10.50x", "BENCH_serve.json"):
+        assert fragment in diag.message
+    payload = drift.to_json()
+    assert payload["code"] == "W901" and payload["ratio"] == 10.5
+
+
+def test_report_json_shape():
+    baselines = {"k": (0.001, "b")}
+    report = check_drift(
+        snapshot_with({"k": stats(0.01), "new": stats(0.2)}), baselines
+    )
+    as_json = report.to_json()
+    assert [d["kernel"] for d in as_json["drifts"]] == ["k"]
+    assert [d["code"] for d in as_json["missing"]] == ["W902"]
+    assert as_json["checked"] == ["k"]

@@ -1,0 +1,137 @@
+"""Ring-buffer sink semantics: cursors, overflow drop accounting, and
+process-active sink resolution."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.sink import (
+    TelemetryEvent,
+    TelemetrySink,
+    active_sink,
+    install_sink,
+    telemetry_enabled,
+    uninstall_sink,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_active_sink():
+    """Never leak a process-active sink into (or out of) a test."""
+    uninstall_sink()
+    yield
+    uninstall_sink()
+
+
+def test_publish_drain_roundtrip():
+    sink = TelemetrySink(capacity=16)
+    sink.publish("kernel", "gemm", 0.25, fields={"warm": True})
+    sink.publish("cache", "progcache", fields={"event": "hit"})
+
+    events, cursor, dropped = sink.drain(0)
+    assert dropped == 0
+    assert cursor == 2
+    assert [(e.kind, e.label) for e in events] == [
+        ("kernel", "gemm"), ("cache", "progcache"),
+    ]
+    assert events[0].value == 0.25
+    assert events[0].fields == {"warm": True}
+    # Cursor advances: nothing new on a second drain.
+    events, cursor2, dropped = sink.drain(cursor)
+    assert events == [] and cursor2 == cursor and dropped == 0
+
+
+def test_overflow_drops_are_counted_exactly():
+    sink = TelemetrySink(capacity=8)
+    for i in range(20):
+        sink.publish("kernel", f"k{i}", float(i))
+
+    events, cursor, dropped = sink.drain(0)
+    # 20 published into 8 slots: the 12 oldest are gone, and the loss
+    # is reported, not absorbed.
+    assert dropped == 12
+    assert len(events) == 8
+    assert [e.label for e in events] == [f"k{i}" for i in range(12, 20)]
+    assert cursor == 20
+    assert sink.stats() == {"capacity": 8, "published": 20, "resident": 8}
+
+
+def test_interleaved_consumers_have_independent_cursors():
+    sink = TelemetrySink(capacity=4)
+    for i in range(3):
+        sink.publish("kernel", f"k{i}")
+    a_events, a_cursor, _ = sink.drain(0)
+    assert len(a_events) == 3
+    for i in range(3, 9):
+        sink.publish("kernel", f"k{i}")
+    # Consumer A kept up (only 6 new, but ring holds 4 → 2 dropped).
+    a_events, _, a_dropped = sink.drain(a_cursor)
+    assert a_dropped == 2 and len(a_events) == 4
+    # A fresh consumer missed everything overwritten since the start.
+    b_events, _, b_dropped = sink.drain(0)
+    assert b_dropped == 5 and len(b_events) == 4
+
+
+def test_drain_limit_batches_oldest_first():
+    sink = TelemetrySink(capacity=16)
+    for i in range(6):
+        sink.publish("kernel", f"k{i}")
+    events, cursor, _ = sink.drain(0, limit=4)
+    assert [e.label for e in events] == ["k0", "k1", "k2", "k3"]
+    events, cursor, _ = sink.drain(cursor)
+    assert [e.label for e in events] == ["k4", "k5"]
+
+
+def test_event_wire_form_roundtrip():
+    ev = TelemetryEvent(7, 123.456789123, "kernel", "gemm", 0.5, {"warm": True})
+    ts, kind, label, value, fields = ev.to_json()
+    assert ts == 123.456789  # rounded for the wire
+    assert (kind, label, value) == ("kernel", "gemm", 0.5)
+    assert TelemetryEvent.fields_from_json(fields) == {"warm": True}
+    assert TelemetryEvent.fields_from_json("junk") is None
+
+
+def test_concurrent_publishers_never_lose_sequence_numbers():
+    sink = TelemetrySink(capacity=4096)
+    n_threads, per_thread = 8, 200
+
+    def hammer(tid):
+        for i in range(per_thread):
+            sink.publish("kernel", f"t{tid}", float(i))
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    events, cursor, dropped = sink.drain(0)
+    assert dropped == 0
+    assert cursor == n_threads * per_thread
+    assert sorted(e.seq for e in events) == list(range(n_threads * per_thread))
+
+
+def test_active_sink_resolves_from_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    uninstall_sink()
+    assert not telemetry_enabled()
+    assert active_sink() is None
+
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    # Resolution is cached: flipping the env alone changes nothing...
+    assert active_sink() is None
+    # ...until the cache is reset.
+    uninstall_sink()
+    assert telemetry_enabled()
+    sink = active_sink()
+    assert isinstance(sink, TelemetrySink)
+    assert active_sink() is sink  # cached thereafter
+
+
+def test_install_sink_returns_previous():
+    first, second = TelemetrySink(), TelemetrySink()
+    assert install_sink(first) is None
+    assert active_sink() is first
+    assert install_sink(second) is first
+    assert active_sink() is second
+    assert install_sink(None) is second
+    assert active_sink() is None
