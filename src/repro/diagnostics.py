@@ -107,6 +107,9 @@ CODES: Dict[str, str] = {
     # --- telemetry / performance regression (W9xx, warnings)
     "W901": "kernel timing drifted past its stored baseline",
     "W902": "kernel observed in telemetry but has no stored baseline",
+    # --- cutout tuning (W10xx, warnings)
+    "W1001": "cutout extraction skipped an unsupported region",
+    "W1002": "stitching a tuned cutout back failed; region left untuned",
 }
 
 

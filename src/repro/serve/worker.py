@@ -253,6 +253,15 @@ class WorkerRuntime:
                 fields={"backend": compiled.backend, "warm": warm,
                         "tenant": tenant},
             )
+            # Exemplar trace: ship the full instrumentation tree so the
+            # aggregator can retain the slowest request per window.
+            report = getattr(compiled, "last_report", None)
+            if report is not None and not report.is_empty():
+                sink.publish(
+                    "trace", kernel or str(program)[:16], runtime,
+                    fields={"report": report.to_json(), "tenant": tenant,
+                            "backend": compiled.backend},
+                )
 
         findings = [
             f.to_json() if hasattr(f, "to_json") else str(f)

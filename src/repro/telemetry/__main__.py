@@ -114,6 +114,38 @@ def render_dashboard(snapshot: Dict[str, Any], top: int = 10) -> str:
                 f"{counters.get('miss', 0):>6} {counters.get('store', 0):>6} "
                 f"{rate if rate is None else format(rate, '8.2%')}"
             )
+    tuning = snapshot.get("tuning", {})
+    if tuning:
+        lines.append("")
+        lines.append(f"{'tuning':<34} {'cand':>6} {'acc':>5} {'rej':>5} "
+                     f"{'events':>6} {'sec':>10}")
+        for label, counters in sorted(tuning.items()):
+            lines.append(
+                f"{label:<34.34} {int(counters.get('candidates', 0)):>6} "
+                f"{int(counters.get('accepted', 0)):>5} "
+                f"{int(counters.get('rejected', 0)):>5} "
+                f"{int(counters.get('events', 0)):>6} "
+                f"{counters.get('seconds', 0.0):>10.4f}"
+            )
+    exemplar = snapshot.get("exemplar")
+    if exemplar:
+        lines.append("")
+        lines.append(
+            f"slowest traced request: {exemplar.get('kernel', '?')} "
+            f"{_fmt_ms(exemplar.get('seconds')).strip()} ms "
+            f"(tenant {exemplar.get('tenant', '?')}, "
+            f"backend {exemplar.get('backend', '?')})"
+        )
+        report = exemplar.get("report")
+        if isinstance(report, dict):
+            try:
+                from repro.instrumentation import InstrumentationReport
+
+                rendered = InstrumentationReport.from_json(report).render()
+                for line in rendered.splitlines()[:12]:
+                    lines.append(f"  {line}")
+            except (ValueError, KeyError, TypeError):
+                pass
     breakers = snapshot.get("breaker_states", {})
     if breakers:
         lines.append("")

@@ -110,7 +110,7 @@ class _Window:
 
     __slots__ = ("start", "width", "kernels", "caches", "tenants",
                  "breakers", "hotspot_time", "hotspot_volume",
-                 "events", "dropped", "skewed")
+                 "tuning", "exemplar", "events", "dropped", "skewed")
 
     def __init__(self, start: float, width: float):
         self.start = start
@@ -121,6 +121,12 @@ class _Window:
         self.breakers: List[Tuple[float, str, str, str]] = []
         self.hotspot_time: Dict[str, float] = {}
         self.hotspot_volume: Dict[str, int] = {}
+        #: Per-label tuning counters (``xform:<name>``, ``cutout:<label>``):
+        #: numeric event fields summed, timed values under ``seconds``.
+        self.tuning: Dict[str, Dict[str, float]] = {}
+        #: Slowest traced request of the window: the full instrumentation
+        #: tree of the worst ``trace`` event, kept whole for debugging.
+        self.exemplar: Optional[Dict[str, Any]] = None
         self.events = 0
         self.dropped = 0
         self.skewed = 0
@@ -168,12 +174,38 @@ class _Window:
                     (ev.ts, label, str(fields.get("old", "?")),
                      str(fields.get("new", "?")))
                 )
+        elif kind == "tuning":
+            bucket = self.tuning.get(label)
+            if bucket is None:
+                bucket = self.tuning[label] = {"events": 0, "seconds": 0.0}
+            bucket["events"] += 1
+            if value is not None:
+                bucket["seconds"] += float(value)
+            for key, val in fields.items():
+                if isinstance(val, bool) or not isinstance(val, (int, float)):
+                    continue
+                bucket[key] = bucket.get(key, 0) + val
+        elif kind == "trace":
+            if value is not None and (
+                self.exemplar is None
+                or float(value) > self.exemplar.get("seconds", 0.0)
+            ):
+                self.exemplar = {
+                    "kernel": label,
+                    "seconds": float(value),
+                    "ts": ev.ts,
+                    "tenant": fields.get("tenant"),
+                    "backend": fields.get("backend"),
+                    "report": fields.get("report"),
+                }
         elif kind == "drop":
             self.dropped += int(value or 0)
         # Timer/volume hot spots: any timed or volume-carrying event
         # (map/tasklet/state scopes from the instrumentation recorder,
         # compile phases, kernels) competes for the top-N tables.
-        if value is not None and kind not in ("drop", "request"):
+        # ``trace`` mirrors an already-folded kernel timing and would
+        # double-count it.
+        if value is not None and kind not in ("drop", "request", "trace"):
             key = f"{kind}:{label}"
             if len(self.hotspot_time) < MAX_HOTSPOTS or key in self.hotspot_time:
                 self.hotspot_time[key] = self.hotspot_time.get(key, 0.0) + float(value)
@@ -205,6 +237,8 @@ class _Window:
                 for name, stats in sorted(self.kernels.items())
             },
             "caches": caches,
+            "tuning": {k: dict(v) for k, v in sorted(self.tuning.items())},
+            "exemplar": dict(self.exemplar) if self.exemplar else None,
             "tenants": {t: dict(b) for t, b in sorted(self.tenants.items())},
             "breaker_transitions": [
                 [round(ts, 6), key, old, new]
@@ -320,12 +354,28 @@ class WindowedAggregator:
                     acc.warm += stats.warm
                     acc.cold += stats.cold
                     acc.samples.extend(stats.samples)
+            tuning: Dict[str, Dict[str, float]] = {}
+            exemplar: Optional[Dict[str, Any]] = None
+            for idx in self._windows:
+                win = self._windows[idx]
+                for label, counters in win.tuning.items():
+                    bucket = tuning.setdefault(label, {})
+                    for key, val in counters.items():
+                        bucket[key] = bucket.get(key, 0) + val
+                if win.exemplar is not None and (
+                    exemplar is None
+                    or win.exemplar.get("seconds", 0.0)
+                    > exemplar.get("seconds", 0.0)
+                ):
+                    exemplar = win.exemplar
             return {
                 "window_seconds": self.window_seconds,
                 "windows": windows,
                 "kernels": {
                     name: stats.summary() for name, stats in sorted(merged.items())
                 },
+                "tuning": {k: dict(v) for k, v in sorted(tuning.items())},
+                "exemplar": dict(exemplar) if exemplar else None,
                 "totals": {
                     "events": self.total_events,
                     "dropped": self.total_dropped,

@@ -10,6 +10,9 @@ Map transformations
     :class:`~repro.transformations.maps.MapInterchange`,
     :class:`~repro.transformations.fusion.MapReduceFusion`,
     :class:`~repro.transformations.maps.MapTiling`
+Subgraph fusion (beyond Table 4; exploited by the cutout tuner)
+    :class:`~repro.transformations.subgraph.OnTheFlyMapFusion`,
+    :class:`~repro.transformations.subgraph.TaskletFusion`
 Data transformations
     :class:`~repro.transformations.memory.DoubleBuffering`,
     :class:`~repro.transformations.memory.LocalStorage`,
@@ -41,6 +44,7 @@ from repro.transformations.maps import (
     Vectorization,
 )
 from repro.transformations.fusion import MapFusion, MapReduceFusion
+from repro.transformations.subgraph import OnTheFlyMapFusion, TaskletFusion
 from repro.transformations.memory import (
     DoubleBuffering,
     LocalStorage,
@@ -84,10 +88,12 @@ __all__ = [
     "MapReduceFusion",
     "MapTiling",
     "MapToForLoop",
+    "OnTheFlyMapFusion",
     "PatternNode",
     "REGISTRY",
     "RedundantArray",
     "StateFusion",
+    "TaskletFusion",
     "Transformation",
     "Vectorization",
     "apply_match",

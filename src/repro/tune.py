@@ -9,11 +9,19 @@ Usage (``python -m repro.tune``):
 * ``python -m repro.tune compare matmul`` — tune, then score the naive
   and tuned variants under the measured backend and the analytic
   cpu/gpu/fpga machine models side by side;
+* ``python -m repro.tune run gemm_chain --cutout --jobs 4`` — cutout
+  strategy: split the program into per-state/per-scope cutouts,
+  deduplicate identical kernels by content hash, and tune the unique
+  ones across a worker pool before stitching the winners back;
+* ``python -m repro.tune --if-drifted snapshot.json`` — re-tune only
+  the kernels whose telemetry timings drifted past their stored
+  baselines (W901), invalidating their stale cache entries first;
 * ``python -m repro.tune --list`` — list tunable kernel names.
 
 ``--assert-improved`` exits nonzero when the tuned variant scores worse
-than the naive one, and ``--assert-cache-hit`` when the run was not
-served from the cache — CI uses both to prove the subsystem end to end.
+than the naive one, ``--assert-cache-hit`` when the run was not served
+from the cache, and ``--assert-dedup`` when cutout grouping saved no
+searches — CI uses these to prove the subsystem end to end.
 """
 
 from __future__ import annotations
@@ -26,11 +34,12 @@ from repro.tuning import TuningResult, tune
 
 
 def make_kernel_sdfg(name: str):
-    """Resolve a kernel name: fundamental kernels (§6.1) first, then the
-    PolyBench registry."""
+    """Resolve a kernel name: fundamental kernels (§6.1) and other
+    ``*_sdfg`` factories in :mod:`repro.workloads.kernels` first, then
+    the PolyBench registry."""
     from repro.workloads import kernels
 
-    if name in kernels.KERNELS:
+    if name in kernels.KERNELS or hasattr(kernels, f"{name}_sdfg"):
         return getattr(kernels, f"{name}_sdfg")()
     from repro.workloads.polybench import get
 
@@ -47,11 +56,12 @@ def list_kernels() -> List[str]:
     from repro.workloads import kernels
     from repro.workloads.polybench import all_kernels
 
-    return sorted(set(kernels.KERNELS) | set(all_kernels()))
+    factories = {n[: -len("_sdfg")] for n in dir(kernels) if n.endswith("_sdfg")}
+    return sorted(set(kernels.KERNELS) | factories | set(all_kernels()))
 
 
-def run_tuning(args) -> TuningResult:
-    sdfg = make_kernel_sdfg(args.kernel)
+def run_tuning(args, kernel: Optional[str] = None) -> TuningResult:
+    sdfg = make_kernel_sdfg(kernel or args.kernel)
     return tune(
         sdfg,
         cost=args.cost,
@@ -61,7 +71,65 @@ def run_tuning(args) -> TuningResult:
         budget=args.budget,
         machine=args.machine,
         cache_dir=args.cache_dir,
+        jobs=args.jobs,
     )
+
+
+def run_drift_retune(args) -> int:
+    """``--if-drifted``: re-tune only the kernels flagged W901.
+
+    Loads a saved telemetry snapshot, checks it against the stored
+    benchmark baselines, invalidates the drifted kernels' tuning-cache
+    entries (their cached histories were won under the old performance
+    regime), and re-tunes each one.  Kernels that are not tunable by
+    name are reported and skipped.
+    """
+    import json
+
+    from repro.telemetry.regression import check_drift, load_baselines
+
+    with open(args.if_drifted) as f:
+        snapshot = json.load(f)
+    baselines = load_baselines(args.baselines)
+    drift = check_drift(snapshot, baselines)
+    if not drift.drifts:
+        print(
+            f"no drifted kernels in {args.if_drifted} "
+            f"({len(drift.checked)} checked, {len(drift.skipped)} skipped)"
+        )
+        return 0
+
+    status = 0
+    for d in drift.drifts:
+        print(d.to_diagnostic().message if hasattr(d, "to_diagnostic") else d)
+        try:
+            sdfg = make_kernel_sdfg(d.kernel)
+        except KeyError:
+            print(f"  (not a tunable kernel; skipping {d.kernel!r})")
+            continue
+        if args.cache_dir:
+            from repro.tuning import TuningCache
+
+            cache = TuningCache(args.cache_dir)
+            # Telemetry reports the serve-layer kernel name; cache entries
+            # are keyed by the SDFG's own name — invalidate under both.
+            removed = cache.invalidate(d.kernel)
+            if sdfg.name != d.kernel:
+                removed += cache.invalidate(sdfg.name)
+            print(f"  invalidated {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        result = run_tuning(args, kernel=d.kernel)
+        print(result.report.render())
+        if args.report:
+            path = f"{args.report}.{d.kernel}.json" if len(drift.drifts) > 1 else args.report
+            result.report.save(path)
+            print(f"saved tuning report to {path}", file=sys.stderr)
+        if args.assert_improved and (
+            result.best_score is None
+            or result.baseline_score is None
+            or result.best_score > result.baseline_score
+        ):
+            status = 1
+    return status
 
 
 def _compare(args, result: TuningResult) -> str:
@@ -123,8 +191,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--strategy",
         default="greedy",
-        choices=("greedy", "beam"),
+        choices=("greedy", "beam", "cutout"),
         help="search driver (default: greedy)",
+    )
+    parser.add_argument(
+        "--cutout",
+        action="store_true",
+        help="shorthand for --strategy cutout (per-state cutout "
+        "extraction, hash dedup, parallel search, stitch-back)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --strategy cutout (default: 1)",
     )
     parser.add_argument("--depth", type=int, default=4, help="max chain length")
     parser.add_argument(
@@ -153,13 +234,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit 1 when the run was not served from the cache",
     )
     parser.add_argument(
+        "--assert-dedup",
+        action="store_true",
+        help="exit 1 when cutout grouping deduplicated nothing",
+    )
+    parser.add_argument(
+        "--if-drifted",
+        metavar="SNAPSHOT",
+        help="re-tune only kernels whose timings in this saved telemetry "
+        "snapshot drifted past their baselines (W901), invalidating "
+        "their cache entries first",
+    )
+    parser.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        metavar="PATH",
+        help="baseline BENCH_*.json file or directory for --if-drifted "
+        "(default: benchmarks/baselines)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list tunable kernels and exit"
     )
     args = parser.parse_args(argv)
+    if args.cutout:
+        args.strategy = "cutout"
 
     if args.list:
         print("\n".join(list_kernels()))
         return 0
+    if args.if_drifted:
+        try:
+            return run_drift_retune(args)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 1
     if not args.command or not args.kernel:
         parser.print_usage()
         return 2
@@ -183,6 +291,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.assert_cache_hit and not result.cache_hit:
         print("error: expected a tuning-cache hit, but the search ran",
               file=sys.stderr)
+        status = 1
+    if args.assert_dedup and not result.report.cutouts.get("deduplicated"):
+        print(
+            "error: expected cutout dedup to save at least one search "
+            f"(cutouts section: {result.report.cutouts or '{}'})",
+            file=sys.stderr,
+        )
         status = 1
     if args.assert_improved and (
         result.best_score is None

@@ -35,6 +35,17 @@ from repro.tuning.cost import (
     MeasuredCost,
     resolve_provider,
 )
+from repro.tuning.cutout import (
+    Cutout,
+    CutoutError,
+    execute_cutouts,
+    extract_scope_cutout,
+    extract_state_cutout,
+    extract_state_cutouts,
+    group_cutouts,
+    grouping_hash,
+)
+from repro.tuning.parallel import CUTOUT_POOL_EXCLUDED, cutout_pool, tune_cutouts
 from repro.tuning.report import CandidateRecord, TuningReport, history_label
 from repro.tuning.search import (
     DEFAULT_POOL_EXCLUDED,
@@ -47,16 +58,27 @@ from repro.tuning.search import (
 __all__ = [
     "AnalyticCost",
     "CACHE_SCHEMA_VERSION",
+    "CUTOUT_POOL_EXCLUDED",
     "CandidateRecord",
     "CostProvider",
+    "Cutout",
+    "CutoutError",
     "DEFAULT_POOL_EXCLUDED",
     "MeasuredCost",
     "TuningCache",
     "TuningConfig",
     "TuningReport",
     "TuningResult",
+    "cutout_pool",
     "default_pool",
+    "execute_cutouts",
+    "extract_scope_cutout",
+    "extract_state_cutout",
+    "extract_state_cutouts",
+    "group_cutouts",
+    "grouping_hash",
     "history_label",
     "resolve_provider",
     "tune",
+    "tune_cutouts",
 ]

@@ -126,6 +126,46 @@ class TuningCache:
         self._count("store")
         self._evict()
 
+    # --------------------------------------------------------- invalidation
+    def invalidate(self, sdfg_name: str) -> int:
+        """Delete every entry recorded for ``sdfg_name``.
+
+        The drift-retune path (``python -m repro.tune --if-drifted``)
+        uses this: a kernel whose measured timings drifted past its
+        baseline (W901) must not short-circuit into its stale cached
+        history on the next tune.  Cutout entries belong to their
+        parent kernel — ``<sdfg_name>_cut_<state>`` names are
+        invalidated along with the whole-program entry, so a drifted
+        kernel tuned with ``strategy="cutout"`` cannot keep stale
+        per-cutout winners either.  Returns how many entries were
+        removed.
+        """
+        removed = 0
+        cutout_prefix = f"{sdfg_name}_cut_"
+        lock = self._dir_lock()
+        try:
+            for _, path in self._entries():
+                try:
+                    with open(path) as f:
+                        entry = json.load(f)
+                except (OSError, ValueError):
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                name = str(entry.get("sdfg", ""))
+                if name != sdfg_name and not name.startswith(cutout_prefix):
+                    continue
+                try:
+                    os.remove(path)
+                    removed += 1
+                    self._count("invalidate")
+                except OSError:
+                    pass
+        finally:
+            if lock is not None:
+                lock.release()
+        return removed
+
     # ------------------------------------------------------------ eviction
     def _entries(self):
         out = []

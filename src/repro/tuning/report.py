@@ -90,6 +90,12 @@ class TuningReport:
     budget: Optional[int] = None
     budget_used: int = 0
     budget_exhausted: bool = False
+    #: Per-transformation search statistics (candidate/accept/reject
+    #: counts, apply/evaluate wall-clock) — filled by the search drivers.
+    transformations: Dict[str, Any] = field(default_factory=dict)
+    #: Cutout-strategy section (dedup counts, per-cutout outcomes,
+    #: stitching/verification results) — filled by the parallel tuner.
+    cutouts: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------ recording
     def add(
@@ -142,6 +148,8 @@ class TuningReport:
             "budget": self.budget,
             "budget_used": self.budget_used,
             "budget_exhausted": self.budget_exhausted,
+            "transformations": dict(self.transformations),
+            "cutouts": dict(self.cutouts),
         }
 
     @staticmethod
@@ -163,6 +171,8 @@ class TuningReport:
             budget=obj.get("budget"),
             budget_used=int(obj.get("budget_used", 0)),
             budget_exhausted=bool(obj.get("budget_exhausted", False)),
+            transformations=dict(obj.get("transformations", {})),
+            cutouts=dict(obj.get("cutouts", {})),
         )
 
     def save(self, path: str) -> None:
@@ -204,6 +214,14 @@ class TuningReport:
             exhausted = " (exhausted)" if self.budget_exhausted else ""
             lines.append(
                 f"  budget: {self.budget_used}/{self.budget} evaluations{exhausted}"
+            )
+        if self.cutouts:
+            lines.append(
+                f"  cutouts: {self.cutouts.get('unique', 0)} unique of "
+                f"{self.cutouts.get('total', 0)} "
+                f"(saved {self.cutouts.get('deduplicated', 0)} searches, "
+                f"jobs={self.cutouts.get('jobs', 1)}, "
+                f"verification: {self.cutouts.get('verification', 'not_run')})"
             )
         if self.candidates:
             lines.append(

@@ -25,11 +25,13 @@ identical tuning problem short-circuits the whole search.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.instrumentation import InstrumentationRecorder
 from repro.sdfg.serialize import content_hash, sdfg_from_json, sdfg_to_json
+from repro.telemetry.sink import active_sink
 from repro.transformations.base import REGISTRY
 from repro.transformations.guard import GuardedOptimizer
 from repro.transformations.optimizer import replay
@@ -146,9 +148,19 @@ class _SearchState:
         self.evals = 0
         #: content hash -> best known score (duplicate pruning).
         self.seen: Dict[str, float] = {}
+        #: per-transformation candidate/accept/reject counts and
+        #: apply/evaluate wall-clock (surfaced as tuning telemetry).
+        self.xforms: Dict[str, Dict[str, float]] = {}
 
     def exhausted(self) -> bool:
         return self.evals >= self.budget
+
+    def xform(self, name: str) -> Dict[str, float]:
+        return self.xforms.setdefault(
+            name,
+            {"candidates": 0, "accepted": 0, "rejected": 0,
+             "apply_s": 0.0, "evaluate_s": 0.0},
+        )
 
 
 def tune(
@@ -166,6 +178,7 @@ def tune(
     machine: str = "cpu",
     symbols: Optional[Mapping[str, int]] = None,
     recorder: Optional[InstrumentationRecorder] = None,
+    jobs: int = 1,
 ) -> TuningResult:
     """Search for the best-scoring transformation sequence over ``sdfg``.
 
@@ -175,6 +188,12 @@ def tune(
     problem sizes), or any :class:`CostProvider`.  Individual search
     knobs (``strategy``/``depth``/``beam_width``/``budget``/
     ``transformations``) override the corresponding ``config`` fields.
+
+    ``strategy="cutout"`` switches to the cutout-parallel driver
+    (:func:`repro.tuning.parallel.tune_cutouts`): every unique kernel of
+    the program is extracted, tuned once across ``jobs`` worker
+    processes, and the winners are stitched back and differentially
+    verified.  ``jobs`` is ignored by the serial strategies.
 
     With ``cache_dir`` (or an explicit ``cache``), results persist
     content-addressed across processes: a repeated call with identical
@@ -193,6 +212,21 @@ def tune(
         cfg.budget = budget
     if transformations is not None:
         cfg.transformations = list(transformations)
+    if cfg.strategy == "cutout":
+        from repro.tuning.parallel import tune_cutouts
+
+        return tune_cutouts(
+            sdfg,
+            cost=provider,
+            jobs=jobs,
+            config=cfg,
+            cache_dir=cache_dir,
+            cache=cache,
+            inputs=inputs,
+            machine=machine,
+            symbols=symbols,
+            recorder=recorder,
+        )
     if cfg.strategy not in ("greedy", "beam"):
         raise ValueError(f"unknown search strategy {cfg.strategy!r}")
 
@@ -258,6 +292,17 @@ def tune(
         best_score = best.score if winner else baseline
         report.best_score = best_score
         report.winner = list(winner)
+        report.transformations = {
+            name: {
+                "candidates": int(stats["candidates"]),
+                "accepted": int(stats["accepted"]),
+                "rejected": int(stats["rejected"]),
+                "apply_s": round(stats["apply_s"], 6),
+                "evaluate_s": round(stats["evaluate_s"], 6),
+            }
+            for name, stats in sorted(state.xforms.items())
+        }
+        _publish_xform_stats(report.transformations)
     finally:
         recorder.exit()
 
@@ -379,6 +424,7 @@ def _expand(
         if n_matches == 0:
             report.add(depth, parent_label, name, 0, "no_match")
             continue
+        stats = state.xform(name)
         for index in range(min(n_matches, cfg.max_matches)):
             if state.exhausted():
                 report.budget_exhausted = True
@@ -389,8 +435,13 @@ def _expand(
                 return children
             work = sdfg_from_json(variant.snapshot)
             guard = GuardedOptimizer(work, verify=cfg.verify)
-            if not guard.apply(name, match_index=index):
+            stats["candidates"] += 1
+            t0 = time.perf_counter()
+            applied = guard.apply(name, match_index=index)
+            stats["apply_s"] += time.perf_counter() - t0
+            if not applied:
                 attempt = guard.report.attempts[-1]
+                stats["rejected"] += 1
                 report.add(
                     depth, parent_label, name, index,
                     attempt.status, reason=attempt.reason,
@@ -406,13 +457,18 @@ def _expand(
                 continue
             state.evals += 1
             try:
+                t0 = time.perf_counter()
                 score = provider.score(work)
+                stats["evaluate_s"] += time.perf_counter() - t0
             except Exception as err:  # noqa: BLE001 - unscorable variant
+                stats["evaluate_s"] += time.perf_counter() - t0
+                stats["rejected"] += 1
                 report.add(
                     depth, parent_label, name, index, "score_failed",
                     reason=f"{type(err).__name__}: {err}",
                 )
                 continue
+            stats["accepted"] += 1
             state.seen[digest] = score
             report.add(depth, parent_label, name, index, "scored", score=score)
             children.append(
@@ -425,6 +481,28 @@ def _expand(
                 )
             )
     return children
+
+
+def _publish_xform_stats(stats: Mapping[str, Mapping[str, Any]]) -> None:
+    """Emit one ``tuning``/``xform:<name>`` event per transformation with
+    candidate/accept/reject counts and apply+evaluate wall-clock, so the
+    telemetry dashboard can show where search time goes."""
+    sink = active_sink()
+    if sink is None:
+        return
+    for name, s in stats.items():
+        sink.publish(
+            "tuning",
+            f"xform:{name}",
+            float(s.get("apply_s", 0.0)) + float(s.get("evaluate_s", 0.0)),
+            fields={
+                "candidates": int(s.get("candidates", 0)),
+                "accepted": int(s.get("accepted", 0)),
+                "rejected": int(s.get("rejected", 0)),
+                "apply_s": round(float(s.get("apply_s", 0.0)), 6),
+                "evaluate_s": round(float(s.get("evaluate_s", 0.0)), 6),
+            },
+        )
 
 
 def _improves(candidate: float, incumbent: float, min_improvement: float) -> bool:

@@ -15,7 +15,7 @@ import numpy as np
 
 import repro as rp
 from repro.library.sparse import CSRMatrix
-from repro.sdfg import SDFG, Memlet, dtypes
+from repro.sdfg import SDFG, InterstateEdge, Memlet, dtypes
 from repro.transformations import (
     MapReduceFusion,
     MapTiling,
@@ -214,6 +214,75 @@ def spmv_data(rows: int, nnz_per_row: int, seed: int = 0):
         "x": rng.rand(rows).astype(np.float32),
         "b": np.zeros(rows, np.float32),
     }, csr
+
+
+# ------------------------------------------------------------- gemm chain
+def gemm_chain_sdfg(links: int = 8) -> SDFG:
+    """Multi-state chain of ``links`` scaled GEMMs: ``X_{k+1} = alpha_k *
+    X_k @ B``, with per-link zero-init states and WCR accumulation.
+
+    The chain is the cutout tuner's benchmark program: every link
+    contributes two states (init + accumulate), the init states are all
+    identical after cutout normalization (one unique group), and each
+    accumulate state differs only by its ``alpha_k`` constant (``links``
+    unique groups) — so ``2 * links`` cutouts deduplicate to
+    ``links + 1`` unique searches.
+    """
+    sdfg = SDFG("gemm_chain")
+    sdfg.add_array("A", ("N", "N"), dtypes.float64)
+    sdfg.add_array("B", ("N", "N"), dtypes.float64)
+    sdfg.add_array("C", ("N", "N"), dtypes.float64)
+    prev_state = None
+    prev = "A"
+    for k in range(links):
+        out = "C" if k == links - 1 else f"T{k}"
+        if out != "C":
+            sdfg.add_transient(out, ("N", "N"), dtypes.float64)
+        init = sdfg.add_state(f"init{k}", is_start=(k == 0))
+        init.add_mapped_tasklet(
+            "zero",
+            {"i": "0:N", "j": "0:N"},
+            inputs={},
+            code="z = 0.0",
+            outputs={"z": Memlet.simple(out, "i, j")},
+        )
+        comp = sdfg.add_state(f"mm{k}")
+        alpha = 1.0 + 0.125 * k  # distinct per link -> distinct cutout group
+        comp.add_mapped_tasklet(
+            "gemm",
+            {"i": "0:N", "j": "0:N", "kk": "0:N"},
+            inputs={
+                "x": Memlet.simple(prev, "i, kk"),
+                "y": Memlet.simple("B", "kk, j"),
+            },
+            code=f"o = {alpha!r} * x * y",
+            outputs={"o": Memlet(data=out, subset="i, j", wcr="sum")},
+        )
+        if prev_state is not None:
+            sdfg.add_edge(prev_state, init, InterstateEdge())
+        sdfg.add_edge(init, comp, InterstateEdge())
+        prev_state = comp
+        prev = out
+    sdfg.validate()
+    return sdfg
+
+
+def gemm_chain_data(n: int, seed: int = 0) -> Dict[str, np.ndarray]:
+    rng = np.random.RandomState(seed)
+    return {
+        "A": rng.rand(n, n),
+        "B": rng.rand(n, n),
+        "C": np.zeros((n, n)),
+    }
+
+
+def gemm_chain_reference(
+    data: Dict[str, np.ndarray], links: int = 8
+) -> np.ndarray:
+    out = data["A"]
+    for k in range(links):
+        out = (1.0 + 0.125 * k) * (out @ data["B"])
+    return out
 
 
 KERNELS = ("matmul", "jacobi2d", "histogram", "query", "spmv")

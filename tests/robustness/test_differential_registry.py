@@ -176,6 +176,52 @@ def nested_sdfg():
     return outer
 
 
+def tasklet_chain_sdfg():
+    """tasklet -> scalar transient -> tasklet, inside one map scope."""
+    sdfg = SDFG("tchain")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    sdfg.add_transient("mid", (1,), dtypes.float64, find_new_name=False)
+    st = sdfg.add_state()
+    me, mx = st.add_map("m", {"i": "0:N"})
+    t1 = st.add_tasklet("t1", ["a"], ["x"], "x = a * 2")
+    t2 = st.add_tasklet("t2", ["y"], ["b"], "b = y + 1")
+    mid = st.add_read("mid")
+    r, w = st.add_read("A"), st.add_write("B")
+    st.add_memlet_path(r, me, t1, memlet=Memlet.simple("A", "i"), dst_conn="a")
+    st.add_edge(t1, mid, Memlet.simple("mid", "0"), "x", None)
+    st.add_edge(mid, t2, Memlet.simple("mid", "0"), None, "y")
+    st.add_memlet_path(t2, mx, w, memlet=Memlet.simple("B", "i"), src_conn="b")
+    return sdfg
+
+
+def otf_maps_sdfg():
+    """Producer map feeding a consumer map through a transient, with a
+    shifted read (``tmp[j - 1]``) so the recompute is non-trivial."""
+    sdfg = SDFG("otf")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    sdfg.add_transient("tmp", ("N",), dtypes.float64, find_new_name=False)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "prod",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="t = a * 2.0",
+        outputs={"t": Memlet.simple("tmp", "i")},
+    )
+    tmp_node = [n for n in st.data_nodes() if n.data == "tmp"][0]
+    st.add_mapped_tasklet(
+        "cons",
+        {"j": "1:N"},
+        inputs={"t": Memlet.simple("tmp", "j - 1")},
+        code="b = t + 1.0",
+        outputs={"b": Memlet.simple("B", "j")},
+        input_nodes={"tmp": tmp_node},
+    )
+    return sdfg
+
+
 def vec_inputs(rng):
     return {"A": rng.rand(9), "N": 9}
 
@@ -202,6 +248,8 @@ CASES = {
     "MapToForLoop": (scale_sdfg, vec_inputs, None, []),
     "MapFusion": (two_maps_sdfg, vec2_inputs, None, []),
     "MapReduceFusion": (mm_sdfg, mm_inputs, None, []),
+    "TaskletFusion": (tasklet_chain_sdfg, vecB_inputs, None, []),
+    "OnTheFlyMapFusion": (otf_maps_sdfg, vecB_inputs, None, []),
     "LocalStorage": (nested_copy_sdfg, copy2_inputs, None, []),
     "LocalStream": (stream_filter_sdfg, filter_inputs, None, []),
     "DoubleBuffering": (nested_copy_sdfg, copy2_inputs, None, ["LocalStorage"]),

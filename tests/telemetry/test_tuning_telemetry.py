@@ -1,0 +1,163 @@
+"""Tuning-event aggregation and exemplar-trace retention: per-label
+tuning counters folded into windows, the slowest traced request kept
+whole per window (and fleet-wide in the snapshot), and both surfaced by
+the CLI dashboard and the serve ``metrics`` endpoint."""
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import InstrumentationReport
+from repro.instrumentation.recorder import EventNode
+from repro.telemetry.__main__ import render_dashboard
+from repro.telemetry.aggregate import WindowedAggregator
+from repro.telemetry.sink import TelemetrySink
+
+
+def make_report(sdfg="k", ms=2.5):
+    node = EventNode("state", "s0")
+    node.count = 1
+    node.duration = ms / 1e3
+    return InstrumentationReport(sdfg=sdfg, backend="interpreter",
+                                 events=[node])
+
+
+@pytest.fixture
+def sink():
+    return TelemetrySink()
+
+
+@pytest.fixture
+def agg(sink):
+    return WindowedAggregator(sink, window_seconds=60.0, max_windows=5)
+
+
+# ------------------------------------------------------- tuning counters
+class TestTuningFold:
+    def test_numeric_fields_sum_per_label(self, sink, agg):
+        for accepted in (1, 0, 1):
+            sink.publish("tuning", "xform:MapTiling", 0.25, fields={
+                "candidates": 4, "accepted": accepted,
+                "rejected": 1 - accepted, "apply_s": 0.1,
+            })
+        sink.publish("tuning", "xform:MapFusion", None,
+                     fields={"candidates": 2, "accepted": 0, "rejected": 2})
+        snap = agg.snapshot()
+        tiling = snap["tuning"]["xform:MapTiling"]
+        assert tiling["events"] == 3
+        assert tiling["candidates"] == 12
+        assert tiling["accepted"] == 2 and tiling["rejected"] == 1
+        assert tiling["seconds"] == pytest.approx(0.75)
+        assert tiling["apply_s"] == pytest.approx(0.3)
+        assert snap["tuning"]["xform:MapFusion"]["seconds"] == 0.0
+
+    def test_non_numeric_and_bool_fields_ignored(self, sink, agg):
+        sink.publish("tuning", "cutout:init0", 0.1, fields={
+            "cache_hit": True, "label": "init0", "evals": 8,
+        })
+        counters = agg.snapshot()["tuning"]["cutout:init0"]
+        assert counters["evals"] == 8
+        assert "cache_hit" not in counters and "label" not in counters
+
+    def test_counters_merge_across_windows(self, sink, agg):
+        sink.publish("tuning", "xform:MapTiling", ts=10.0,
+                     fields={"candidates": 3})
+        sink.publish("tuning", "xform:MapTiling", ts=70.0,
+                     fields={"candidates": 5})
+        snap = agg.snapshot()
+        assert len(snap["windows"]) == 2
+        assert snap["tuning"]["xform:MapTiling"]["candidates"] == 8
+        per_window = [
+            w["tuning"].get("xform:MapTiling", {}).get("candidates")
+            for w in snap["windows"]
+        ]
+        assert sorted(filter(None, per_window)) == [3, 5]
+
+
+# ------------------------------------------------------- exemplar traces
+class TestExemplarRetention:
+    def test_slowest_trace_wins_within_window(self, sink, agg):
+        for tenant, seconds in (("t0", 0.002), ("t1", 0.009), ("t2", 0.004)):
+            sink.publish("trace", "kern", seconds, ts=5.0, fields={
+                "tenant": tenant, "backend": "interpreter",
+                "report": make_report(ms=seconds * 1e3).to_json(),
+            })
+        snap = agg.snapshot()
+        ex = snap["exemplar"]
+        assert ex["tenant"] == "t1"
+        assert ex["seconds"] == pytest.approx(0.009)
+        # The full instrumentation tree survived aggregation.
+        report = InstrumentationReport.from_json(ex["report"])
+        assert not report.is_empty()
+
+    def test_cross_window_snapshot_picks_global_max(self, sink, agg):
+        sink.publish("trace", "old", 0.020, ts=10.0,
+                     fields={"report": make_report("old").to_json()})
+        sink.publish("trace", "new", 0.003, ts=70.0,
+                     fields={"report": make_report("new").to_json()})
+        snap = agg.snapshot()
+        assert snap["exemplar"]["kernel"] == "old"
+        # Each window still holds its own exemplar for drill-down.
+        kernels = {w["exemplar"]["kernel"]
+                   for w in snap["windows"] if w["exemplar"]}
+        assert kernels == {"old", "new"}
+
+    def test_trace_excluded_from_hotspots(self, sink, agg):
+        sink.publish("kernel", "kern", 0.001, ts=5.0)
+        sink.publish("trace", "kern", 0.001, ts=5.0,
+                     fields={"report": make_report().to_json()})
+        window = agg.snapshot()["windows"][0]
+        elements = {h["element"] for h in window["hotspots"]["by_time"]}
+        assert "kernel:kern" in elements
+        assert "trace:kern" not in elements
+
+
+# ------------------------------------------------------------- dashboard
+def test_dashboard_renders_tuning_and_exemplar(sink, agg):
+    sink.publish("tuning", "xform:MapTiling", 0.5,
+                 fields={"candidates": 10, "accepted": 3, "rejected": 7})
+    sink.publish("trace", "gemm_chain", 0.0123, fields={
+        "tenant": "alice", "backend": "interpreter",
+        "report": make_report("gemm_chain", ms=12.3).to_json(),
+    })
+    text = render_dashboard(agg.snapshot())
+    assert "xform:MapTiling" in text
+    assert "10" in text and "cand" in text
+    assert "slowest traced request: gemm_chain" in text
+    assert "tenant alice" in text
+    assert "instrumentation report" in text
+
+
+def test_dashboard_survives_malformed_exemplar_report(sink, agg):
+    sink.publish("trace", "kern", 0.001, fields={"report": {"bogus": 1}})
+    text = render_dashboard(agg.snapshot())
+    assert "slowest traced request: kern" in text
+
+
+# --------------------------------------------------------- serve e2e
+def test_serve_metrics_carries_exemplar_trace(tmp_path, monkeypatch):
+    """With profiling on, the worker ships the slowest request's full
+    instrumentation tree and ``metrics`` serves it fleet-wide."""
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import SDFGServer
+    from repro.serve.loadtest import scale_sdfg
+
+    from tests.serve.test_metrics import make_config
+
+    monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path / "crashes"))
+    monkeypatch.setenv("REPRO_PROFILE", "1")
+    sdfg = scale_sdfg(2.0, name="exemplar_kernel")
+    a = np.arange(8, dtype=np.float64)
+    with SDFGServer(make_config(tmp_path)) as srv:
+        with ServeClient(socket_path=srv.config.socket_path,
+                         tenant="bob") as c:
+            for _ in range(3):
+                assert c.execute(sdfg, arrays={"A": a.copy()},
+                                 symbols={"N": 8})["status"] == "ok"
+            snap = c.metrics()["metrics"]
+    ex = snap["exemplar"]
+    assert ex is not None and ex["kernel"] == "exemplar_kernel"
+    assert ex["tenant"] == "bob"
+    report = InstrumentationReport.from_json(ex["report"])
+    assert report.sdfg == "exemplar_kernel"
+    assert not report.is_empty()
+    assert "slowest traced request: exemplar_kernel" in render_dashboard(snap)

@@ -1,0 +1,272 @@
+"""Tests for the subgraph-fusion transformations (``TaskletFusion``,
+``OnTheFlyMapFusion``): match enumeration, applicability rejections,
+apply semantics (execute before and after), and guarded rollback."""
+
+import numpy as np
+import pytest
+
+from repro.sdfg import SDFG, InterstateEdge, Memlet, dtypes
+from repro.sdfg.nodes import AccessNode, MapEntry, Tasklet
+from repro.transformations import (
+    REGISTRY,
+    GuardedOptimizer,
+    OnTheFlyMapFusion,
+    TaskletFusion,
+    apply_transformations,
+    canonical_snapshot,
+    enumerate_matches,
+)
+
+
+def run(sdfg, **kwargs):
+    sdfg.invalidate_compiled()
+    sdfg.compile()(**kwargs)
+
+
+# ------------------------------------------------------------- builders
+def tasklet_chain_sdfg(code2="b = y + 1"):
+    """map { t1 -> mid(scalar transient) -> t2 }"""
+    sdfg = SDFG("tchain")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    sdfg.add_transient("mid", (1,), dtypes.float64, find_new_name=False)
+    st = sdfg.add_state()
+    me, mx = st.add_map("m", {"i": "0:N"})
+    t1 = st.add_tasklet("t1", ["a"], ["x"], "x = a * 2")
+    t2 = st.add_tasklet("t2", ["y"], ["b"], code2)
+    mid = st.add_read("mid")
+    r, w = st.add_read("A"), st.add_write("B")
+    st.add_memlet_path(r, me, t1, memlet=Memlet.simple("A", "i"), dst_conn="a")
+    st.add_edge(t1, mid, Memlet.simple("mid", "0"), "x", None)
+    st.add_edge(mid, t2, Memlet.simple("mid", "0"), None, "y")
+    st.add_memlet_path(t2, mx, w, memlet=Memlet.simple("B", "i"), src_conn="b")
+    return sdfg
+
+
+def otf_maps_sdfg(read="j - 1", consumer_range="1:N"):
+    """producer map (tmp[i] = 2*A[i]) -> tmp -> consumer map over ``read``."""
+    sdfg = SDFG("otf")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    sdfg.add_transient("tmp", ("N",), dtypes.float64, find_new_name=False)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "prod",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="t = a * 2.0",
+        outputs={"t": Memlet.simple("tmp", "i")},
+    )
+    tmp_node = [n for n in st.data_nodes() if n.data == "tmp"][0]
+    st.add_mapped_tasklet(
+        "cons",
+        {"j": consumer_range},
+        inputs={"t": Memlet.simple("tmp", read)},
+        code="b = t + 1.0",
+        outputs={"b": Memlet.simple("B", "j")},
+        input_nodes={"tmp": tmp_node},
+    )
+    return sdfg
+
+
+# ------------------------------------------------------------- registry
+def test_both_registered():
+    assert "TaskletFusion" in REGISTRY
+    assert "OnTheFlyMapFusion" in REGISTRY
+
+
+# -------------------------------------------------------- TaskletFusion
+class TestTaskletFusion:
+    def test_match_enumeration(self):
+        matches = enumerate_matches(tasklet_chain_sdfg(), TaskletFusion)
+        assert len(matches) == 1
+
+    def test_apply_semantics(self):
+        sdfg = tasklet_chain_sdfg()
+        assert apply_transformations(sdfg, TaskletFusion) == 1
+        st = sdfg.states()[0]
+        tasklets = [n for n in st.nodes() if isinstance(n, Tasklet)]
+        assert len(tasklets) == 1
+        assert "mid" not in sdfg.arrays
+        A = np.random.rand(7)
+        B = np.zeros(7)
+        run(sdfg, A=A, B=B, N=7)
+        np.testing.assert_allclose(B, A * 2 + 1)
+
+    def test_inlines_expression(self):
+        sdfg = tasklet_chain_sdfg(code2="b = y * y")
+        assert apply_transformations(sdfg, TaskletFusion) == 1
+        A = np.random.rand(5)
+        B = np.zeros(5)
+        run(sdfg, A=A, B=B, N=5)
+        np.testing.assert_allclose(B, (A * 2) * (A * 2))
+
+    def test_rejects_multi_consumer_bridge(self):
+        """A bridge scalar read twice by the same tasklet through two
+        connectors stays matched once per edge pair but a *fanned-out*
+        bridge (two readers) must not match."""
+        sdfg = tasklet_chain_sdfg()
+        st = sdfg.states()[0]
+        mid = [n for n in st.data_nodes() if n.data == "mid"][0]
+        t3 = st.add_tasklet("t3", ["z"], ["c"], "c = z")
+        st.add_edge(mid, t3, Memlet.simple("mid", "0"), None, "z")
+        mx = [n for n in st.nodes() if type(n).__name__ == "MapExit"][0]
+        st.add_nedge(t3, mx)
+        assert enumerate_matches(sdfg, TaskletFusion) == []
+
+    def test_rejects_non_transient_bridge(self):
+        sdfg = tasklet_chain_sdfg()
+        sdfg.arrays["mid"].transient = False
+        assert enumerate_matches(sdfg, TaskletFusion) == []
+
+    def test_rollback_on_verification_failure(self):
+        """A guarded apply that fails verification must restore the
+        exact canonical form."""
+        sdfg = tasklet_chain_sdfg()
+        inputs = {"A": np.random.rand(6), "B": np.zeros(6), "N": 6}
+        guard = GuardedOptimizer(
+            sdfg, verify=True, verify_inputs=inputs, tolerance=1e-8
+        )
+        before = canonical_snapshot(sdfg)
+        assert guard.apply("TaskletFusion") is True
+        att = guard.report.attempts[-1]
+        assert att.verified == "ok" and att.max_abs_error <= 1e-8
+        # A second apply has no match left; the graph must be untouched.
+        after_ok = canonical_snapshot(sdfg)
+        assert guard.apply("TaskletFusion") is False
+        assert canonical_snapshot(sdfg) == after_ok
+        assert canonical_snapshot(sdfg) != before
+
+
+# ---------------------------------------------------- OnTheFlyMapFusion
+class TestOnTheFlyMapFusion:
+    def test_match_enumeration(self):
+        matches = enumerate_matches(otf_maps_sdfg(), OnTheFlyMapFusion)
+        assert len(matches) == 1
+
+    def test_apply_semantics_shifted_read(self):
+        sdfg = otf_maps_sdfg()
+        assert apply_transformations(sdfg, OnTheFlyMapFusion) == 1
+        st = sdfg.states()[0]
+        entries = [n for n in st.nodes() if isinstance(n, MapEntry)]
+        assert len(entries) == 1  # producer map is gone
+        assert "tmp" not in sdfg.arrays
+        A = np.random.rand(8)
+        B = np.zeros(8)
+        run(sdfg, A=A, B=B, N=8)
+        expect = np.zeros(8)
+        expect[1:] = A[:-1] * 2.0 + 1.0
+        np.testing.assert_allclose(B, expect)
+
+    def test_apply_semantics_identity_read(self):
+        sdfg = otf_maps_sdfg(read="j", consumer_range="0:N")
+        assert apply_transformations(sdfg, OnTheFlyMapFusion) == 1
+        A = np.random.rand(6)
+        B = np.zeros(6)
+        run(sdfg, A=A, B=B, N=6)
+        np.testing.assert_allclose(B, A * 2.0 + 1.0)
+
+    def test_rejects_uncovered_read(self):
+        """Consumer reading outside the producer's range must not fuse
+        (the recompute would read out of the produced domain)."""
+        sdfg = otf_maps_sdfg(read="j + 1", consumer_range="0:N")
+        # tmp[j+1] at j=N-1 reads tmp[N], outside producer range 0:N.
+        assert enumerate_matches(sdfg, OnTheFlyMapFusion) == []
+
+    def test_rejects_multi_use_transient(self):
+        sdfg = otf_maps_sdfg()
+        st = sdfg.states()[0]
+        tmp = [n for n in st.data_nodes() if n.data == "tmp"][0]
+        out = st.add_write("B")
+        st.add_edge(tmp, out, Memlet.simple("tmp", "0:N"), None, None)
+        assert enumerate_matches(sdfg, OnTheFlyMapFusion) == []
+
+    def test_rejects_wcr_producer(self):
+        sdfg = SDFG("otfwcr")
+        sdfg.add_array("A", ("N",), dtypes.float64)
+        sdfg.add_array("B", ("N",), dtypes.float64)
+        sdfg.add_transient("tmp", ("N",), dtypes.float64, find_new_name=False)
+        st = sdfg.add_state()
+        st.add_mapped_tasklet(
+            "prod",
+            {"i": "0:N"},
+            inputs={"a": Memlet.simple("A", "i")},
+            code="t = a",
+            outputs={"t": Memlet(data="tmp", subset="i", wcr="sum")},
+        )
+        tmp_node = [n for n in st.data_nodes() if n.data == "tmp"][0]
+        st.add_mapped_tasklet(
+            "cons",
+            {"j": "0:N"},
+            inputs={"t": Memlet.simple("tmp", "j")},
+            code="b = t",
+            outputs={"b": Memlet.simple("B", "j")},
+            input_nodes={"tmp": tmp_node},
+        )
+        assert enumerate_matches(sdfg, OnTheFlyMapFusion) == []
+
+    def test_guarded_apply_differential(self):
+        sdfg = otf_maps_sdfg()
+        inputs = {"A": np.random.rand(9), "B": np.zeros(9), "N": 9}
+        guard = GuardedOptimizer(
+            sdfg, verify=True, verify_inputs=inputs, tolerance=1e-8
+        )
+        assert guard.apply("OnTheFlyMapFusion") is True
+        att = guard.report.attempts[-1]
+        assert att.verified == "ok"
+        assert att.max_abs_error is not None and att.max_abs_error <= 1e-8
+
+    def test_no_match_leaves_graph_untouched(self):
+        sdfg = otf_maps_sdfg(read="j + 1", consumer_range="0:N")
+        sdfg.propagate()  # guard.apply propagates; snapshot the same form
+        before = canonical_snapshot(sdfg)
+        guard = GuardedOptimizer(sdfg)
+        assert guard.apply("OnTheFlyMapFusion") is False
+        assert canonical_snapshot(sdfg) == before
+
+
+# ------------------------------------------------------------ both, mixed
+def test_fusions_compose_with_two_states():
+    """Both fusions apply independently in different states."""
+    sdfg = SDFG("mixed")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("B", ("N",), dtypes.float64)
+    sdfg.add_array("C", ("N",), dtypes.float64)
+    sdfg.add_transient("mid", (1,), dtypes.float64, find_new_name=False)
+    sdfg.add_transient("tmp", ("N",), dtypes.float64, find_new_name=False)
+    s1 = sdfg.add_state("s1", is_start=True)
+    me, mx = s1.add_map("m", {"i": "0:N"})
+    t1 = s1.add_tasklet("t1", ["a"], ["x"], "x = a * 3")
+    t2 = s1.add_tasklet("t2", ["y"], ["b"], "b = y - 1")
+    mid = s1.add_read("mid")
+    r, w = s1.add_read("A"), s1.add_write("B")
+    s1.add_memlet_path(r, me, t1, memlet=Memlet.simple("A", "i"), dst_conn="a")
+    s1.add_edge(t1, mid, Memlet.simple("mid", "0"), "x", None)
+    s1.add_edge(mid, t2, Memlet.simple("mid", "0"), None, "y")
+    s1.add_memlet_path(t2, mx, w, memlet=Memlet.simple("B", "i"), src_conn="b")
+    s2 = sdfg.add_state("s2")
+    s2.add_mapped_tasklet(
+        "prod",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("B", "i")},
+        code="t = a * 2.0",
+        outputs={"t": Memlet.simple("tmp", "i")},
+    )
+    tmp_node = [n for n in s2.data_nodes() if n.data == "tmp"][0]
+    s2.add_mapped_tasklet(
+        "cons",
+        {"j": "0:N"},
+        inputs={"t": Memlet.simple("tmp", "j")},
+        code="c = t + 1.0",
+        outputs={"c": Memlet.simple("C", "j")},
+        input_nodes={"tmp": tmp_node},
+    )
+    sdfg.add_edge(s1, s2, InterstateEdge())
+
+    assert apply_transformations(sdfg, TaskletFusion) == 1
+    assert apply_transformations(sdfg, OnTheFlyMapFusion) == 1
+    A = np.random.rand(7)
+    B, C = np.zeros(7), np.zeros(7)
+    run(sdfg, A=A, B=B, C=C, N=7)
+    np.testing.assert_allclose(B, A * 3 - 1)
+    np.testing.assert_allclose(C, (A * 3 - 1) * 2 + 1)
