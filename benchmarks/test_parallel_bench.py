@@ -1,0 +1,151 @@
+"""Multicore parallel-tier benchmark: serial vs N-worker wall clock.
+
+Measures the generated-Python backend's serial, vectorized, and
+parallel(4) artifacts on the parallelism-eligible kernels and records
+the results in ``BENCH_parallel.json`` (refreshing the committed drift
+baseline when ``REPRO_BENCH_REPORTS`` is set, per
+``benchmarks/baselines/README.md``).
+
+The speedup *gate* — parallel(4) at least 2x faster than the
+single-worker artifact of the same tier — only means something with
+real cores under it, so it is skipped on hosts with fewer than 4 CPUs;
+the measurement/baseline test always runs.
+
+Scale with ``REPRO_PARALLEL_BENCH_SIZE`` (default 160).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiler import compile_sdfg
+from repro.runtime.parallel import ParallelConfig
+from repro.workloads import kernels
+
+BASELINES_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+SIZE = int(os.environ.get("REPRO_PARALLEL_BENCH_SIZE", "160"))
+GATE_WORKERS = 4
+GATE_SPEEDUP = 2.0
+
+
+def _time_artifact(sdfg, data_factory, repeats=3, **compile_kw):
+    compiled = compile_sdfg(sdfg, backend="python", **compile_kw)
+    best = float("inf")
+    try:
+        for _ in range(repeats):
+            data = data_factory()
+            t0 = time.perf_counter()
+            compiled(**data)
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        compiled.close()
+    return best
+
+
+def _cases():
+    n = SIZE
+    mm = kernels.matmul_data(n)
+    hist = kernels.histogram_data(n, n)
+    spmv, csr = kernels.spmv_data(n * 4, 24)
+    return {
+        "matmul": (
+            kernels.matmul_sdfg,
+            lambda: {**{k: v.copy() for k, v in mm.items()},
+                     "M": n, "K": n, "N": n},
+        ),
+        "histogram": (
+            kernels.histogram_sdfg,
+            lambda: {**{k: v.copy() for k, v in hist.items()},
+                     "H": n, "W": n, "BINS": 256},
+        ),
+        "spmv": (
+            kernels.spmv_sdfg,
+            lambda: {**{k: v.copy() for k, v in spmv.items()},
+                     "H": n * 4, "W": n * 4, "nnz": csr.nnz},
+        ),
+    }
+
+
+def _dump(records) -> None:
+    payload = json.dumps(records, indent=1, sort_keys=True)
+    target = os.environ.get("REPRO_BENCH_REPORTS", "")
+    if not target:
+        return
+    os.makedirs(target, exist_ok=True)
+    with open(os.path.join(target, "BENCH_parallel.json"), "w") as f:
+        f.write(payload)
+    os.makedirs(BASELINES_DIR, exist_ok=True)
+    with open(os.path.join(BASELINES_DIR, "BENCH_parallel.json"), "w") as f:
+        f.write(payload)
+
+
+def test_parallel_tier_measurements(results_table):
+    """Record serial / vectorized / parallel wall clock per kernel and
+    refresh the drift baseline.  Runs on any host."""
+    records = {"host_cpus": os.cpu_count(), "size": SIZE, "kernels": {}}
+    for name, (factory, data_factory) in _cases().items():
+        serial = _time_artifact(factory(), data_factory, vectorize=False)
+        vectorized = _time_artifact(factory(), data_factory)
+        parallel = _time_artifact(
+            factory(), data_factory,
+            parallel=ParallelConfig(workers=GATE_WORKERS),
+        )
+        records["kernels"][name] = {
+            "serial_s": round(serial, 6),
+            "vectorized_s": round(vectorized, 6),
+            f"parallel{GATE_WORKERS}_s": round(parallel, 6),
+            "speedup_vs_serial": round(serial / parallel, 3),
+        }
+        results_table.append(("parallel", name, "serial", serial))
+        results_table.append(("parallel", name, f"parallel[{GATE_WORKERS}]", parallel))
+        assert parallel > 0 and serial > 0
+    _dump(records)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < GATE_WORKERS,
+    reason=f"speedup gate needs >= {GATE_WORKERS} cores",
+)
+def test_parallel_speedup_gate():
+    """On a >=4-core host, 4 workers must halve the wall clock of the
+    heavy NumPy-dominated kernel relative to the 1-worker artifact of
+    the identical lowering (pool overhead included on both sides)."""
+    n = max(SIZE, 256)
+    data = kernels.matmul_data(n)
+
+    def make(workers):
+        return lambda: {**{k: v.copy() for k, v in data.items()},
+                        "M": n, "K": n, "N": n}
+
+    one = _time_artifact(
+        kernels.matmul_sdfg(), make(1),
+        parallel=ParallelConfig(workers=1),
+    )
+    four = _time_artifact(
+        kernels.matmul_sdfg(), make(GATE_WORKERS),
+        parallel=ParallelConfig(workers=GATE_WORKERS),
+    )
+    assert four < one, f"parallel[{GATE_WORKERS}] ({four:.4f}s) slower than 1-worker ({one:.4f}s)"
+    assert one / four >= GATE_SPEEDUP, (
+        f"parallel[{GATE_WORKERS}] speedup {one / four:.2f}x below the "
+        f"{GATE_SPEEDUP}x gate"
+    )
+
+
+def test_parallel_results_match_serial_at_bench_size():
+    """Fidelity at benchmark scale, not just test scale."""
+    n = SIZE
+    data = kernels.matmul_data(n)
+    ref = kernels.matmul_reference(data)
+    compiled = compile_sdfg(
+        kernels.matmul_sdfg(), backend="python",
+        parallel=ParallelConfig(workers=GATE_WORKERS),
+    )
+    try:
+        compiled(**data, M=n, K=n, N=n)
+    finally:
+        compiled.close()
+    np.testing.assert_allclose(data["C"], ref, rtol=1e-8, atol=1e-8)

@@ -118,6 +118,36 @@ class CompiledSDFG:
         self.last_findings: Optional[List[Any]] = None
         #: Cached argument-marshaling plan (built on the first call).
         self._marshal_plan = None
+        #: Parallel-tier configuration this artifact was built with, and
+        #: the worker pool it owns (python backend only; see
+        #: :mod:`repro.runtime.parallel`).
+        self.parallel = None
+        self._pool = None
+
+    def attach_pool(self, pool) -> None:
+        """Adopt a worker pool: the entry closure receives it on every
+        call and :meth:`close` tears it down with the artifact."""
+        self._pool = pool
+        inner = self._entry
+
+        def entry(arrays, symbols, instr=None, guard=None):
+            return inner(arrays, symbols, instr, guard, pool)
+
+        self._entry = entry
+
+    def close(self) -> None:
+        """Release owned resources (the parallel worker pool).  Safe to
+        call repeatedly; subsequent calls of the artifact degrade to the
+        serial path (a closed pool runs inline)."""
+        pool = self._pool
+        if pool is not None:
+            pool.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _make_guard(self):
         """Build the per-call GuardContext, or None when neither the
@@ -315,6 +345,8 @@ def compile_sdfg(
     memory_budget: Optional[int] = None,
     isolate: Optional[bool] = None,
     cache_namespace: Optional[str] = None,
+    vectorize: bool = True,
+    parallel: Any = None,
 ) -> CompiledSDFG:
     """Compile an SDFG into a callable.
 
@@ -351,6 +383,18 @@ def compile_sdfg(
       (or are poisoned by) another tenant's identically-shaped graph
       (used by the :mod:`repro.serve` worker pool).
 
+    Python-backend lowering tiers (see :mod:`repro.runtime.parallel`):
+
+    * ``vectorize`` — allow the NumPy-vectorized map tier (default on).
+    * ``parallel`` — multicore map execution for W501-proven
+      conflict-free maps: ``True`` for the default worker config, a
+      :class:`~repro.runtime.parallel.ParallelConfig`, worker count, or
+      spec string (``"4"``, ``"thread:4"``) for explicit control,
+      ``False`` to force off, ``None`` to consult ``REPRO_PARALLEL``.
+      The returned
+      artifact owns the worker pool; ``compiled.close()`` tears it
+      down.  Ignored (with a W702 diagnostic) under ``sanitize``.
+
     Backends whose circuit breaker is open (repeated call-time crashes
     or watchdog kills) are skipped with a recorded hop.
     """
@@ -378,6 +422,16 @@ def compile_sdfg(
         memory_budget = memory_budget_from_env()
     if isolate is None:
         isolate = isolate_from_env()
+    from repro.runtime.parallel import ParallelConfig, parallel_from_env
+
+    if parallel is None:
+        parallel = parallel_from_env()
+    else:
+        parallel = ParallelConfig.parse(parallel)
+    # The sanitizer instruments the serial path: the generator degrades
+    # the request (reporting W702), so the cache key must not fork and
+    # no pool is built — but the generator still sees the request.
+    effective_parallel = None if sanitize else parallel
     variant_parts = []
     if cache_namespace:
         from repro.codegen.progcache import safe_namespace
@@ -385,6 +439,10 @@ def compile_sdfg(
         variant_parts.append(f"ns={safe_namespace(cache_namespace)}")
     if sanitize:
         variant_parts.append("sanitize")
+    if not vectorize:
+        variant_parts.append("novec")
+    if effective_parallel is not None:
+        variant_parts.append(f"par={effective_parallel.key_fragment()}")
     variant = ":".join(variant_parts)
 
     store = resolve_cache(cache)
@@ -444,7 +502,12 @@ def compile_sdfg(
                 t0 = time.perf_counter()
                 try:
                     compiled = _compile_backend(
-                        sdfg, current, sanitize=sanitize, isolate=isolate
+                        sdfg,
+                        current,
+                        sanitize=sanitize,
+                        isolate=isolate,
+                        vectorize=vectorize,
+                        parallel=parallel,
                     )
                 except DEGRADABLE_ERRORS as err:
                     crec.event(
@@ -493,6 +556,15 @@ def compile_sdfg(
     compiled.sanitize = sanitize
     compiled.deadline = deadline
     compiled.memory_budget = memory_budget
+    compiled.parallel = effective_parallel
+    if effective_parallel is not None and compiled.backend == "python":
+        from repro.runtime.parallel import MapWorkerPool
+
+        chunks = getattr(getattr(compiled, "_py_main", None), "_parallel_chunks", None)
+        if chunks:
+            pool = MapWorkerPool(effective_parallel)
+            pool.register_functions(chunks)
+            compiled.attach_pool(pool)
     compiled.compile_report = crec.report(sdfg.name, backend=f"compile[{backend}]")
     if recorder is not None:
         for node in crec.root.children.values():
@@ -536,6 +608,8 @@ def _rebuild_from_cache(sdfg, entry_rec, main, store, key) -> CompiledSDFG:
     )
     compiled.cache_hit = True
     compiled.cache_key = key
+    compiled._py_main = main
+    compiled._py_orders = (entry_rec.arg_arrays, entry_rec.symbol_order)
     warnings = []
     for w in entry_rec.warnings:
         try:
@@ -581,10 +655,17 @@ def _store_in_cache(sdfg, compiled, store, key_pre, backend, variant="") -> None
 
 
 def _compile_backend(
-    sdfg, backend: str, sanitize: Optional[str] = None, isolate: bool = False
+    sdfg,
+    backend: str,
+    sanitize: Optional[str] = None,
+    isolate: bool = False,
+    vectorize: bool = True,
+    parallel=None,
 ) -> CompiledSDFG:
     if backend == "python":
-        return _compile_python(sdfg, sanitize=bool(sanitize))
+        return _compile_python(
+            sdfg, sanitize=bool(sanitize), vectorize=vectorize, parallel=parallel
+        )
     if backend == "interpreter":
         return _interpreter_fallback(sdfg)
     if backend == "cpp":
@@ -605,22 +686,30 @@ def _exec_python_source(source: str, name: str) -> Callable:
     namespace: Dict[str, Any] = {}
     code = compile(source, f"<sdfg {name}>", "exec")
     exec(code, namespace)
-    return namespace["main"]
+    main = namespace["main"]
+    # Parallel chunk functions ride on the entry so cache rebuilds (which
+    # only keep ``main``) can still register them with a fresh pool.
+    main._parallel_chunks = namespace.get("_PARALLEL_CHUNKS", {})
+    return main
 
 
 def _python_entry(main: Callable, arg_arrays, syms_order) -> Callable:
-    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None, guard=None):
+    def entry(arrays: Dict[str, Any], symbols: Dict[str, int], instr=None,
+              guard=None, pool=None):
         args = [arrays[a] for a in arg_arrays]
         args += [symbols[s] for s in syms_order]
-        return main(*args, __instr=instr, __guard=guard)
+        return main(*args, __instr=instr, __guard=guard, __pool=pool)
 
     return entry
 
 
-def _compile_python(sdfg, sanitize: bool = False) -> CompiledSDFG:
+def _compile_python(
+    sdfg, sanitize: bool = False, vectorize: bool = True, parallel=None
+) -> CompiledSDFG:
     from repro.codegen.python_gen import PythonGenerator
 
-    gen = PythonGenerator(sdfg, sanitize=sanitize)
+    gen = PythonGenerator(sdfg, vectorize=vectorize, sanitize=sanitize,
+                          parallel=parallel)
     source = gen.generate()
     main = _exec_python_source(source, sdfg.name)
 

@@ -39,7 +39,7 @@ from repro.telemetry.sink import active_sink
 #: Bump whenever generated-code semantics change; part of every key, so
 #: old entries become unreachable (and age out by LRU) rather than stale.
 #: v2: entry functions grew the ``__guard`` parameter (sanitizer/watchdog).
-CODEGEN_VERSION = 2
+CODEGEN_VERSION = 3
 
 #: Entry file layout version; mismatched files are quarantined as misses.
 CACHE_SCHEMA_VERSION = 1

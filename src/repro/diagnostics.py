@@ -74,6 +74,8 @@ CODES: Dict[str, str] = {
     "W603": "instrumentation attached to unreachable state",
     # --- codegen performance degradations (W7xx, warnings)
     "W701": "custom WCR reduction lowered through the scalar loop path",
+    "W702": "fast lowering tier disabled by the sanitizer",
+    "W703": "map not provably parallelizable; degraded from the parallel tier",
     # --- code generation (CGxxx)
     "CG001": "expression not renderable as Python",
     "CG002": "expression not renderable as C++",

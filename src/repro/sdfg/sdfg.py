@@ -329,10 +329,10 @@ class SDFG(OrderedMultiDiGraph[SDFGState, InterstateEdge]):
 
         return apply_transformations(self, xforms, options=options, validate=validate)
 
-    def compile(self, backend: str = "python", validate: bool = True):
+    def compile(self, backend: str = "python", validate: bool = True, **options):
         from repro.codegen.compiler import compile_sdfg
 
-        return compile_sdfg(self, backend=backend, validate=validate)
+        return compile_sdfg(self, backend=backend, validate=validate, **options)
 
     def __call__(self, **kwargs):
         """Compile (cached) and execute with keyword arguments."""

@@ -20,7 +20,12 @@ from typing import List, Optional, Set
 from repro.diagnostics import Diagnostic, DiagnosticCollector, Severity
 from repro.graph import CycleError, topological_sort
 from repro.sdfg.data import Stream
-from repro.sdfg.dtypes import STORAGE_ACCESSIBLE_FROM, ScheduleType, StorageType
+from repro.sdfg.dtypes import (
+    STORAGE_ACCESSIBLE_FROM,
+    ReductionType,
+    ScheduleType,
+    StorageType,
+)
 from repro.sdfg.nodes import (
     AccessNode,
     ConsumeEntry,
@@ -544,6 +549,354 @@ def _uncovered_params(subset, crossed_entries) -> Set[str]:
                         covered.add(s.name)
                         changed = True
     return set(param_ranges) - covered
+
+
+# =====================================================================
+# Map parallelization proof (parallel execution tier)
+# =====================================================================
+
+
+class MapParallelism:
+    """Verdict of :func:`analyze_map_parallelism` for one map scope.
+
+    ``eligible`` maps carry the *proof*: chunking the ``param``
+    dimension of the iteration domain across workers cannot create a
+    write conflict.  ``wcr_merge`` lists outputs that must be privatized
+    per worker and merged with their reduction operator at the barrier;
+    ``direct`` lists outputs whose footprints are disjoint along
+    ``param`` and may be written in place.  ``fork_ok`` additionally
+    certifies every direct output's chunk footprint is a contiguous
+    slice ``[c*lo+d : c*hi+d)`` along ``fork_dims[data]`` — the
+    copy-back contract of the fork tier (copy-on-write children return
+    written slices to the parent).  Ineligible maps carry human-readable
+    ``reasons`` that surface as the W703 diagnostic when the parallel
+    tier degrades to serial.
+    """
+
+    __slots__ = (
+        "eligible", "param", "reasons", "wcr_merge", "direct",
+        "fork_ok", "fork_dims",
+    )
+
+    def __init__(self):
+        self.eligible = False
+        self.param: Optional[str] = None
+        self.reasons: List[str] = []
+        #: data name -> ReductionType (private accumulator + merge)
+        self.wcr_merge = {}
+        #: data names written disjointly along the chunked param
+        self.direct: Set[str] = set()
+        self.fork_ok = False
+        #: data name -> (dim index, coeff c, offset expr d) for copy-back
+        self.fork_dims = {}
+
+
+#: Reduction types the parallel tier knows how to privatize and merge.
+_MERGEABLE = frozenset(("Sum", "Product", "Min", "Max"))
+
+
+def _scope_params(state, entry) -> Set[str]:
+    """All map parameters defined inside ``entry``'s scope subtree."""
+    params = set(entry.map.params)
+    sd = state.scope_dict()
+    for node in state.nodes():
+        if not isinstance(node, MapEntry) or node is entry:
+            continue
+        anc = sd.get(node)
+        while anc is not None:
+            if anc is entry:
+                params.update(node.map.params)
+                break
+            anc = sd.get(anc)
+    return params
+
+
+def _scatter_reduction(sdfg, state, write_edge, entry):
+    """Reduction type of an indirect-update (histogram-shaped) write, or
+    None when the write does not match the scatter pattern.
+
+    The origin tasklet must mutate a loop-invariant read view of the
+    written container with one of the recognized update operators; the
+    dynamic out-memlet then only *declares* the write."""
+    from repro.codegen import pytranslate
+
+    mem = write_edge.data
+    if mem.subset is None or len(mem.subset.ranges) != 1:
+        return None
+    view_syms = {s.name for s in mem.subset.ranges[0].free_symbols}
+    if view_syms & _scope_params(state, entry):
+        return None  # the updated view itself moves with the map
+    try:
+        origin = state.memlet_path(write_edge)[0]
+    except ValueError:
+        return None
+    tasklet = origin.src
+    if not isinstance(tasklet, Tasklet):
+        return None
+    view_edges = [
+        e for e in state.in_edges(tasklet)
+        if not e.data.is_empty()
+        and e.data.data == mem.data
+        and e.data.subset == mem.subset
+    ]
+    if len(view_edges) != 1:
+        return None
+    det = pytranslate.detect_indexed_update(
+        tasklet.code, view_edges[0].dst_conn
+    )
+    if det is None:
+        return None
+    op = det[0]
+    return {
+        "sum": ReductionType.Sum,
+        "product": ReductionType.Product,
+        "min": ReductionType.Min,
+        "max": ReductionType.Max,
+    }.get(op)
+
+
+def analyze_map_parallelism(sdfg, state, entry) -> MapParallelism:
+    """Prove (or refute) that a map's domain can be chunked across
+    workers along one of its parameters without write conflicts.
+
+    This extends the W501 analysis from *iteration* disjointness to
+    *cross-chunk footprint* disjointness: two chunks ``[lo1,hi1)`` and
+    ``[lo2,hi2)`` of parameter ``p`` never write the same element when,
+    for every non-WCR write, exactly one subset dimension is affine in
+    ``p`` (``c*p + d`` with **constant integer** ``c``) and the
+    footprint stride dominates the footprint extent
+    (``|c*step| >= span``).  Symbolic strides and non-affine (indirect)
+    indices are *not provable* and stay ineligible.  WCR writes with a
+    recognized reduction operator need no disjointness — each worker
+    accumulates into an identity-initialized private copy merged at the
+    barrier — but custom WCR lambdas and dynamic non-WCR writes refuse
+    the proof outright.
+    """
+    from repro.symbolic import Integer as SymInt, Symbol, sympify
+    from repro.symbolic.sets import decide_nonnegative, linear_coefficient
+
+    verdict = MapParallelism()
+    m = entry.map
+    if m.schedule == ScheduleType.Sequential:
+        verdict.reasons.append("map schedule is Sequential")
+        return verdict
+    try:
+        exit_node = state.exit_node(entry)
+    except KeyError:
+        verdict.reasons.append("map has no exit node")
+        return verdict
+
+    writes = [e for e in state.in_edges(exit_node) if not e.data.is_empty()]
+    if not writes:
+        verdict.reasons.append("map produces no outputs")
+        return verdict
+
+    all_params = _scope_params(state, entry)
+
+    # Interior state: access nodes living inside the scope.  Written
+    # transients are privatized per chunk by the codegen (scratch), but
+    # streams have shared push/pop order and globals written interior to
+    # the scope would mutate shared state without crossing the exit.
+    sd = state.scope_dict()
+    for node in state.nodes():
+        if not isinstance(node, AccessNode):
+            continue
+        anc = sd.get(node)
+        inside = False
+        while anc is not None:
+            if anc is entry:
+                inside = True
+                break
+            anc = sd.get(anc)
+        if not inside:
+            continue
+        desc = sdfg.arrays.get(node.data)
+        if desc is None:
+            continue
+        if isinstance(desc, Stream):
+            verdict.reasons.append(
+                f"stream {node.data!r} used inside the map scope"
+            )
+            return verdict
+        if state.in_edges(node) and not desc.transient:
+            verdict.reasons.append(
+                f"non-transient {node.data!r} written inside the map scope "
+                "without crossing the exit"
+            )
+            return verdict
+
+    # ---- param-independent refusals (poison every candidate param)
+    wcr_merge = {}
+    plain_writes = []
+    for e in writes:
+        mem = e.data
+        if mem.data not in sdfg.arrays:
+            verdict.reasons.append(f"write to undeclared container {mem.data!r}")
+            return verdict
+        if isinstance(sdfg.arrays[mem.data], Stream):
+            verdict.reasons.append(
+                f"stream push to {mem.data!r} (ordering is not chunkable)"
+            )
+            return verdict
+        if mem.wcr is not None:
+            rtype = mem.reduction_type()
+            if rtype is None or rtype.name not in _MERGEABLE:
+                verdict.reasons.append(
+                    f"custom WCR on {mem.data!r} has no known merge operator"
+                )
+                return verdict
+            prev = wcr_merge.get(mem.data)
+            if prev is not None and prev != rtype:
+                verdict.reasons.append(
+                    f"conflicting WCR operators on {mem.data!r}"
+                )
+                return verdict
+            wcr_merge[mem.data] = rtype
+        elif mem.dynamic:
+            # Indirect-update ("scatter") maps: the tasklet mutates a
+            # loop-invariant read view with a recognized update operator
+            # (``view[idx] += val``).  Collisions resolve through the
+            # operator, so privatize-and-merge is exact — the same proof
+            # the ``np.<ufunc>.at`` scatter tier relies on.
+            rtype = _scatter_reduction(sdfg, state, e, entry)
+            if rtype is None:
+                verdict.reasons.append(
+                    f"data-dependent (dynamic) write to {mem.data!r} is not "
+                    "a recognized indexed-update pattern"
+                )
+                return verdict
+            prev = wcr_merge.get(mem.data)
+            if prev is not None and prev != rtype:
+                verdict.reasons.append(
+                    f"conflicting update operators on {mem.data!r}"
+                )
+                return verdict
+            wcr_merge[mem.data] = rtype
+        elif mem.subset is None:
+            verdict.reasons.append(f"write to {mem.data!r} carries no subset")
+            return verdict
+        else:
+            plain_writes.append(mem)
+    mixed = set(wcr_merge) & {mem.data for mem in plain_writes}
+    if mixed:
+        verdict.reasons.append(
+            f"container(s) {sorted(mixed)} mix WCR and plain writes"
+        )
+        return verdict
+
+    # ---- per-param disjointness proof; first parameter that works wins
+    for param, rng in zip(m.params, m.range.ranges):
+        reasons: List[str] = []
+        if rng.step.free_symbols or rng.tile != SymInt(1):
+            reasons.append(f"parameter {param!r} has a symbolic step or tile")
+            verdict.reasons.extend(reasons)
+            continue
+        step = int(rng.step.evaluate({}))
+        if step <= 0:
+            reasons.append(f"parameter {param!r} iterates with step {step}")
+            verdict.reasons.extend(reasons)
+            continue
+        psym = Symbol(param)
+        other_params = {q for q in all_params if q != param}
+        direct: Set[str] = set()
+        fork_dims = {}
+        fork_ok = True
+        for mem in plain_writes:
+            dep_dims = [
+                k for k, r in enumerate(mem.subset.ranges)
+                if param in {s.name for s in r.free_symbols}
+            ]
+            if not dep_dims:
+                reasons.append(
+                    f"write footprint of {mem.data!r}[{mem.subset}] repeats "
+                    f"across iterations of {param!r}"
+                )
+                break
+            if len(dep_dims) > 1:
+                reasons.append(
+                    f"multiple dimensions of {mem.data!r}[{mem.subset}] "
+                    f"depend on {param!r}"
+                )
+                break
+            k = dep_dims[0]
+            r = mem.subset.ranges[k]
+            if r.step != SymInt(1) or r.tile != SymInt(1):
+                reasons.append(
+                    f"write to {mem.data!r} has a strided/tiled subset in "
+                    f"dimension {k}"
+                )
+                break
+            c0 = linear_coefficient(r.start, psym)
+            c1 = linear_coefficient(r.end, psym)
+            if c0 is None or c1 is None or c0 != c1:
+                reasons.append(
+                    f"index of {mem.data!r} dimension {k} is not affine in "
+                    f"{param!r} (indirect or nonlinear indexing)"
+                )
+                break
+            if c0.free_symbols:
+                reasons.append(
+                    f"write to {mem.data!r} strides dimension {k} by the "
+                    f"symbolic factor {c0} per iteration of {param!r}"
+                )
+                break
+            c = int(c0.evaluate({}))
+            if c <= 0:
+                reasons.append(
+                    f"write to {mem.data!r} has non-positive stride {c} "
+                    f"along {param!r}"
+                )
+                break
+            offset = sympify(r.start - c0 * psym)
+            span = sympify(r.end - r.start)  # footprint extent per iteration
+            if {s.name for s in offset.free_symbols} & other_params or (
+                {s.name for s in span.free_symbols} & other_params
+            ):
+                reasons.append(
+                    f"footprint of {mem.data!r} along {param!r} shifts with "
+                    "another map parameter"
+                )
+                break
+            # Disjointness: consecutive iterations advance by c*step;
+            # they cannot overlap when that advance covers the extent.
+            if decide_nonnegative(sympify(c * step) - span) is not True:
+                reasons.append(
+                    f"cannot prove chunk disjointness for {mem.data!r}: "
+                    f"stride {c}*{step} may be smaller than extent {span}"
+                )
+                break
+            # Fork copy-back: the chunk footprint [c*lo+d, c*hi+d) must
+            # be gapless (stride exactly covers the extent) and every
+            # other dimension parameter-free.  A container written by
+            # more than one memlet has no single copy-back slice.
+            rect = (span == sympify(c * step)) and not any(
+                {s.name for s in rr.free_symbols} & all_params
+                for j, rr in enumerate(mem.subset.ranges) if j != k
+            )
+            if mem.data in direct or not rect:
+                fork_ok = False
+                fork_dims.pop(mem.data, None)
+            else:
+                fork_dims[mem.data] = (k, c, offset, tuple(mem.subset.ranges))
+            direct.add(mem.data)
+        else:
+            # WCR footprints need no disjointness, but the offsets must
+            # not reference the chunked parameter's *siblings* in a way
+            # we cannot privatize — full privatization makes any WCR
+            # footprint safe, so nothing further to check.
+            verdict.eligible = True
+            verdict.param = param
+            verdict.wcr_merge = dict(wcr_merge)
+            verdict.direct = direct
+            verdict.fork_ok = bool(fork_ok) and set(fork_dims) == direct
+            verdict.fork_dims = fork_dims if verdict.fork_ok else {}
+            verdict.reasons = []
+            return verdict
+        verdict.reasons.extend(reasons)
+
+    if not verdict.reasons:
+        verdict.reasons.append("no map parameter admits a disjointness proof")
+    return verdict
 
 
 def _innermost_schedule(entry, scope_dict=None) -> Optional[ScheduleType]:

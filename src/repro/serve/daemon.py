@@ -338,6 +338,7 @@ class SDFGServer:
             "arrays": request.get("arrays"),
             "symbols": request.get("symbols"),
             "sanitize": request.get("sanitize"),
+            "parallel": request.get("parallel"),
             "deadline": deadline,
             "memory_budget": request.get("memory_budget"),
         }

@@ -52,12 +52,18 @@ MAX_PROGRAMS = 32
 
 
 def _rss_kb() -> Optional[int]:
-    """Peak resident set size in KiB (None where unavailable)."""
+    """Peak resident set size in KiB (None where unavailable), including
+    any live parallel-tier fork workers this process spawned — they are
+    separate processes the supervisor's recycling budget would otherwise
+    never see."""
     if resource is None:
         return None
     usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     # Linux reports KiB, macOS bytes.
-    return int(usage // 1024) if sys.platform == "darwin" else int(usage)
+    rss = int(usage // 1024) if sys.platform == "darwin" else int(usage)
+    from repro.runtime.parallel import live_pool_rss_kb
+
+    return rss + live_pool_rss_kb()
 
 
 def fault_injection_enabled() -> bool:
@@ -95,7 +101,14 @@ class WorkerRuntime:
         self._programs[key] = compiled
         self._programs.move_to_end(key)
         while len(self._programs) > MAX_PROGRAMS:
-            self._programs.popitem(last=False)
+            _, evicted = self._programs.popitem(last=False)
+            # The artifact may own a parallel worker pool; eviction is
+            # the end of its life here, so tear the pool down instead of
+            # leaking threads/fork children until GC gets around to it.
+            try:
+                evicted.close()
+            except Exception:  # noqa: BLE001 - eviction must not fail a request
+                pass
 
     # ---------------------------------------------------------- faults
     @staticmethod
@@ -123,9 +136,13 @@ class WorkerRuntime:
     def handle(self, job: Dict[str, Any]) -> Dict[str, Any]:
         op = job.get("op")
         if op == "ping":
+            from repro.runtime.parallel import live_pool_count, live_worker_pids
+
             return protocol.ok_response(
                 op="pong", served=self.served, rss_kb=_rss_kb(),
                 uptime=round(time.monotonic() - self.started, 6),
+                pools=live_pool_count(),
+                pool_workers=len(live_worker_pids()),
             )
         if op == "shutdown":
             return protocol.ok_response(op="shutdown")
@@ -179,6 +196,9 @@ class WorkerRuntime:
         sanitize = job.get("sanitize") or None
         if sanitize is True:
             sanitize = "raise"
+        from repro.runtime.parallel import ParallelConfig
+
+        parallel = ParallelConfig.parse(job.get("parallel"))
 
         sdfg_json = job.get("sdfg")
         program = job.get("program")
@@ -189,7 +209,13 @@ class WorkerRuntime:
         if program is None:
             sdfg = sdfg_from_json(sdfg_json)
             program = content_hash(sdfg)
-        key = (program, backend, tenant, sanitize or "")
+        key = (
+            program,
+            backend,
+            tenant,
+            sanitize or "",
+            parallel.key_fragment() if parallel is not None else "",
+        )
 
         compiled = self._programs.get(key)
         warm = compiled is not None
@@ -218,6 +244,9 @@ class WorkerRuntime:
                 sanitize=sanitize,
                 isolate=False,  # this worker IS the isolation boundary
                 cache_namespace=tenant,
+                # An explicit request field wins (including an explicit
+                # "off"); absent, the worker's REPRO_PARALLEL applies.
+                parallel=(parallel or False) if "parallel" in job else None,
             )
             self._remember(key, compiled)
 

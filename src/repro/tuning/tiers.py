@@ -1,0 +1,143 @@
+"""Execution-tier selection for the generated-Python backend.
+
+The transformation auto-tuner searches over *graph rewrites*; this
+module searches over *lowering tiers* of one fixed graph: the serial
+scalar loop nest, the NumPy-vectorized tier, and the multicore parallel
+tier at one or more worker counts (see :mod:`repro.runtime.parallel`).
+``tune_tiers`` measures each candidate under :class:`MeasuredCost` —
+so the parallel tier is only ever chosen when its W501 parallelism
+proof holds (an ineligible map degrades to serial inside the candidate
+and simply scores accordingly) — and reports the fastest.
+
+The choice feeds back into ``compile_sdfg`` verbatim: every candidate
+is described by the exact ``(vectorize=, parallel=)`` keyword pair that
+reproduces it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.tuning.cost import MeasuredCost
+
+
+class TierCandidate:
+    """One lowering tier: a label plus the compile knobs that select it."""
+
+    def __init__(self, label: str, vectorize: bool, parallel: Any = None):
+        self.label = label
+        self.vectorize = vectorize
+        self.parallel = parallel
+        self.score: Optional[float] = None
+        self.error: Optional[str] = None
+
+    def compile_kwargs(self) -> Dict[str, Any]:
+        return {"vectorize": self.vectorize, "parallel": self.parallel}
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "vectorize": self.vectorize,
+            "parallel": self.parallel,
+            "score": self.score,
+            "error": self.error,
+        }
+
+
+class TierResult:
+    """Outcome of a tier search: scored candidates, best first choice."""
+
+    def __init__(self, sdfg_name: str, candidates: List[TierCandidate]):
+        self.sdfg_name = sdfg_name
+        self.candidates = candidates
+
+    @property
+    def best(self) -> Optional[TierCandidate]:
+        scored = [c for c in self.candidates if c.score is not None]
+        return min(scored, key=lambda c: c.score) if scored else None
+
+    @property
+    def serial_score(self) -> Optional[float]:
+        for c in self.candidates:
+            if c.label == "serial":
+                return c.score
+        return None
+
+    def speedup(self) -> Optional[float]:
+        """Best-tier speedup over the serial tier (>1 means faster)."""
+        best = self.best
+        base = self.serial_score
+        if best is None or base is None or best.score in (None, 0):
+            return None
+        return base / best.score
+
+    def to_json(self) -> Dict[str, Any]:
+        best = self.best
+        return {
+            "sdfg": self.sdfg_name,
+            "best": best.label if best else None,
+            "speedup_vs_serial": self.speedup(),
+            "candidates": [c.to_json() for c in self.candidates],
+        }
+
+    def render(self) -> str:
+        lines = [f"execution tiers for {self.sdfg_name!r} (lower is better)"]
+        best = self.best
+        for c in self.candidates:
+            mark = " <- best" if best is c else ""
+            if c.score is None:
+                lines.append(f"  {c.label:16s} (unavailable: {c.error}){mark}")
+            else:
+                lines.append(f"  {c.label:16s} {c.score:12.6g} s{mark}")
+        sp = self.speedup()
+        if sp is not None:
+            lines.append(f"  best tier is {sp:.2f}x vs serial")
+        return "\n".join(lines)
+
+
+def default_worker_counts() -> Tuple[int, ...]:
+    """Worker counts worth trying on this host: 2 and the core count
+    (deduplicated, capped at 8 so the search stays cheap)."""
+    cores = os.cpu_count() or 1
+    counts = sorted({n for n in (2, min(cores, 8)) if n >= 2 and n <= cores})
+    return tuple(counts) or (2,)
+
+
+def tune_tiers(
+    sdfg,
+    workers: Optional[Sequence[int]] = None,
+    inputs: Optional[Mapping[str, Any]] = None,
+    symbol_default: int = 64,
+    repeats: int = 3,
+) -> TierResult:
+    """Measure the serial, vectorized, and parallel tiers of ``sdfg``
+    and pick the fastest.
+
+    ``workers`` lists the parallel worker counts to try (default:
+    :func:`default_worker_counts`).  Candidates that fail to execute are
+    reported with their error instead of aborting the search.
+    """
+    if workers is None:
+        workers = default_worker_counts()
+    candidates = [
+        TierCandidate("serial", vectorize=False),
+        TierCandidate("vectorized", vectorize=True),
+    ]
+    for n in workers:
+        candidates.append(
+            TierCandidate(f"parallel[{n}]", vectorize=True, parallel=int(n))
+        )
+    for cand in candidates:
+        provider = MeasuredCost(
+            inputs=inputs,
+            symbol_default=symbol_default,
+            repeats=repeats,
+            vectorize=cand.vectorize,
+            parallel=cand.parallel,
+        )
+        try:
+            cand.score = provider.score(sdfg)
+        except Exception as err:  # noqa: BLE001 - candidate N/A, keep searching
+            cand.error = f"{type(err).__name__}: {err}"
+    return TierResult(sdfg.name, candidates)

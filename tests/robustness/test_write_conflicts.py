@@ -105,3 +105,131 @@ def test_all_polybench_builders_pass_clean():
         if warns:
             flagged[name] = [str(w) for w in warns]
     assert flagged == {}
+
+
+# =====================================================================
+# Chunk-axis disjointness proofs for the parallel execution tier
+# =====================================================================
+#
+# ``analyze_map_parallelism`` extends the W501 conflict analysis with a
+# cross-chunk question: if the iteration domain is split into contiguous
+# chunks along one parameter, can two chunks ever write the same
+# element?  These cases pin the proof obligations down.
+
+from repro.sdfg.nodes import MapEntry
+from repro.sdfg.validation import analyze_map_parallelism
+
+
+def _analyze(sdfg):
+    sdfg.validate()
+    state = sdfg.states()[0]
+    entry = next(n for n in state.nodes() if isinstance(n, MapEntry))
+    return analyze_map_parallelism(sdfg, state, entry)
+
+
+def _slice_map_sdfg(out_subset, code="o = a", in_subset="i"):
+    """Map over ``i`` in ``0:N`` writing ``out[<out_subset>]``."""
+    sdfg = SDFG("slices")
+    sdfg.add_array("A", ("4*N",), dtypes.float64)
+    sdfg.add_array("out", ("4*N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "w",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", in_subset)},
+        code=code,
+        outputs={"o": Memlet.simple("out", out_subset)},
+    )
+    return sdfg
+
+
+@pytest.mark.parametrize(
+    "subset,eligible",
+    [
+        # Injective point writes: trivially chunk-disjoint.
+        ("i", True),
+        # Strided points with a gap: disjoint (stride 2 > span 1).
+        ("2*i", True),
+        ("3*i + 1", True),
+        # Adjacent but disjoint slices: [2i, 2i+2) tiles the axis.
+        ("2*i:2*i+2", True),
+        ("4*i:4*i+4", True),
+        # Overlapping slices: [i, i+2) collides with chunk neighbors.
+        ("i:i+2", False),
+        # Slice wider than its stride: [2i, 2i+3) overlaps [2i+2, ...).
+        ("2*i:2*i+3", False),
+        # Negative/reversed coefficient is refused conservatively.
+        ("N - i", False),
+    ],
+)
+def test_chunk_axis_disjointness_cases(subset, eligible):
+    verdict = _analyze(_slice_map_sdfg(subset))
+    assert verdict.eligible is eligible, (subset, verdict.reasons)
+    if eligible:
+        assert verdict.param == "i"
+        assert "out" in verdict.direct
+
+
+def test_symbolic_stride_is_refused():
+    """A write at ``K*i`` with symbolic K cannot be proven chunk-disjoint
+    (K = 0 aliases every iteration onto one element)."""
+    sdfg = SDFG("symstride")
+    sdfg.add_array("A", ("N",), dtypes.float64)
+    sdfg.add_array("out", ("K*N + N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "w",
+        {"i": "0:N"},
+        inputs={"a": Memlet.simple("A", "i")},
+        code="o = a",
+        outputs={"o": Memlet.simple("out", "K*i")},
+    )
+    verdict = _analyze(sdfg)
+    assert not verdict.eligible
+    assert any("out" in r for r in verdict.reasons)
+
+
+def test_indirect_indexing_stays_ineligible():
+    """``out[idx[i]] = v`` (dynamic non-WCR write that is not a
+    recognized scatter-reduction) must never be parallelized: the proof
+    cannot see through the indirection."""
+    sdfg = SDFG("indirect")
+    sdfg.add_array("idx", ("N",), dtypes.int64)
+    sdfg.add_array("out", ("N",), dtypes.float64)
+    st = sdfg.add_state()
+    st.add_mapped_tasklet(
+        "scatter",
+        {"i": "0:N"},
+        inputs={"j": Memlet.simple("idx", "i")},
+        code="o = float(j)",
+        outputs={"o": Memlet(data="out", subset="0:N", dynamic=True)},
+    )
+    verdict = _analyze(sdfg)
+    assert not verdict.eligible
+    assert any("dynamic" in r or "out" in r for r in verdict.reasons)
+
+
+def test_wcr_map_is_eligible_via_private_merge():
+    """A Sum-WCR write that would race in place is still parallelizable
+    through per-worker privatization + operator merge."""
+    verdict = _analyze(racy_sdfg(wcr="sum"))
+    assert verdict.eligible
+    assert "out" in verdict.wcr_merge
+
+
+def test_racy_map_parallelizes_along_the_disjoint_param_only():
+    """The W501-flagged map (``out[i]`` written for every ``j``) is
+    still chunk-parallelizable along ``i``: the overlap lives entirely
+    inside one chunk, where execution order stays serial.  The proof
+    must pick ``i`` — never ``j``."""
+    verdict = _analyze(racy_sdfg())
+    assert verdict.eligible
+    assert verdict.param == "i"
+
+
+def test_interior_stream_is_refused():
+    from repro.workloads import kernels
+
+    verdict = _analyze(kernels.query_sdfg())
+    assert not verdict.eligible
+    assert any("stream" in r.lower() for r in verdict.reasons)

@@ -1,0 +1,116 @@
+"""Tests for execution-tier selection (``repro.tuning.tiers``): the
+serial / vectorized / parallel lowering tiers of one graph are measured
+and the winner is reported with the compile knobs that reproduce it."""
+
+import numpy as np
+
+from repro.tuning import AnalyticCost, MeasuredCost, tune_tiers
+from repro.tuning.tiers import TierResult, default_worker_counts
+from repro.workloads import kernels
+
+
+class TestTuneTiers:
+    def test_histogram_tier_search(self):
+        result = tune_tiers(
+            kernels.histogram_sdfg(), workers=[2], symbol_default=48,
+            repeats=1,
+        )
+        labels = [c.label for c in result.candidates]
+        assert labels == ["serial", "vectorized", "parallel[2]"]
+        assert all(c.score is not None for c in result.candidates), [
+            c.error for c in result.candidates
+        ]
+        best = result.best
+        assert best is not None
+        assert best.score == min(c.score for c in result.candidates)
+        # The serial scalar loop never beats the fast tiers here.
+        assert best.label != "serial"
+        assert result.speedup() >= 1.0
+
+    def test_best_candidate_kwargs_reproduce_it(self):
+        from repro.codegen.compiler import compile_sdfg
+
+        result = tune_tiers(
+            kernels.matmul_sdfg(), workers=[2], symbol_default=24, repeats=1
+        )
+        best = result.best
+        c = compile_sdfg(
+            kernels.matmul_sdfg(), backend="python", **best.compile_kwargs()
+        )
+        try:
+            data = kernels.matmul_data(16)
+            c(**data)
+            np.testing.assert_allclose(
+                data["C"], kernels.matmul_reference(data), rtol=1e-8,
+                atol=1e-10,
+            )
+        finally:
+            c.close()
+
+    def test_render_and_json_roundtrip(self):
+        result = tune_tiers(
+            kernels.histogram_sdfg(), workers=[2], symbol_default=32,
+            repeats=1,
+        )
+        text = result.render()
+        assert "serial" in text and "<- best" in text
+        blob = result.to_json()
+        assert blob["best"] == result.best.label
+        assert len(blob["candidates"]) == 3
+
+    def test_failed_candidate_reported_not_fatal(self):
+        result = TierResult("x", [])
+        assert result.best is None and result.speedup() is None
+
+    def test_default_worker_counts_fit_the_host(self):
+        import os
+
+        counts = default_worker_counts()
+        assert counts
+        assert all(2 <= n <= max(os.cpu_count() or 1, 2) for n in counts)
+
+
+class TestCostProviderTierKnobs:
+    def test_measured_cost_keys_distinguish_tiers(self):
+        base = MeasuredCost().key()
+        novec = MeasuredCost(vectorize=False).key()
+        par = MeasuredCost(parallel=4).key()
+        assert len({base, novec, par}) == 3
+        assert "novec" in novec and "par=" in par
+
+    def test_measured_cost_scores_parallel_variant(self):
+        score = MeasuredCost(
+            parallel=2, symbol_default=32, repeats=1
+        ).score(kernels.histogram_sdfg())
+        assert score > 0
+
+    def test_analytic_cores_knob(self):
+        sdfg = kernels.matmul_sdfg()
+        serial = AnalyticCost(symbol_default=128)
+        par = AnalyticCost(symbol_default=128, cores=4)
+        assert par.key() != serial.key()
+        assert par.score(sdfg) < serial.score(sdfg)
+
+    def test_analytic_single_core_unchanged(self):
+        sdfg = kernels.matmul_sdfg()
+        assert AnalyticCost(symbol_default=64).score(sdfg) == AnalyticCost(
+            symbol_default=64, cores=1
+        ).score(sdfg)
+
+
+class TestTiersCLI:
+    def test_cli_tiers_run(self, capsys, tmp_path):
+        from repro.tune import main
+
+        report = tmp_path / "tiers.json"
+        status = main([
+            "run", "histogram", "--tiers", "--workers", "2",
+            "--report", str(report),
+        ])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "execution tiers for" in out
+        import json
+
+        blob = json.loads(report.read_text())
+        assert blob["best"] in ("serial", "vectorized", "parallel[2]")
