@@ -1,0 +1,39 @@
+"""Deterministic fault injection for every layer of the stack.
+
+See :mod:`repro.chaos.engine` for the model and the ``REPRO_FAULTS``
+grammar, :mod:`repro.chaos.points` for the fault-point catalog, and
+``python -m repro.chaos`` for the CLI (list points, check a plan, run a
+seeded schedule against a live daemon).
+"""
+
+from repro.chaos.engine import (
+    ACTIONS,
+    ChaosEngine,
+    ChaosFault,
+    FaultPlan,
+    FaultRule,
+    active_engine,
+    faultpoint,
+    install_plan,
+    parse_rule,
+    plan_from_env,
+    uninstall_engine,
+)
+from repro.chaos.points import CATALOG, LAYERS, FaultPoint
+
+__all__ = [
+    "ACTIONS",
+    "CATALOG",
+    "LAYERS",
+    "ChaosEngine",
+    "ChaosFault",
+    "FaultPlan",
+    "FaultPoint",
+    "FaultRule",
+    "active_engine",
+    "faultpoint",
+    "install_plan",
+    "parse_rule",
+    "plan_from_env",
+    "uninstall_engine",
+]

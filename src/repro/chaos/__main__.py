@@ -1,0 +1,118 @@
+"""CLI entry point: ``python -m repro.chaos``.
+
+Subcommands::
+
+    list                     print the fault-point catalog, grouped by layer
+    check SPEC               validate a REPRO_FAULTS spec (strict: catalog-checked)
+    run --schedule NAME      run a named chaos schedule against a live daemon
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="deterministic fault injection for the repro stack",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="print the registered fault points")
+    p_list.add_argument("--count", action="store_true",
+                        help="print only the number of registered points")
+
+    p_check = sub.add_parser(
+        "check", help="validate a REPRO_FAULTS spec against the catalog")
+    p_check.add_argument("spec", help="e.g. 'progcache.disk_write:raise-io@hit=2'")
+
+    p_run = sub.add_parser("run", help="run a named seeded chaos schedule")
+    p_run.add_argument("--schedule", required=True,
+                       help="one of the named schedules (see --list-schedules)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--requests", type=int, default=80)
+    p_run.add_argument("--threads", type=int, default=4)
+    p_run.add_argument("--workers", type=int, default=2)
+    p_run.add_argument("--cache-root", default=None, metavar="DIR")
+    p_run.add_argument("--output", default=None, metavar="JSON",
+                       help="write the full report here")
+    return parser
+
+
+def cmd_list(args) -> int:
+    from repro.chaos.points import CATALOG, LAYERS
+
+    if args.count:
+        print(len(CATALOG))
+        return 0
+    width = max(len(name) for name in CATALOG)
+    for layer in LAYERS:
+        names = sorted(n for n, pt in CATALOG.items() if pt.layer == layer)
+        if not names:
+            continue
+        print(f"[{layer}]")
+        for name in names:
+            point = CATALOG[name]
+            print(f"  {name:<{width}}  {point.module:<28} {point.description}")
+    print(f"{len(CATALOG)} fault points across {len(LAYERS)} layers")
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.chaos.engine import FaultPlan
+
+    try:
+        plan = FaultPlan.parse(args.spec, strict=True)
+    except ValueError as err:
+        print(f"invalid: {err}", file=sys.stderr)
+        return 1
+    for rule in plan.rules:
+        print(rule.spec())
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.chaos.schedules import SCHEDULES, run_schedule
+
+    if args.schedule not in SCHEDULES:
+        print(f"unknown schedule {args.schedule!r}; available: "
+              + ", ".join(sorted(SCHEDULES)), file=sys.stderr)
+        return 2
+    report = run_schedule(
+        args.schedule,
+        seed=args.seed,
+        requests=args.requests,
+        threads=args.threads,
+        workers=args.workers,
+        cache_root=args.cache_root,
+        output=args.output,
+    )
+    summary = {key: report.get(key) for key in
+               ("schedule", "seed", "fired", "by_point", "pool",
+                "drain_clean", "fsck", "passed")}
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if not report["passed"]:
+        for failure in report["failures"][:20]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"CHAOS SEED: {args.seed}", file=sys.stderr)
+        print(f"reproduce with: python -m repro.chaos run "
+              f"--schedule {args.schedule} --seed {args.seed}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "check":
+        return cmd_check(args)
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

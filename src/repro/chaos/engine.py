@@ -1,0 +1,435 @@
+"""Deterministic, seeded fault-injection engine (the chaos layer).
+
+Every subsystem that can fail in production declares **named fault
+points** (:data:`repro.chaos.points.CATALOG`) and calls
+:func:`faultpoint` at the matching code site::
+
+    data = faultpoint("progcache.disk_write", payload=data)
+
+With no active :class:`FaultPlan` this is one global read — cheap enough
+for hot paths.  With a plan installed (via :func:`install_plan` or the
+``REPRO_FAULTS`` environment variable), each matching rule decides
+*deterministically* whether to fire: per-rule hit counters and a
+per-rule ``random.Random(seed)`` stream mean the same plan against the
+same request sequence fires the same faults — a failing chaos run is
+reproducible from its seed alone.
+
+Grammar (``REPRO_FAULTS``)::
+
+    point:action[@param=value,param=value][;point:action...]
+
+    REPRO_FAULTS="progcache.disk_write:raise-io@hit=2;pool.worker_spawn:kill@p=0.3,seed=7"
+
+Actions:
+
+==========  ==========================================================
+``raise``      raise :class:`ChaosFault` (a generic unexpected error)
+``raise-io``   raise ``OSError(EIO)`` — exercises every ``except
+               OSError`` hardening path and the backend degradation
+               chain (``OSError`` is a degradable error)
+``enospc``     raise ``OSError(ENOSPC)`` — disk-full at a write site
+``corrupt``    truncate the call's ``payload`` at a seeded offset and
+               append garbage (a torn write: guaranteed-unparseable)
+``delay``      sleep ``ms`` milliseconds (default 100) — slow I/O,
+               slow kernels, scheduling stalls
+``kill``       SIGKILL the fault point's ``child`` pid (or this
+               process when the site has no child) — worker death
+``exit``       ``os._exit(70)`` — abrupt but clean process exit
+==========  ==========================================================
+
+Parameters:
+
+``hit=N``    fire on the Nth evaluation of this rule (1-based); implies
+             ``times=1`` unless ``times`` is given explicitly.
+``p=F``      fire with probability ``F`` per evaluation, drawn from the
+             rule's own seeded stream.
+``seed=S``   seed for the rule's random stream (default: derived from
+             the point name, so runs are deterministic even without an
+             explicit seed).
+``times=K``  fire at most ``K`` times (default: unlimited for ``p``
+             rules, once for ``hit`` rules).
+``ms=M``     milliseconds for the ``delay`` action (default 100).
+
+Every firing is recorded on the engine (:meth:`ChaosEngine.snapshot`)
+and published as a ``fault:<point>`` telemetry event, so tests can
+assert exactly which faults fired and that each one was surfaced as a
+structured diagnostic.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import signal
+import threading
+import time
+import zlib
+from typing import Any, Dict, List, Optional
+
+#: All actions a rule may carry.
+ACTIONS = ("raise", "raise-io", "enospc", "corrupt", "delay", "kill", "exit")
+
+#: Bound on the engine's firing log (oldest entries are discarded).
+MAX_FIRING_LOG = 1024
+
+#: Marker appended by the ``corrupt`` action.  Contains a NUL byte and
+#: trailing garbage so a truncated-and-mangled JSON document can never
+#: accidentally parse.
+CORRUPT_MARKER = "\x00#chaos-corrupt"
+
+
+class ChaosFault(RuntimeError):
+    """An injected fault from a chaos rule (the generic ``raise`` action).
+
+    Deliberately *not* a :class:`~repro.diagnostics.DiagnosticError`:
+    the point of the generic action is to model a failure nobody wrote a
+    handler for, which the serve stack must still turn into a structured
+    ``E204`` response.
+    """
+
+    def __init__(self, point: str, action: str):
+        super().__init__(f"injected fault at {point!r} (action {action})")
+        self.point = point
+        self.action = action
+
+
+class FaultRule:
+    """One ``point:action@params`` clause with its own firing state."""
+
+    def __init__(
+        self,
+        point: str,
+        action: str,
+        hit: Optional[int] = None,
+        p: Optional[float] = None,
+        seed: Optional[int] = None,
+        times: Optional[int] = None,
+        ms: float = 100.0,
+    ):
+        if action not in ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {action!r}; expected one of "
+                + ", ".join(ACTIONS)
+            )
+        if hit is not None and hit < 1:
+            raise ValueError("hit= is 1-based and must be >= 1")
+        if p is not None and not (0.0 <= p <= 1.0):
+            raise ValueError("p= must be a probability in [0, 1]")
+        self.point = point
+        self.action = action
+        self.hit = hit
+        self.p = p
+        #: Deterministic even without an explicit seed: derive one from
+        #: the point name so two runs of the same plan agree.
+        self.seed = seed if seed is not None else zlib.crc32(point.encode())
+        if times is None and hit is not None:
+            times = 1
+        self.times = times
+        self.ms = float(ms)
+        # Mutable firing state (guarded by the engine lock).
+        self.hits = 0
+        self.fired = 0
+        self._rng = random.Random(self.seed)
+
+    def matches(self, point: str) -> bool:
+        if self.point.endswith(".*"):
+            return point.startswith(self.point[:-1]) or point == self.point[:-2]
+        return point == self.point
+
+    def should_fire(self) -> bool:
+        """Advance this rule's counters for one evaluation; True to fire.
+        Caller holds the engine lock."""
+        self.hits += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.hit is not None and self.hits < self.hit:
+            return False
+        if self.p is not None and self._rng.random() >= self.p:
+            return False
+        self.fired += 1
+        return True
+
+    def spec(self) -> str:
+        params = []
+        if self.hit is not None:
+            params.append(f"hit={self.hit}")
+        if self.p is not None:
+            params.append(f"p={self.p:g}")
+        params.append(f"seed={self.seed}")
+        if self.times is not None:
+            params.append(f"times={self.times}")
+        if self.action == "delay":
+            params.append(f"ms={self.ms:g}")
+        return f"{self.point}:{self.action}@" + ",".join(params)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            "action": self.action,
+            "hit": self.hit,
+            "p": self.p,
+            "seed": self.seed,
+            "times": self.times,
+            "ms": self.ms,
+            "hits": self.hits,
+            "fired": self.fired,
+        }
+
+
+_INT_PARAMS = ("hit", "seed", "times")
+_FLOAT_PARAMS = ("p", "ms")
+
+
+def parse_rule(text: str) -> FaultRule:
+    """Parse one ``point:action[@k=v,...]`` clause."""
+    point, sep, rest = text.strip().partition(":")
+    if not sep or not point or not rest:
+        raise ValueError(
+            f"bad fault clause {text!r}: expected 'point:action[@k=v,...]'"
+        )
+    action, _, params = rest.partition("@")
+    kwargs: Dict[str, Any] = {}
+    if params:
+        for item in params.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key or not value:
+                raise ValueError(f"bad fault parameter {item!r} in {text!r}")
+            if key in _INT_PARAMS:
+                kwargs[key] = int(value)
+            elif key in _FLOAT_PARAMS:
+                kwargs[key] = float(value)
+            else:
+                raise ValueError(
+                    f"unknown fault parameter {key!r} in {text!r}; expected "
+                    + ", ".join(_INT_PARAMS + _FLOAT_PARAMS)
+                )
+    return FaultRule(point, action.strip(), **kwargs)
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultRule` (one chaos scenario)."""
+
+    def __init__(self, rules: List[FaultRule]):
+        self.rules = list(rules)
+
+    @classmethod
+    def parse(cls, spec: str, strict: bool = False) -> "FaultPlan":
+        """Parse a full ``REPRO_FAULTS`` spec.
+
+        ``strict=True`` additionally rejects point names absent from the
+        registered catalog (wildcards are checked against prefixes) —
+        the ``python -m repro.chaos check`` path; the environment path
+        stays lenient so a plan can name points of a newer build.
+        """
+        rules = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            rule = parse_rule(clause)
+            if strict:
+                from repro.chaos.points import CATALOG
+
+                if rule.point.endswith(".*"):
+                    prefix = rule.point[:-1]
+                    if not any(name.startswith(prefix) for name in CATALOG):
+                        raise ValueError(
+                            f"wildcard {rule.point!r} matches no registered "
+                            "fault point"
+                        )
+                elif rule.point not in CATALOG:
+                    raise ValueError(
+                        f"unknown fault point {rule.point!r}; see "
+                        "'python -m repro.chaos list'"
+                    )
+            rules.append(rule)
+        if not rules:
+            raise ValueError("fault plan is empty")
+        return cls(rules)
+
+    def spec(self) -> str:
+        return ";".join(rule.spec() for rule in self.rules)
+
+
+class ChaosEngine:
+    """Evaluates fault points against an installed :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.firings: List[Dict[str, Any]] = []
+        self.counts: Dict[str, int] = {}
+
+    # ----------------------------------------------------------- evaluate
+    def evaluate(self, point: str, payload: Any, child: Optional[int],
+                 ctx: Dict[str, Any]) -> Any:
+        # Reentrancy guard: the engine publishes its own firings through
+        # the telemetry sink, whose publish() is itself a fault point.
+        if getattr(self._tls, "busy", False):
+            return payload
+        to_fire: List[FaultRule] = []
+        with self._lock:
+            for rule in self.plan.rules:
+                if rule.matches(point) and rule.should_fire():
+                    to_fire.append(rule)
+                    self.counts[point] = self.counts.get(point, 0) + 1
+        for rule in to_fire:
+            payload = self._act(rule, point, payload, child, ctx)
+        return payload
+
+    def _act(self, rule: FaultRule, point: str, payload: Any,
+             child: Optional[int], ctx: Dict[str, Any]) -> Any:
+        record = {
+            "point": point,
+            "action": rule.action,
+            "ts": time.time(),
+            "pid": os.getpid(),
+        }
+        if child is not None:
+            record["child"] = child
+        if ctx:
+            record["ctx"] = {k: str(v) for k, v in ctx.items()}
+        with self._lock:
+            self.firings.append(record)
+            if len(self.firings) > MAX_FIRING_LOG:
+                del self.firings[: len(self.firings) - MAX_FIRING_LOG]
+        self._publish(point, rule, record)
+        action = rule.action
+        if action == "raise":
+            raise ChaosFault(point, action)
+        if action == "raise-io":
+            raise OSError(errno.EIO, f"injected I/O error at {point!r}")
+        if action == "enospc":
+            raise OSError(errno.ENOSPC,
+                          f"injected disk-full error at {point!r}")
+        if action == "delay":
+            time.sleep(max(0.0, rule.ms) / 1000.0)
+            return payload
+        if action == "corrupt":
+            with self._lock:
+                return _corrupt(payload, rule._rng)
+        if action == "kill":
+            os.kill(child if child is not None else os.getpid(),
+                    signal.SIGKILL)
+            # A self-kill never returns; for a child kill the caller's
+            # next read observes the death.
+            return payload
+        if action == "exit":
+            os._exit(70)
+        return payload  # pragma: no cover - exhaustive above
+
+    def _publish(self, point: str, rule: FaultRule,
+                 record: Dict[str, Any]) -> None:
+        """Emit the ``fault:<point>`` telemetry event (reentrancy-guarded)."""
+        self._tls.busy = True
+        try:
+            from repro.telemetry.sink import active_sink
+
+            sink = active_sink()
+            if sink is not None:
+                fields = {"action": rule.action, "seed": rule.seed,
+                          "fired": rule.fired}
+                if "child" in record:
+                    fields["child"] = record["child"]
+                if "ctx" in record:
+                    fields.update(record["ctx"])
+                sink.publish("fault", point, fields=fields)
+        except Exception:  # noqa: BLE001 - telemetry must not mask the fault
+            pass
+        finally:
+            self._tls.busy = False
+
+    # ------------------------------------------------------------ queries
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "firings": sum(self.counts.values()),
+                "by_point": dict(self.counts),
+                "rules": [rule.to_json() for rule in self.plan.rules],
+            }
+
+
+def _corrupt(payload: Any, rng: random.Random) -> Any:
+    """A torn write: truncate at a seeded offset, then append garbage."""
+    if isinstance(payload, str):
+        cut = rng.randrange(0, max(1, len(payload)))
+        return payload[:cut] + CORRUPT_MARKER
+    if isinstance(payload, (bytes, bytearray)):
+        cut = rng.randrange(0, max(1, len(payload)))
+        return bytes(payload[:cut]) + CORRUPT_MARKER.encode()
+    return payload  # non-bytes payloads pass through unmangled
+
+
+# =====================================================================
+# The process-active engine (same lazy pattern as telemetry.sink)
+# =====================================================================
+
+_UNSET = object()
+_ACTIVE: Any = _UNSET
+_ACTIVE_LOCK = threading.Lock()
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """Parse ``REPRO_FAULTS``; None when unset.  A malformed spec is
+    reported on stderr and treated as *no plan* — a typo must not take
+    the daemon down at import time."""
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    try:
+        return FaultPlan.parse(spec)
+    except ValueError as err:
+        import sys
+
+        print(f"repro.chaos: ignoring malformed REPRO_FAULTS: {err}",
+              file=sys.stderr)
+        return None
+
+
+def active_engine() -> Optional[ChaosEngine]:
+    """The process-active engine, or None when chaos is off.  Lazy and
+    cached: the first call consults ``REPRO_FAULTS``; afterwards this is
+    a global read."""
+    global _ACTIVE
+    engine = _ACTIVE
+    if engine is _UNSET:
+        with _ACTIVE_LOCK:
+            if _ACTIVE is _UNSET:
+                plan = plan_from_env()
+                _ACTIVE = ChaosEngine(plan) if plan is not None else None
+            engine = _ACTIVE
+    return engine
+
+
+def install_plan(plan: Optional[FaultPlan]) -> Optional[ChaosEngine]:
+    """Install ``plan`` as the process-active engine (None disables
+    chaos); returns the new engine (None when disabled)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = ChaosEngine(plan) if plan is not None else None
+        return _ACTIVE
+
+
+def uninstall_engine() -> None:
+    """Forget the active engine *and* the cached env resolution, so the
+    next :func:`active_engine` re-consults ``REPRO_FAULTS``."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = _UNSET
+
+
+def faultpoint(name: str, payload: Any = None, child: Optional[int] = None,
+               **ctx: Any) -> Any:
+    """Evaluate the named fault point.
+
+    Returns ``payload`` (possibly corrupted by a ``corrupt`` rule), or
+    raises / sleeps / kills according to the matching rules.  With no
+    active engine this is a near-free passthrough.
+    """
+    engine = active_engine()
+    if engine is None:
+        return payload
+    return engine.evaluate(name, payload, child, ctx)

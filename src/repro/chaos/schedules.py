@@ -1,0 +1,272 @@
+"""Named chaos schedules and the invariant harness that runs them.
+
+A *schedule* is a seeded :class:`~repro.chaos.engine.FaultPlan` builder
+— given one integer seed it produces a full ``REPRO_FAULTS`` spec with
+every rule's stream seed derived from it, so a failing run is
+reproducible from ``(schedule, seed)`` alone.
+
+:func:`run_schedule` boots a real :class:`~repro.serve.daemon.SDFGServer`
+(worker subprocesses and all) with the plan installed both in-process
+and in the environment (workers inherit ``os.environ``, so their fault
+points activate too), drives it with the mixed-load driver in chaos
+mode, and then checks the global invariants the chaos layer promises:
+
+* every request got a *structured* response (ok, or an error/rejection
+  carrying a diagnostic code) — nothing hung past the client deadline;
+* the fired faults were observable: the engine snapshot and/or the
+  daemon's telemetry sink carry ``fault:*`` evidence;
+* the worker pool healed back to its configured size;
+* a graceful drain finished with zero abandoned in-flight requests;
+* the integrity sweep (:func:`~repro.serve.fsck.fsck_sweep`) repairs
+  whatever the faults tore, and a second sweep is clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chaos.engine import (
+    FaultPlan,
+    active_engine,
+    install_plan,
+    uninstall_engine,
+)
+
+
+def _sub_seed(schedule: str, seed: int, index: int) -> int:
+    """A per-rule stream seed derived from the schedule seed."""
+    return zlib.crc32(f"{schedule}:{index}:{int(seed)}".encode()) & 0x7FFFFFFF
+
+
+def _cache_torn_write(seed: int) -> str:
+    """Torn and failing cache I/O: corrupt entries on the way to disk,
+    sporadic read errors on the way back.  Exercises quarantine-on-read,
+    write-failure tolerance, and the fsck repair path."""
+    s = lambda i: _sub_seed("cache-torn-write", seed, i)  # noqa: E731
+    return ";".join([
+        f"progcache.disk_write:corrupt@p=0.5,seed={s(0)}",
+        f"tuningcache.disk_write:corrupt@p=0.5,seed={s(1)}",
+        f"progcache.disk_read:raise-io@p=0.15,seed={s(2)}",
+    ])
+
+
+def _worker_kill_storm(seed: int) -> str:
+    """Workers die mid-request and mid-spawn; crash-bundle writes fail
+    too.  Exercises death detection, respawn, replay, pool healing, and
+    bundle-write tolerance."""
+    s = lambda i: _sub_seed("worker-kill-storm", seed, i)  # noqa: E731
+    return ";".join([
+        f"worker.request:kill@p=0.2,seed={s(0)}",
+        f"pool.worker_spawn:kill@p=0.1,seed={s(1)}",
+        f"pool.crash_bundle:raise-io@p=0.3,seed={s(2)}",
+    ])
+
+
+def _slow_io(seed: int) -> str:
+    """Everything is slow but nothing is broken: latency injection at
+    cache writes, frame reads, and worker response writes.  Exercises
+    deadlines, the client-side timeout, and drain under load."""
+    s = lambda i: _sub_seed("slow-io", seed, i)  # noqa: E731
+    return ";".join([
+        f"progcache.disk_write:delay@p=0.3,ms=40,seed={s(0)}",
+        f"daemon.frame_read:delay@p=0.2,ms=30,seed={s(1)}",
+        f"worker.response_write:delay@p=0.2,ms=30,seed={s(2)}",
+    ])
+
+
+#: name -> seed -> ``REPRO_FAULTS`` spec
+SCHEDULES: Dict[str, Callable[[int], str]] = {
+    "cache-torn-write": _cache_torn_write,
+    "worker-kill-storm": _worker_kill_storm,
+    "slow-io": _slow_io,
+}
+
+
+def build_spec(schedule: str, seed: int) -> str:
+    try:
+        builder = SCHEDULES[schedule]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos schedule {schedule!r}; expected one of "
+            + ", ".join(sorted(SCHEDULES))
+        ) from None
+    return builder(int(seed))
+
+
+def _fd_count() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def run_schedule(
+    schedule: str,
+    seed: int = 0,
+    requests: int = 80,
+    threads: int = 4,
+    workers: int = 2,
+    cache_root: Optional[str] = None,
+    read_timeout: float = 60.0,
+    output: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Run one named schedule against a live daemon; returns the report.
+
+    The report's ``passed`` is True iff every invariant held; on failure
+    ``failures`` lists what broke and ``seed`` reproduces the run.
+    """
+    from repro.runtime.watchdog import RetryPolicy
+    from repro.serve.admission import TenantPolicy
+    from repro.serve.daemon import SDFGServer, ServeConfig
+    from repro.serve.fsck import fsck_sweep
+    from repro.serve.loadtest import run_loadtest
+
+    spec = build_spec(schedule, seed)
+    plan = FaultPlan.parse(spec, strict=True)
+
+    failures: List[str] = []
+    tmp_root = None
+    if cache_root is None:
+        tmp_root = tempfile.mkdtemp(prefix="repro_chaos_")
+        cache_root = os.path.join(tmp_root, "cache")
+    crash_root = os.path.join(
+        tmp_root or os.path.dirname(os.path.abspath(cache_root)),
+        "crashes",
+    )
+
+    saved_env = {
+        key: os.environ.get(key)
+        for key in ("REPRO_FAULTS", "REPRO_CRASH_DIR")
+    }
+    os.environ["REPRO_FAULTS"] = spec        # workers inherit os.environ
+    os.environ["REPRO_CRASH_DIR"] = crash_root
+    install_plan(plan)                       # the daemon side, in-process
+
+    fds_before = _fd_count()
+    server = None
+    stopped = False
+    report: Dict[str, Any] = {}
+    try:
+        server = SDFGServer(ServeConfig(
+            workers=workers,
+            cache_root=cache_root,
+            health_interval=0.5,
+            fsck_on_start=False,  # this run *creates* the mess; sweep after
+            default_policy=TenantPolicy(
+                max_inflight=max(8, threads * 2),
+                # Keep the storm stormy: a conservatively low breaker
+                # threshold would open after a few injected worker kills
+                # and starve the schedule of traffic.
+                breaker_threshold=1000,
+                breaker_cooldown=1.0,
+            ),
+            retry=RetryPolicy(retries=1, backoff=0.02, jitter=0.5),
+        )).start()
+
+        drive = run_loadtest(
+            socket_path=server.config.socket_path,
+            requests=requests,
+            threads=threads,
+            chaos=True,
+            read_timeout=read_timeout,
+        )
+        failures.extend(drive.get("failures", []))
+
+        # ---- invariant: fired faults were observable -----------------
+        engine = active_engine()
+        snap = engine.snapshot() if engine is not None else {"firings": 0}
+        sink_faults = 0
+        if server.sink is not None:
+            events, _, _ = server.sink.drain(0)
+            sink_faults = sum(1 for e in events if e.kind == "fault")
+        fired = snap["firings"] + sink_faults
+        if fired == 0:
+            failures.append(
+                f"schedule {schedule!r} (seed {seed}) fired no faults: "
+                "nothing was tested"
+            )
+
+        # ---- invariant: the pool healed back to size -----------------
+        deadline = time.monotonic() + 20.0
+        pool_stats = server.pool.stats()
+        while (pool_stats["alive"] != pool_stats["size"]
+               and time.monotonic() < deadline):
+            time.sleep(0.25)
+            pool_stats = server.pool.stats()
+        if pool_stats["alive"] != pool_stats["size"]:
+            failures.append(
+                f"worker pool did not heal to its configured size: "
+                f"{pool_stats['alive']}/{pool_stats['size']} alive 20s "
+                "after the drive (fewer = dead capacity, more = a leak)"
+            )
+
+        # ---- invariant: graceful drain is clean ----------------------
+        # Faults off first: the drain and the sweep verify *recovery*.
+        uninstall_engine()
+        os.environ.pop("REPRO_FAULTS", None)
+        drained = server.drain(grace=10.0)
+        stopped = True
+        if not drained:
+            failures.append("graceful drain abandoned in-flight requests")
+
+        # ---- invariant: fsck repairs, then reports clean -------------
+        first = fsck_sweep(cache_root=cache_root, crash_root=crash_root)
+        second = fsck_sweep(cache_root=cache_root, crash_root=crash_root)
+        if not second["clean"]:
+            failures.append(
+                f"fsck not clean after repair pass: {second!r}"
+            )
+
+        # ---- soft invariant: fd usage returned to baseline -----------
+        fds_after = _fd_count()
+        if (fds_before is not None and fds_after is not None
+                and fds_after > fds_before + 16):
+            failures.append(
+                f"fd leak: {fds_before} open before the run, "
+                f"{fds_after} after"
+            )
+
+        report = {
+            "schedule": schedule,
+            "seed": int(seed),
+            "spec": spec,
+            "requests": requests,
+            "threads": threads,
+            "workers": workers,
+            "fired": fired,
+            "fired_in_process": snap["firings"],
+            "fired_in_telemetry": sink_faults,
+            "by_point": snap.get("by_point", {}),
+            "loadtest": {
+                key: drive.get(key)
+                for key in ("requests", "healthy", "throughput_rps", "passed")
+            },
+            "pool": pool_stats,
+            "drain_clean": server.drained_clean,
+            "fsck": {"repairs": first["repairs"], "clean": second["clean"]},
+            "fds": {"before": fds_before, "after": fds_after},
+            "failures": failures,
+            "passed": not failures,
+        }
+    finally:
+        uninstall_engine()
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        if server is not None and not stopped:
+            server.stop()
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
+    if output:
+        with open(output, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+    return report

@@ -31,6 +31,7 @@ import subprocess
 import time
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.chaos import faultpoint
 from repro.codegen.common import CodegenError
 from repro.instrumentation import (
     InstrumentationRecorder,
@@ -662,6 +663,10 @@ def _compile_backend(
     vectorize: bool = True,
     parallel=None,
 ) -> CompiledSDFG:
+    # `raise-io` here is a degradable failure (OSError is in
+    # DEGRADABLE_ERRORS): the compile hops down the backend chain
+    # exactly as a real codegen I/O failure would.
+    faultpoint("compiler.codegen", backend=backend, sdfg=sdfg.name)
     if backend == "python":
         return _compile_python(
             sdfg, sanitize=bool(sanitize), vectorize=vectorize, parallel=parallel
@@ -683,6 +688,7 @@ def _compile_backend(
 
 
 def _exec_python_source(source: str, name: str) -> Callable:
+    faultpoint("compiler.exec", sdfg=name)
     namespace: Dict[str, Any] = {}
     code = compile(source, f"<sdfg {name}>", "exec")
     exec(code, namespace)

@@ -33,6 +33,7 @@ import os
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.chaos import faultpoint
 from repro.filelock import FileLock
 from repro.telemetry.sink import active_sink
 
@@ -200,7 +201,9 @@ class ProgramCache:
         path = self._path(key)
         try:
             with open(path) as f:
-                entry = ProgramCacheEntry.from_json(json.load(f))
+                raw = f.read()
+            raw = faultpoint("progcache.disk_read", payload=raw)
+            entry = ProgramCacheEntry.from_json(json.loads(raw))
             if entry.key != key:
                 raise ValueError("key mismatch in program cache entry")
         except FileNotFoundError:
@@ -250,8 +253,13 @@ class ProgramCache:
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
+            data = json.dumps(record, indent=1, sort_keys=True)
+            # A `corrupt` rule here lands a genuinely torn entry on disk
+            # (quarantined by the next read or by fsck); `raise-io` /
+            # `enospc` exercise the store-is-best-effort contract.
+            data = faultpoint("progcache.disk_write", payload=data)
             with open(tmp, "w") as f:
-                json.dump(record, f, indent=1, sort_keys=True)
+                f.write(data)
             os.replace(tmp, path)
         except OSError:
             try:

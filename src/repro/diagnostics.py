@@ -94,6 +94,7 @@ CODES: Dict[str, str] = {
     "E202": "malformed service request",
     "E203": "unknown program key (recompile required)",
     "E204": "internal service error",
+    "E205": "service request timed out on the client socket",
     # --- dynamic sanitizer / watchdog findings (R8xx)
     "R801": "out-of-bounds access detected at runtime",
     "R802": "non-finite value produced at tasklet output",
@@ -104,6 +105,7 @@ CODES: Dict[str, str] = {
     "R806": "tenant admission rejected: too many in-flight requests",
     "R807": "tenant admission rejected: circuit breaker open",
     "R808": "tenant admission rejected: deadline budget exhausted",
+    "R809": "service draining: request rejected during shutdown",
     # --- service degradation (W8xx, warnings)
     "W801": "service degraded under load: request options shed",
     # --- telemetry / performance regression (W9xx, warnings)
@@ -155,9 +157,15 @@ class Diagnostic:
 
     @staticmethod
     def from_json(obj: Dict[str, Optional[str]]) -> "Diagnostic":
+        # Unknown severities (a newer peer's diagnostic) degrade to
+        # WARNING instead of refusing to rehydrate.
+        try:
+            severity = Severity[str(obj.get("severity", "WARNING"))]
+        except KeyError:
+            severity = Severity.WARNING
         return Diagnostic(
             code=str(obj["code"]),
-            severity=Severity[str(obj.get("severity", "WARNING"))],
+            severity=severity,
             message=str(obj.get("message", "")),
             sdfg=obj.get("sdfg"),
             state=obj.get("state"),

@@ -13,6 +13,7 @@ from typing import Any, Dict, Mapping
 
 import numpy as np
 
+from repro.chaos import faultpoint
 from repro.sdfg.data import Scalar, Stream
 from repro.symbolic import Expr, Integer, Symbol
 from repro.symbolic.sets import linear_coefficient
@@ -251,6 +252,7 @@ class MarshalingPlan:
 
 def split_arguments(sdfg, kwargs: Mapping[str, Any]):
     """Split keyword arguments into (arrays, symbols), inferring symbols."""
+    faultpoint("arguments.marshal", sdfg=getattr(sdfg, "name", None))
     arrays: Dict[str, Any] = {}
     symbols: Dict[str, int] = {}
     for k, v in kwargs.items():

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.chaos import faultpoint
 from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
 
 
@@ -76,6 +77,63 @@ def crash_dir() -> str:
     return os.environ.get("REPRO_CRASH_DIR", "").strip() or ".repro_crashes"
 
 
+#: Default number of crash bundles each process keeps (newest first).
+DEFAULT_CRASH_KEEP = 50
+
+
+def crash_keep() -> int:
+    """``REPRO_CRASH_KEEP`` knob: bundles retained per process."""
+    raw = os.environ.get("REPRO_CRASH_KEEP", "").strip()
+    try:
+        return max(1, int(raw)) if raw else DEFAULT_CRASH_KEEP
+    except ValueError:
+        return DEFAULT_CRASH_KEEP
+
+
+def rotate_crash_bundles(root: Optional[str] = None,
+                         keep: Optional[int] = None) -> int:
+    """Delete this process's oldest crash bundles beyond ``keep``.
+
+    Bundle names embed the writer's pid and a monotonic sequence number
+    (``<stem>_<pid>_<seq>``), so rotation is scoped to the calling
+    process — a supervisor cleaning up after itself never deletes a
+    sibling's fresh bundle.  Returns the number removed and publishes a
+    ``crash:rotated`` telemetry event when any were.
+    """
+    root = root or crash_dir()
+    keep = crash_keep() if keep is None else max(1, int(keep))
+    tag = f"_{os.getpid()}_"
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    mine = []
+    for name in names:
+        if tag not in name:
+            continue
+        path = os.path.join(root, name)
+        if not os.path.isdir(path):
+            continue
+        try:
+            seq = int(name.rsplit("_", 1)[1])
+        except (ValueError, IndexError):
+            continue
+        mine.append((seq, path))
+    mine.sort()
+    removed = 0
+    for _, path in mine[: max(0, len(mine) - keep)]:
+        shutil.rmtree(path, ignore_errors=True)
+        removed += 1
+    if removed:
+        from repro.telemetry.sink import active_sink
+
+        sink = active_sink()
+        if sink is not None:
+            sink.publish("crash", "rotated",
+                         fields={"n": removed, "keep": keep})
+    return removed
+
+
 #: Monotonic per-process crash counter: bundle directory names are
 #: ``<sdfg>_<pid>_<counter>`` so two workers (distinct pids) or two
 #: crashes in one process (distinct counters) can never collide — and,
@@ -107,6 +165,7 @@ def write_crash_bundle(sdfg, manifest: Dict, stderr: str) -> Optional[str]:
 
         root = crash_dir()
         os.makedirs(root, exist_ok=True)
+        faultpoint("isolation.bundle_write", sdfg=manifest.get("sdfg"))
         safe = "".join(
             c if c.isalnum() or c in "-_." else "_"
             for c in str(manifest.get("sdfg", "sdfg"))
@@ -119,6 +178,7 @@ def write_crash_bundle(sdfg, manifest: Dict, stderr: str) -> Optional[str]:
             json.dump(slim, f, indent=2, sort_keys=True)
         with open(os.path.join(bundle, "stderr.txt"), "w") as f:
             f.write(stderr or "")
+        rotate_crash_bundles(root)
         return bundle
     except OSError:
         return None
@@ -177,9 +237,18 @@ def run_isolated(
         env["PYTHONPATH"] = _repo_pythonpath()
         cmd = [sys.executable, "-m", "repro.runtime.isolation", workdir]
         try:
+            faultpoint("isolation.spawn", sdfg=sdfg.name)
             proc = subprocess.run(
                 cmd, capture_output=True, text=True, timeout=timeout, env=env
             )
+        except OSError as err:
+            # Spawn failure (fork/exec denied, fd exhaustion): the call
+            # never ran, arrays are untouched — a contained crash, not a
+            # host-process error.
+            raise BackendCrashError(
+                f"isolated cpp backend could not be spawned: {err}",
+                sdfg=sdfg.name,
+            ) from err
         except subprocess.TimeoutExpired as err:
             stderr = err.stderr
             if isinstance(stderr, bytes):

@@ -45,6 +45,8 @@ import time
 import weakref
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos import faultpoint
+
 __all__ = [
     "ParallelConfig",
     "MapWorkerPool",
@@ -530,6 +532,8 @@ class MapWorkerPool:
 
         with self._lock:
             if self._executor is None:
+                faultpoint("parallel.pool_spawn", tier="thread",
+                           pool=self.name)
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.config.workers,
                     thread_name_prefix=f"pmap-{self.name}",
@@ -560,6 +564,8 @@ class MapWorkerPool:
             if dead:
                 self._fork_workers = [w for w in self._fork_workers if w.alive]
             while len(self._fork_workers) < self.config.workers:
+                faultpoint("parallel.pool_spawn", tier="fork",
+                           pool=self.name)
                 self._fork_workers.append(_ForkWorker(self._fn_registry))
                 self.stats["fork_respawns"] += 1
             return list(self._fork_workers)

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.chaos import faultpoint
 from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
 from repro.telemetry.sink import active_sink
 
@@ -121,6 +122,9 @@ class Watchdog:
 
     def checkpoint(self) -> None:
         self.checkpoints += 1
+        # A `delay` rule here models a slow kernel between cooperative
+        # checkpoints — the resulting R805 is a *genuine* deadline trip.
+        faultpoint("watchdog.checkpoint")
         if self.deadline is not None and self.elapsed() > self.deadline:
             err = WatchdogViolation(
                 f"execution exceeded deadline of {self.deadline:g}s "

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 
 from repro.runtime.watchdog import RetryPolicy
@@ -58,11 +60,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry-capacity", type=int, default=4096,
                         metavar="EVENTS",
                         help="telemetry ring-buffer capacity (default 4096)")
+    parser.add_argument("--drain-grace", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="seconds granted to in-flight requests on "
+                             "SIGTERM/SIGINT before the daemon gives up "
+                             "(default 10)")
+    parser.add_argument("--fsck", action="store_true",
+                        help="run the startup integrity sweep (quarantine "
+                             "torn cache entries and stale crash bundles) "
+                             "and exit: 0 = already clean, 3 = repairs made")
     return parser
+
+
+def run_fsck(cache_root) -> int:
+    from repro.runtime.isolation import crash_dir
+    from repro.serve.fsck import fsck_sweep
+
+    report = fsck_sweep(cache_root=cache_root, crash_root=crash_dir())
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["clean"] else 3
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.fsck:
+        return run_fsck(args.cache_root)
 
     tcp = None
     if args.tcp:
@@ -91,16 +114,31 @@ def main(argv=None) -> int:
         telemetry=not args.no_telemetry,
         telemetry_window=args.telemetry_window,
         telemetry_capacity=args.telemetry_capacity,
+        drain_grace=args.drain_grace,
     )
 
     server = SDFGServer(config)
     server.start()
+
+    def _graceful(signum, frame):  # noqa: ARG001 - signal signature
+        print(f"repro.serve: received signal {signum}; draining "
+              f"(grace {config.drain_grace:g}s)", file=sys.stderr)
+        sys.stderr.flush()
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+
     if config.socket_path:
         print(f"repro.serve listening on {config.socket_path}", file=sys.stderr)
     else:
         print(f"repro.serve listening on {server.address}", file=sys.stderr)
     sys.stderr.flush()
     server.serve_forever()
+    if server.drained_clean is False:
+        print("repro.serve: drain deadline expired with requests still "
+              "in flight", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -38,6 +38,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.chaos import faultpoint
 from repro.diagnostics import DiagnosticError, Severity, make_diagnostic
 from repro.instrumentation import InstrumentationRecorder
 from repro.runtime.watchdog import CircuitBreakerRegistry
@@ -177,6 +178,9 @@ class AdmissionController:
     def admit(self, tenant: str, deadline: Optional[float] = None) -> Ticket:
         """Run the three gates; returns a :class:`Ticket` or raises
         :class:`AdmissionError` (the fast-rejection path)."""
+        # An engine fault here (not a policy rejection) must surface as
+        # the daemon's structured E204, never as a dropped request.
+        faultpoint("admission.admit", tenant=tenant)
         policy = self.policy(tenant)
         now = time.monotonic()
         with self._lock:

@@ -38,6 +38,26 @@ class ServeError(RuntimeError):
         )
 
 
+class ServeTimeout(ServeError):
+    """A client-side socket deadline expired (code ``E205``).
+
+    The *request* may still be executing on the daemon — only this
+    client gave up waiting — so the fault is retryable, but this
+    connection is unusable (a late response would desynchronize the
+    request/response pairing); open a fresh :class:`ServeClient`.
+    """
+
+    def __init__(self, phase: str, seconds: Optional[float]):
+        bound = f"{seconds:g}s" if seconds is not None else "its"
+        super().__init__({
+            "status": "error",
+            "code": "E205",
+            "retryable": True,
+            "message": f"client-side {phase} deadline of {bound} expired; "
+                       "the daemon may still be processing the request",
+        })
+
+
 class ServeClient:
     """One connection to an :class:`~repro.serve.daemon.SDFGServer`."""
 
@@ -47,30 +67,52 @@ class ServeClient:
         tcp: Optional[tuple] = None,
         tenant: str = "default",
         timeout: Optional[float] = 60.0,
+        read_timeout: Optional[float] = None,
     ):
+        """``timeout`` bounds the *connect*; ``read_timeout`` (default
+        off) bounds each response wait, so a wedged daemon cannot block
+        the caller forever — it raises a retryable ``E205``
+        :class:`ServeTimeout` instead."""
         if (socket_path is None) == (tcp is None):
             raise ValueError("pass exactly one of socket_path= or tcp=")
         self.tenant = tenant
+        self.read_timeout = read_timeout
+        self._broken = False
         self._ids = itertools.count(1)
-        if socket_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(socket_path)
-        else:
-            self._sock = socket.create_connection(
-                (tcp[0], int(tcp[1])), timeout=timeout
-            )
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket_path)
+            else:
+                self._sock = socket.create_connection(
+                    (tcp[0], int(tcp[1])), timeout=timeout
+                )
+        except TimeoutError as err:
+            raise ServeTimeout("connect", timeout) from err
+        self._sock.settimeout(read_timeout)
         self._stream = self._sock.makefile("rw", encoding="utf-8", newline="\n")
 
     # ------------------------------------------------------------ plumbing
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one raw request and block for its response."""
+        if self._broken:
+            raise ConnectionError(
+                "connection unusable after a client-side timeout (E205); "
+                "open a new ServeClient"
+            )
         payload = dict(payload)
         payload.setdefault("v", protocol.PROTOCOL_VERSION)
         payload.setdefault("tenant", self.tenant)
         payload.setdefault("id", next(self._ids))
-        protocol.send_message(self._stream, payload)
-        response = protocol.recv_message(self._stream)
+        try:
+            protocol.send_message(self._stream, payload)
+            response = protocol.recv_message(self._stream)
+        except (socket.timeout, TimeoutError) as err:
+            # A late response would pair with the *next* request; the
+            # connection is done.
+            self._broken = True
+            raise ServeTimeout("read", self.read_timeout) from err
         if response is None:
             raise ConnectionError("server closed the connection")
         return response

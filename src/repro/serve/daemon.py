@@ -36,7 +36,9 @@ import threading
 import time
 from typing import Any, Dict, Optional
 
+from repro.chaos import ChaosFault, active_engine, faultpoint
 from repro.instrumentation import InstrumentationRecorder
+from repro.runtime.isolation import crash_dir
 from repro.runtime.watchdog import RetryPolicy
 from repro.serve import protocol
 from repro.serve.admission import (
@@ -71,6 +73,8 @@ class ServeConfig:
         telemetry_window: float = 60.0,
         telemetry_capacity: int = 4096,
         telemetry_windows: int = 15,
+        drain_grace: float = 10.0,
+        fsck_on_start: bool = True,
     ):
         self.socket_path = socket_path
         self.tcp = tcp
@@ -88,6 +92,8 @@ class ServeConfig:
         self.telemetry_window = max(1e-3, float(telemetry_window))
         self.telemetry_capacity = max(64, int(telemetry_capacity))
         self.telemetry_windows = max(1, int(telemetry_windows))
+        self.drain_grace = max(0.0, float(drain_grace))
+        self.fsck_on_start = fsck_on_start
 
     def resolve_address(self) -> tuple:
         """(family, address) — Unix socket unless TCP was requested."""
@@ -142,6 +148,15 @@ class SDFGServer:
         self._listener: Optional[socket.socket] = None
         self._threads: list = []
         self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._wake = threading.Event()
+        self._inflight_cv = threading.Condition()
+        self._inflight_jobs = 0
+        #: Set by :meth:`drain`: True when every in-flight request
+        #: completed inside the grace window, False when some were
+        #: abandoned, None when the server was stopped without draining.
+        self.drained_clean: Optional[bool] = None
+        self.fsck_report: Optional[Dict[str, Any]] = None
         self._requests = {"total": 0, "ok": 0, "rejected": 0, "errors": 0}
         self._req_lock = threading.Lock()
         self.address: Optional[Any] = None
@@ -149,6 +164,23 @@ class SDFGServer:
     # ---------------------------------------------------------- lifecycle
     def start(self) -> "SDFGServer":
         family, address = self.config.resolve_address()
+        if self.config.fsck_on_start:
+            # Integrity sweep before any traffic: quarantine torn cache
+            # entries and stale crash bundles a previous crash left.
+            try:
+                from repro.serve.fsck import fsck_sweep
+
+                self.fsck_report = fsck_sweep(
+                    cache_root=self.config.cache_root,
+                    crash_root=crash_dir(),
+                )
+                if self.sink is not None and not self.fsck_report["clean"]:
+                    self.sink.publish(
+                        "lifecycle", "fsck",
+                        fields={"repairs": self.fsck_report["repairs"]},
+                    )
+            except Exception:  # noqa: BLE001 - the sweep must not block boot
+                self.fsck_report = None
         self.pool.start()
         listener = socket.socket(family, socket.SOCK_STREAM)
         listener.settimeout(0.5)
@@ -175,6 +207,7 @@ class SDFGServer:
 
     def stop(self) -> None:
         self._stop.set()
+        self._wake.set()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -187,6 +220,55 @@ class SDFGServer:
             except OSError:
                 pass
 
+    def request_shutdown(self, grace: Optional[float] = None) -> None:
+        """Begin a graceful drain (signal handlers, the shutdown op).
+
+        Idempotent and non-blocking: the drain itself runs on a
+        dedicated thread so a connection handler (or a signal frame) is
+        never the thread waiting on its own request to finish.
+        """
+        with self._inflight_cv:
+            if self._draining.is_set() or self._stop.is_set():
+                return
+            self._draining.set()
+        self._wake.set()
+        threading.Thread(
+            target=self.drain, args=(grace,), daemon=True, name="serve-drain"
+        ).start()
+
+    def drain(self, grace: Optional[float] = None) -> bool:
+        """Stop accepting, wait (bounded) for in-flight work, then stop.
+
+        Returns True when nothing was dropped: every request that had
+        been admitted before the drain began got its response.
+        """
+        grace = self.config.drain_grace if grace is None else max(0.0, grace)
+        with self._inflight_cv:
+            self._draining.set()
+        # New connections stop here; established connections live on so
+        # in-flight responses (and R809 rejections) can be written.
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + grace
+        with self._inflight_cv:
+            while self._inflight_jobs > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cv.wait(min(remaining, 0.2))
+            abandoned = self._inflight_jobs
+        self.drained_clean = abandoned == 0
+        if self.sink is not None:
+            self.sink.publish(
+                "lifecycle", "drain",
+                fields={"clean": self.drained_clean, "abandoned": abandoned},
+            )
+        self.stop()
+        return self.drained_clean
+
     def __enter__(self) -> "SDFGServer":
         return self.start()
 
@@ -194,14 +276,21 @@ class SDFGServer:
         self.stop()
 
     def serve_forever(self) -> None:
-        """Block until :meth:`stop` (the CLI entry point's main loop)."""
+        """Block until :meth:`stop` (the CLI entry point's main loop).
+
+        A ``KeyboardInterrupt`` (or anything that called
+        :meth:`request_shutdown`) drains gracefully rather than dropping
+        in-flight requests on the floor.
+        """
         try:
             while not self._stop.is_set():
-                time.sleep(0.2)
+                self._wake.wait(0.2)
+                self._wake.clear()
         except KeyboardInterrupt:
-            pass
+            self.drain()
         finally:
-            self.stop()
+            if not self._stop.is_set():
+                self.stop()
 
     # -------------------------------------------------------------- loops
     def _accept_loop(self) -> None:
@@ -231,10 +320,19 @@ class SDFGServer:
         try:
             while not self._stop.is_set():
                 try:
+                    faultpoint("daemon.frame_read")
                     request = protocol.recv_message(stream)
                 except protocol.ProtocolError as err:
                     protocol.send_message(
                         stream, protocol.error_response(err.code, str(err))
+                    )
+                    continue
+                except ChaosFault as err:
+                    # The read path itself failed; the frame (if any) is
+                    # unrecoverable — answer structurally and keep the
+                    # connection.
+                    protocol.send_message(
+                        stream, protocol.error_response("E204", str(err))
                     )
                     continue
                 if request is None:
@@ -242,9 +340,15 @@ class SDFGServer:
                 response = self._dispatch(request)
                 if "id" in request:
                     response["id"] = request["id"]
+                try:
+                    faultpoint("daemon.frame_write")
+                except ChaosFault:
+                    # Simulated dead client socket: drop the connection
+                    # exactly as a genuine EPIPE would.
+                    return
                 protocol.send_message(stream, response)
                 if request.get("op") == "shutdown" and response.get("status") == "ok":
-                    self._stop.set()
+                    self.request_shutdown()
                     return
         except (OSError, ValueError):
             return  # client went away; never the daemon's problem
@@ -298,7 +402,27 @@ class SDFGServer:
                     )
                 self._count("ok")
                 return protocol.ok_response(op="shutdown")
-            return self._serve_job(request)
+            # Job ops (compile/execute): refused once draining; counted
+            # in-flight otherwise so the drain can wait for them.  The
+            # check and the increment share the condition's lock, so a
+            # request is either visibly in flight or R809-rejected —
+            # never silently dropped mid-drain.
+            with self._inflight_cv:
+                if self._draining.is_set():
+                    self._count("rejected")
+                    return protocol.rejected_response(
+                        "R809",
+                        "server is draining: no new work is being "
+                        "accepted; retry against a live instance",
+                        retry_after=1.0,
+                    )
+                self._inflight_jobs += 1
+            try:
+                return self._serve_job(request)
+            finally:
+                with self._inflight_cv:
+                    self._inflight_jobs -= 1
+                    self._inflight_cv.notify_all()
         except Exception as err:  # noqa: BLE001 - the daemon never dies for a request
             self._count("error")
             return protocol.error_response(
@@ -388,8 +512,12 @@ class SDFGServer:
     def stats(self) -> Dict[str, Any]:
         with self._req_lock:
             requests = dict(self._requests)
+        engine = active_engine()
         return {
             "uptime": self.uptime(),
+            "draining": self._draining.is_set(),
+            "chaos": engine.snapshot() if engine is not None else None,
+            "fsck": self.fsck_report,
             "requests": requests,
             "pool": self.pool.stats(),
             "admission": self.admission.stats(),

@@ -27,7 +27,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, ServeTimeout
 
 
 # ------------------------------------------------------------- kernels
@@ -110,6 +110,7 @@ def _drive_thread(
     connect,
     plan: List[Dict[str, Any]],
     result: LoadtestResult,
+    chaos: bool = False,
 ) -> None:
     try:
         client = connect()
@@ -132,10 +133,15 @@ def _drive_thread(
                         tenant=tenant, strict=False, deadline=20.0,
                     )
                     if resp.get("status") != "ok":
-                        result.fail(
-                            f"{kind} request for {tenant} failed: "
-                            f"{resp.get('code')} {resp.get('message')}"
-                        )
+                        # Under a chaos schedule structured failures are
+                        # *expected*; the invariant is that every answer
+                        # is structured (has a code), and every ok
+                        # answer is numerically correct.
+                        if not (chaos and resp.get("code")):
+                            result.fail(
+                                f"{kind} request for {tenant} failed: "
+                                f"{resp.get('code')} {resp.get('message')}"
+                            )
                     elif not np.allclose(resp["arrays"]["A"], expect):
                         result.fail(f"{kind} request for {tenant}: wrong results")
                 elif kind == "fault":
@@ -162,6 +168,12 @@ def _drive_thread(
                         )
                 else:  # pragma: no cover - defensive
                     continue
+            except ServeTimeout as err:
+                # The client-side deadline is the hang detector: a
+                # request the daemon never answered is always a failure,
+                # chaos schedule or not.
+                result.fail(f"{kind} request for {tenant}: {err}")
+                return
             except (OSError, ConnectionError) as err:
                 result.fail(f"{kind} request for {tenant}: connection died: {err}")
                 return
@@ -190,6 +202,8 @@ def run_loadtest(
     warm_n: int = 64,
     warm_work: int = 1,
     output: Optional[str] = None,
+    chaos: bool = False,
+    read_timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Run the drive; returns the report dict (see module docstring)."""
     server = None
@@ -250,11 +264,13 @@ def run_loadtest(
                         {"kind": "deadline", "tenant": deadline_tenant,
                          "sdfg": hog, "deadline": 0.5})
 
-        connect = lambda: ServeClient(socket_path=socket_path)  # noqa: E731
+        connect = lambda: ServeClient(  # noqa: E731
+            socket_path=socket_path, read_timeout=read_timeout)
         started = time.monotonic()
         pool = [
             threading.Thread(target=_drive_thread,
-                             args=(i, connect, plans[i], result), daemon=True)
+                             args=(i, connect, plans[i], result, chaos),
+                             daemon=True)
             for i in range(threads)
         ]
         for t in pool:

@@ -42,7 +42,13 @@ import time
 from queue import Empty, Queue
 from typing import Any, Dict, List, Optional
 
-from repro.runtime.isolation import _repo_pythonpath, _unique_bundle_dir, crash_dir
+from repro.chaos import ChaosFault, faultpoint
+from repro.runtime.isolation import (
+    _repo_pythonpath,
+    _unique_bundle_dir,
+    crash_dir,
+    rotate_crash_bundles,
+)
 from repro.runtime.watchdog import RetryPolicy
 from repro.serve import protocol
 from repro.telemetry.sink import TelemetryEvent, TelemetrySink
@@ -112,7 +118,20 @@ class WorkerHandle:
             bufsize=0,
             env=env,
         )
-        ready = self._read_message(time.monotonic() + spawn_timeout)
+        try:
+            # `kill` here SIGKILLs the fresh child (spawn-then-die);
+            # `raise`/`raise-io` model fork/exec level failures.  Either
+            # way the death is contained as a WorkerDeath.
+            faultpoint("pool.worker_spawn", child=self.proc.pid,
+                       worker=self.name)
+            ready = self._read_message(time.monotonic() + spawn_timeout)
+        except (ChaosFault, OSError) as err:
+            self.kill()
+            raise WorkerDeath(
+                f"{self.name} spawn aborted: {err}",
+                returncode=self.proc.poll(),
+                stderr_tail=self.stderr_tail(),
+            ) from err
         if not (isinstance(ready, dict) and ready.get("ready")):
             self.kill()
             raise WorkerDeath(
@@ -232,19 +251,51 @@ class WorkerHandle:
         return self.proc.poll() is None
 
     def stop(self, grace: float = 2.0) -> None:
-        """Graceful retirement: shutdown op, then EOF, then SIGKILL."""
+        """Graceful retirement: shutdown op, then EOF, then SIGKILL.
+
+        The shutdown write itself is bounded: a wedged worker that has
+        stopped draining its stdin would otherwise block *this* thread
+        on a full pipe — the retirement deadline must cover the write,
+        not just the wait.  The write goes through a non-blocking fd; if
+        it cannot complete within ``grace`` the worker is killed.
+        """
         if self.alive():
-            try:
-                self.proc.stdin.write(b'{"op":"shutdown"}\n')
-                self.proc.stdin.flush()
-                self.proc.stdin.close()
-            except (BrokenPipeError, OSError):
-                pass
-            try:
-                self.proc.wait(timeout=grace)
-            except subprocess.TimeoutExpired:
+            if self._write_shutdown_op(grace):
+                try:
+                    self.proc.wait(timeout=grace)
+                except subprocess.TimeoutExpired:
+                    self.kill()
+            else:
                 self.kill()
         self._cleanup_stderr()
+
+    def _write_shutdown_op(self, grace: float) -> bool:
+        """Best-effort bounded write of the shutdown op + stdin close."""
+        payload = b'{"op":"shutdown"}\n'
+        deadline = time.monotonic() + max(0.0, grace)
+        try:
+            fd = self.proc.stdin.fileno()
+            os.set_blocking(fd, False)
+            view = memoryview(payload)
+            while view:
+                try:
+                    written = os.write(fd, view)
+                    view = view[written:]
+                except BlockingIOError:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    select.select([], [fd], [], min(remaining, 0.1))
+                except (BrokenPipeError, OSError):
+                    break  # already dead or closing; EOF still follows
+            self.proc.stdin.close()
+            return True
+        except (ValueError, OSError):
+            try:
+                self.proc.stdin.close()
+            except (ValueError, OSError):
+                pass
+            return True
 
     def kill(self) -> None:
         try:
@@ -302,6 +353,7 @@ class WorkerPool:
         self._idle: "Queue[WorkerHandle]" = Queue()
         self._lock = threading.Lock()
         self._workers: List[WorkerHandle] = []
+        self._spawning = 0  # in-progress spawns (reserve a pool slot)
         self._closed = False
         self.stats_counters: Dict[str, int] = {
             "spawned": 0, "deaths": 0, "recycled": 0, "replays": 0,
@@ -311,18 +363,43 @@ class WorkerPool:
 
     # ---------------------------------------------------------- lifecycle
     def start(self) -> "WorkerPool":
-        for _ in range(self.size):
-            self._add_worker()
-        return self
+        # Tolerate a bounded number of failed spawns (chaos-killed or
+        # genuinely flaky children) so one bad handshake cannot keep the
+        # whole service from booting.
+        failures = 0
+        while True:
+            with self._lock:
+                if len(self._workers) >= self.size:
+                    return self
+            try:
+                self._add_worker()
+            except WorkerDeath:
+                failures += 1
+                if failures > self.size * 3 + 2:
+                    raise
 
     def _publish_worker_event(self, handle: "WorkerHandle", event: str) -> None:
         if self.sink is not None:
             self.sink.publish("worker", handle.name, fields={"event": event})
 
     def _add_worker(self) -> None:
-        handle = WorkerHandle(self.cache_root, self.fault_injection,
-                              sink=self.sink)
+        # Reserve a slot first: a retire-path respawn and the health
+        # check's heal loop can both observe a deficit concurrently, and
+        # without the reservation each would fill it — growing the pool
+        # past its configured size (a slow worker-process leak).
         with self._lock:
+            if self._closed or len(self._workers) + self._spawning >= self.size:
+                return
+            self._spawning += 1
+        try:
+            handle = WorkerHandle(self.cache_root, self.fault_injection,
+                                  sink=self.sink)
+        except BaseException:
+            with self._lock:
+                self._spawning -= 1
+            raise
+        with self._lock:
+            self._spawning -= 1
             self._workers.append(handle)
             self.stats_counters["spawned"] += 1
         self._publish_worker_event(handle, "spawn")
@@ -388,6 +465,19 @@ class WorkerPool:
                 replaced += 1
         for handle in checked:
             self._idle.put(handle)
+        # Heal the pool: failed respawns (in _retire, or chaos-killed
+        # replacements) silently shrink it; top back up to size so a
+        # fault storm cannot permanently reduce capacity.
+        while True:
+            with self._lock:
+                deficit = self.size - len(self._workers) - self._spawning
+            if deficit <= 0 or self._closed:
+                break
+            try:
+                self._add_worker()
+                replaced += 1
+            except WorkerDeath:
+                break  # still failing; the next health tick retries
         return replaced
 
     # ----------------------------------------------------------- dispatch
@@ -423,6 +513,9 @@ class WorkerPool:
         try:
             root = crash_dir()
             os.makedirs(root, exist_ok=True)
+            # raise-io/enospc here: the bundle is lost but the death is
+            # still surfaced to the caller (E201 without a bundle path).
+            faultpoint("pool.crash_bundle", tenant=job.get("tenant"))
             stem = "".join(
                 c if c.isalnum() or c in "-_." else "_"
                 for c in str(job.get("tenant", "tenant"))
@@ -448,8 +541,9 @@ class WorkerPool:
                     json.dump(job["sdfg"], f, indent=2, sort_keys=True)
             with open(os.path.join(bundle, "stderr.txt"), "w") as f:
                 f.write(death.stderr_tail or "")
+            rotate_crash_bundles(root)
             return bundle
-        except OSError:
+        except (OSError, ChaosFault):
             return None
 
     def submit(self, job: Dict[str, Any], timeout: Optional[float] = None) -> Dict[str, Any]:
@@ -472,6 +566,10 @@ class WorkerPool:
             )
         with self._lock:
             self.stats_counters["requests"] += 1
+        # A fault here fails the dispatch before any worker is touched;
+        # the daemon's catch-all turns it into a structured E204.
+        faultpoint("pool.dispatch", tenant=job.get("tenant"),
+                   op=job.get("op"))
         attempt = 0
         last_bundle: Optional[str] = None
         while True:

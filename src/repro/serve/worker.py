@@ -38,6 +38,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, Optional, TextIO
 
+from repro.chaos import ChaosFault, faultpoint
 from repro.diagnostics import DiagnosticError
 from repro.serve import protocol
 from repro.telemetry.sink import active_sink
@@ -325,6 +326,10 @@ def send_response(proto_out: TextIO, job: Dict[str, Any],
     """
     if "id" in job:
         response["id"] = job["id"]
+    # Dying while writing a response is a real worker death mode (the
+    # supervisor sees EOF, bundles, respawns, replays) — let kill/exit/
+    # raise rules here propagate rather than answering structurally.
+    faultpoint("worker.response_write", op=job.get("op"))
     try:
         protocol.send_message(proto_out, response)
     except protocol.ProtocolError as err:
@@ -375,6 +380,20 @@ def main(argv=None) -> int:
             continue
         if job is None:  # supervisor closed our stdin: clean retirement
             return 0
+        try:
+            # `kill`/`exit` rules die here (mid-request worker death,
+            # contained by the supervisor); `raise`/`raise-io`/`delay`
+            # surface as a structured error on the live worker.
+            faultpoint("worker.request", op=job.get("op"))
+        except (ChaosFault, OSError) as err:
+            send_response(
+                proto_out, job,
+                protocol.error_response(
+                    "E204", f"injected fault on request receipt: {err}",
+                    op=job.get("op"),
+                ),
+            )
+            continue
         response = runtime.handle(job)
         send_response(proto_out, job, response)
         if job.get("op") == "shutdown":

@@ -27,6 +27,8 @@ import threading
 import time
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
+from repro.chaos.engine import faultpoint
+
 #: Default ring capacity.  4096 events outlast several aggregation
 #: windows of serve traffic; one event is one small tuple (~200 bytes).
 DEFAULT_CAPACITY = 4096
@@ -82,6 +84,9 @@ class TelemetrySink:
         a worker process) carry their original timestamps so windowing
         stays faithful across the fleet.
         """
+        # The engine guards against recursion here: its own `fault:*`
+        # event publications skip fault-point evaluation.
+        faultpoint("telemetry.publish", kind=kind)
         if ts is None:
             ts = time.time()
         with self._lock:
@@ -104,6 +109,7 @@ class TelemetrySink:
         returned ``next_cursor`` to the next drain.  ``limit`` caps the
         batch (oldest first; the rest stay for the next drain).
         """
+        faultpoint("telemetry.drain")
         with self._lock:
             seq = self._seq
             oldest = max(0, seq - self.capacity)

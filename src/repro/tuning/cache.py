@@ -28,6 +28,7 @@ import json
 import os
 from typing import Any, Dict, Optional
 
+from repro.chaos import faultpoint
 from repro.filelock import FileLock
 from repro.instrumentation import InstrumentationRecorder
 from repro.sdfg.serialize import content_hash
@@ -83,7 +84,9 @@ class TuningCache:
         path = self._path(key)
         try:
             with open(path) as f:
-                entry = json.load(f)
+                raw = f.read()
+            raw = faultpoint("tuningcache.disk_read", payload=raw)
+            entry = json.loads(raw)
             if (
                 not isinstance(entry, dict)
                 or entry.get("schema") != CACHE_SCHEMA_VERSION
@@ -120,9 +123,20 @@ class TuningCache:
         record["key"] = key
         path = self._path(key)
         tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as f:
-            json.dump(record, f, indent=1, sort_keys=True, default=str)
-        os.replace(tmp, path)
+        try:
+            data = json.dumps(record, indent=1, sort_keys=True, default=str)
+            data = faultpoint("tuningcache.disk_write", payload=data)
+            with open(tmp, "w") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            # A failed store (disk full, torn directory) loses only the
+            # shortcut — the tuning result itself is already in hand.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
         self._count("store")
         self._evict()
 

@@ -1,0 +1,14 @@
+import pytest
+
+from repro.chaos.engine import uninstall_engine
+
+
+@pytest.fixture(autouse=True)
+def _chaos_isolation(monkeypatch):
+    """Every chaos test starts and ends with no engine and no
+    ``REPRO_FAULTS`` in the environment (monkeypatch restores the
+    original value on teardown)."""
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    uninstall_engine()
+    yield
+    uninstall_engine()

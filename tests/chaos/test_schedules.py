@@ -1,0 +1,41 @@
+"""Named chaos schedules against a live daemon (the acceptance tests).
+
+Each run boots a real server with worker subprocesses, installs the
+seeded fault plan on both sides of the fork, drives mixed load, and
+checks the global invariants; ``run_schedule`` returns the verdict."""
+
+import pytest
+
+from repro.chaos.schedules import SCHEDULES, build_spec, run_schedule
+
+
+def test_the_three_required_schedules_exist():
+    assert {"cache-torn-write", "worker-kill-storm", "slow-io"} <= set(SCHEDULES)
+
+
+def test_build_spec_is_deterministic_and_seed_sensitive():
+    assert build_spec("slow-io", 7) == build_spec("slow-io", 7)
+    assert build_spec("slow-io", 7) != build_spec("slow-io", 8)
+    with pytest.raises(ValueError, match="unknown chaos schedule"):
+        build_spec("nope", 0)
+
+
+@pytest.mark.parametrize("schedule,seed", [
+    ("cache-torn-write", 11),
+    ("worker-kill-storm", 12),
+    ("slow-io", 13),
+])
+def test_schedule_invariants_hold(schedule, seed, tmp_path):
+    report = run_schedule(
+        schedule, seed=seed, requests=24, threads=2, workers=2,
+        cache_root=str(tmp_path / "cache"),
+    )
+    assert report["passed"], (
+        f"schedule {schedule!r} failed — reproduce with "
+        f"`python -m repro.chaos run --schedule {schedule} --seed {seed}`: "
+        + "; ".join(report["failures"])
+    )
+    assert report["fired"] > 0, "a schedule that fires nothing tests nothing"
+    assert report["drain_clean"] is True
+    assert report["fsck"]["clean"] is True
+    assert report["pool"]["alive"] == report["pool"]["size"]

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.chaos.engine import active_engine, uninstall_engine
 from repro.runtime.watchdog import reset_breakers
 
 
@@ -13,3 +14,12 @@ def _fresh_breakers():
     reset_breakers()
     yield
     reset_breakers()
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_chaos():
+    """A test that installs a fault plan (directly or via REPRO_FAULTS)
+    must not leave it armed for the next test."""
+    yield
+    if active_engine() is not None:
+        uninstall_engine()

@@ -1,0 +1,69 @@
+"""Property-based wire-format tests: every diagnostic the stack can
+emit — and ones only a newer peer could emit — survives
+``to_json``/``from_json`` round-trips."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagnostics import CODES, Diagnostic, Severity
+
+_location = st.none() | st.text(min_size=0, max_size=40)
+_severities = st.sampled_from(list(Severity))
+_registered = st.sampled_from(sorted(CODES))
+#: Codes no current build emits (a newer peer, a typo'd tool) — the
+#: wire format must rehydrate them rather than crash.
+_unknown = st.from_regex(r"[A-Z]{1,2}[0-9]{3}", fullmatch=True).filter(
+    lambda c: c not in CODES
+)
+
+
+def _diagnostics(codes):
+    return st.builds(
+        Diagnostic,
+        code=codes,
+        severity=_severities,
+        message=st.text(max_size=200),
+        sdfg=_location,
+        state=_location,
+        node=_location,
+        data=_location,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(_diagnostics(_registered))
+def test_registered_codes_round_trip(diag):
+    wire = json.loads(json.dumps(diag.to_json()))  # a real serialize hop
+    back = Diagnostic.from_json(wire)
+    assert back == diag
+
+
+def test_every_registered_code_round_trips_exactly():
+    """Exhaustive, not sampled: each of the registered codes."""
+    for code in sorted(CODES):
+        for severity in Severity:
+            diag = Diagnostic(code=code, severity=severity,
+                              message=CODES[code], sdfg="s", state=None,
+                              node="n", data=None)
+            assert Diagnostic.from_json(diag.to_json()) == diag
+
+
+@settings(max_examples=100, deadline=None)
+@given(_diagnostics(_unknown))
+def test_unknown_codes_rehydrate_without_crashing(diag):
+    back = Diagnostic.from_json(json.loads(json.dumps(diag.to_json())))
+    assert back.code == diag.code
+    assert back.severity == diag.severity
+
+
+@settings(max_examples=50, deadline=None)
+@given(code=_registered, severity=st.text(min_size=1, max_size=20))
+def test_unknown_severities_degrade_to_warning(code, severity):
+    wire = {"code": code, "severity": severity, "message": "m"}
+    back = Diagnostic.from_json(wire)
+    if severity in Severity.__members__:
+        assert back.severity == Severity[severity]
+    else:
+        assert back.severity == Severity.WARNING

@@ -1,0 +1,58 @@
+"""Client-side socket deadlines: a wedged daemon surfaces as a
+retryable ``E205`` instead of blocking the caller forever."""
+
+import pytest
+
+from repro.chaos import FaultPlan, install_plan, uninstall_engine
+from repro.serve.client import ServeClient, ServeError, ServeTimeout
+from repro.serve.daemon import SDFGServer, ServeConfig
+
+
+@pytest.fixture
+def server(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CRASH_DIR", str(tmp_path / "crashes"))
+    cfg = ServeConfig(
+        socket_path=str(tmp_path / "serve.sock"),
+        workers=1,
+        health_interval=600.0,
+    )
+    with SDFGServer(cfg) as srv:
+        yield srv
+    uninstall_engine()
+
+
+def test_read_timeout_raises_retryable_e205(server):
+    # Wedge the daemon's response path (in-process: the daemon shares
+    # our interpreter, so install_plan reaches it).
+    install_plan(FaultPlan.parse("daemon.frame_write:delay@p=1,ms=2000"))
+    with ServeClient(socket_path=server.config.socket_path,
+                     read_timeout=0.3) as c:
+        with pytest.raises(ServeTimeout) as exc:
+            c.ping()
+    err = exc.value
+    assert isinstance(err, ServeError)
+    assert err.code == "E205"
+    assert err.response["retryable"] is True
+    assert "deadline" in str(err)
+
+
+def test_timed_out_connection_is_unusable(server):
+    install_plan(FaultPlan.parse("daemon.frame_write:delay@p=1,ms=2000"))
+    c = ServeClient(socket_path=server.config.socket_path, read_timeout=0.3)
+    try:
+        with pytest.raises(ServeTimeout):
+            c.ping()
+        # A late response would pair with the next request; the client
+        # refuses to reuse the socket.
+        with pytest.raises(ConnectionError, match="E205"):
+            c.ping()
+    finally:
+        c.close()
+
+
+def test_no_read_timeout_by_default(server):
+    """The deadline is opt-in: default clients block until the daemon
+    answers (here: normally, without any delay installed)."""
+    with ServeClient(socket_path=server.config.socket_path) as c:
+        assert c._sock.gettimeout() is None
+        assert c.ping()["status"] == "ok"

@@ -1,0 +1,25 @@
+"""Worker retirement is bounded: a wedged worker cannot block the
+supervisor thread past the retirement grace."""
+
+import signal
+import time
+
+from repro.serve.pool import WorkerHandle
+
+
+def test_stop_of_a_wedged_worker_is_bounded():
+    handle = WorkerHandle(cache_root=None, fault_injection=False)
+    try:
+        assert handle.alive()
+        # SIGSTOP freezes the worker: it will neither drain its stdin
+        # nor exit on the shutdown op — the old unbounded path would
+        # block on the pipe write or the wait forever.
+        handle.proc.send_signal(signal.SIGSTOP)
+        start = time.monotonic()
+        handle.stop(grace=0.5)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0, f"stop() took {elapsed:.1f}s for a wedged worker"
+        assert not handle.alive(), "the deadline expired into a SIGKILL"
+    finally:
+        if handle.alive():
+            handle.kill()
